@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Baselines the dRBAC paper compares against (qualitatively, §3.1.3 and
+//! §6), implemented so the benchmark harness can measure the comparisons:
+//!
+//! * [`ocsp`] — online positive status checking: clients poll an
+//!   authorized responder on an interval, costing messages even when
+//!   nothing changed (contrast: delegation subscriptions push only on
+//!   change);
+//! * [`crl`] — periodic revocation lists: every subscriber receives the
+//!   full list each period, including revocations irrelevant to it;
+//! * [`phantom`] — the SPKI/RT0-style *phantom role* encoding of
+//!   third-party delegation, to quantify the namespace pollution dRBAC's
+//!   third-party form avoids;
+//! * [`strategy`] — forward-only, reverse-only, and bidirectional chain
+//!   search over a delegation graph, for the §4.2.3 path-explosion
+//!   experiment;
+//! * [`workload`] — synthetic delegation-forest generators shared by
+//!   tests and benches.
+
+pub mod crl;
+pub mod ocsp;
+pub mod phantom;
+pub mod strategy;
+pub mod workload;

@@ -1,0 +1,142 @@
+//! OCSP-style online status polling (paper §6, contrast to delegation
+//! subscriptions).
+//!
+//! "Unlike OCSP, where a client monitoring the status of a certificate
+//! must continuously poll an authorized server (even when the credential
+//! has not changed), delegation subscriptions only require server and
+//! network resources when a credential has been updated."
+
+use std::collections::HashMap;
+
+use drbac_core::{DelegationId, Ticks, Timestamp};
+
+/// The authorized status responder.
+#[derive(Debug, Clone, Default)]
+pub struct OcspResponder {
+    revoked: HashMap<DelegationId, Timestamp>,
+    /// Status queries served (each costs a request + response message).
+    pub queries_served: u64,
+}
+
+impl OcspResponder {
+    /// A responder with nothing revoked.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `id` revoked effective `at`.
+    pub fn revoke(&mut self, id: DelegationId, at: Timestamp) {
+        self.revoked.entry(id).or_insert(at);
+    }
+
+    /// Answers a status query (counted).
+    pub fn status(&mut self, id: DelegationId) -> bool {
+        self.queries_served += 1;
+        !self.revoked.contains_key(&id)
+    }
+
+    /// When `id` was revoked, if it was.
+    pub fn revoked_at(&self, id: DelegationId) -> Option<Timestamp> {
+        self.revoked.get(&id).copied()
+    }
+}
+
+/// A relying party polling the responder on a fixed interval.
+#[derive(Debug, Clone)]
+pub struct OcspClient {
+    interval: Ticks,
+    watched: Vec<DelegationId>,
+    next_poll: Timestamp,
+    detected: HashMap<DelegationId, Timestamp>,
+    /// Total messages this client has put on the wire (2 per status
+    /// query: request + response).
+    pub messages: u64,
+}
+
+impl OcspClient {
+    /// A client polling every `interval`, starting at the epoch.
+    pub fn new(interval: Ticks, watched: Vec<DelegationId>) -> Self {
+        assert!(interval.0 > 0, "polling interval must be positive");
+        OcspClient {
+            interval,
+            watched,
+            next_poll: Timestamp(0),
+            detected: HashMap::new(),
+            messages: 0,
+        }
+    }
+
+    /// Advances to `now`, performing every poll that came due. Returns the
+    /// number of messages sent during this call.
+    pub fn tick(&mut self, now: Timestamp, responder: &mut OcspResponder) -> u64 {
+        let before = self.messages;
+        while self.next_poll <= now {
+            let poll_time = self.next_poll;
+            for &id in &self.watched {
+                self.messages += 2;
+                if !responder.status(id) {
+                    self.detected.entry(id).or_insert(poll_time);
+                }
+            }
+            self.next_poll = self.next_poll.after(self.interval);
+        }
+        self.messages - before
+    }
+
+    /// When this client first observed `id` as revoked, if ever.
+    pub fn detected_at(&self, id: DelegationId) -> Option<Timestamp> {
+        self.detected.get(&id).copied()
+    }
+
+    /// Detection latency for `id`: observation time minus revocation time.
+    pub fn staleness(&self, id: DelegationId, responder: &OcspResponder) -> Option<Ticks> {
+        let revoked = responder.revoked_at(id)?;
+        let detected = self.detected_at(id)?;
+        Some(detected.since(revoked))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(b: u8) -> DelegationId {
+        DelegationId([b; 32])
+    }
+
+    #[test]
+    fn polling_costs_messages_even_without_changes() {
+        let mut responder = OcspResponder::new();
+        let mut client = OcspClient::new(Ticks(10), vec![id(1), id(2)]);
+        // 101 ticks → polls at t0,10,...,100 → 11 polls × 2 ids × 2 msgs.
+        let sent = client.tick(Timestamp(100), &mut responder);
+        assert_eq!(sent, 44);
+        assert_eq!(responder.queries_served, 22);
+    }
+
+    #[test]
+    fn revocation_detected_at_next_poll_boundary() {
+        let mut responder = OcspResponder::new();
+        let mut client = OcspClient::new(Ticks(10), vec![id(1)]);
+        client.tick(Timestamp(5), &mut responder); // poll at t0
+        responder.revoke(id(1), Timestamp(7));
+        client.tick(Timestamp(25), &mut responder); // polls at t10, t20
+        assert_eq!(client.detected_at(id(1)), Some(Timestamp(10)));
+        assert_eq!(client.staleness(id(1), &responder), Some(Ticks(3)));
+    }
+
+    #[test]
+    fn unrevoked_ids_never_detected() {
+        let mut responder = OcspResponder::new();
+        let mut client = OcspClient::new(Ticks(5), vec![id(1)]);
+        client.tick(Timestamp(100), &mut responder);
+        assert_eq!(client.detected_at(id(1)), None);
+        assert_eq!(client.staleness(id(1), &responder), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = OcspClient::new(Ticks(0), vec![]);
+    }
+}

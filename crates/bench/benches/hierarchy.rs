@@ -1,0 +1,171 @@
+//! Experiment F-G (§6): hierarchical validation-agent caches.
+//!
+//! "Delegation subscriptions permit construction of hierarchical
+//! directory-based caches of trusted online validation agents" — instead
+//! of every relying party subscribing directly at the issuer's home
+//! wallet, caches subscribe at intermediate proxies, bounding the home
+//! wallet's fan-out at the cost of extra propagation hops.
+//!
+//! The printed series compares, for one revocation reaching N caches:
+//! the home wallet's own outgoing pushes (its load), the total push
+//! messages on the network, and the logical time until the last cache
+//! learns of the revocation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drbac_bench::{table_header, table_row};
+use drbac_core::{
+    LocalEntity, Node, Proof, ProofStep, SignedDelegation, SignedRevocation, SimClock, Ticks,
+};
+use drbac_crypto::SchnorrGroup;
+use drbac_net::{proto::Request, SimNet, WalletHost};
+use drbac_wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Topology {
+    net: SimNet,
+    clock: SimClock,
+    owner: LocalEntity,
+    cert: Arc<SignedDelegation>,
+    home: WalletHost,
+    leaves: Vec<WalletHost>,
+}
+
+/// Builds `n` leaf caches subscribed either directly at the home wallet
+/// (`fanout == 0`) or through a proxy tree with the given fanout.
+fn build(n: usize, fanout: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64((n * 31 + fanout) as u64);
+    let g = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let net = SimNet::new(clock.clone(), Ticks(1));
+    let owner = LocalEntity::generate("Owner", g.clone(), &mut rng);
+    let user = LocalEntity::generate("User", g, &mut rng);
+    let home = net.add_host("home", Wallet::new("home", clock.clone()));
+    let cert: Arc<SignedDelegation> = Arc::new(
+        owner
+            .delegate(Node::entity(&user), Node::role(owner.role("r")))
+            .sign(&owner)
+            .unwrap(),
+    );
+    home.wallet().publish(Arc::clone(&cert), vec![]).unwrap();
+    let proof = Proof::from_steps(vec![ProofStep::new(Arc::clone(&cert))]).unwrap();
+
+    // Build hosts level by level: parents[i] is the subscription target
+    // for level i+1.
+    let mut leaves = Vec::new();
+    let mut parents = vec![home.clone()];
+    let mut made = 0usize;
+    let mut level = 0usize;
+    while made < n {
+        let mut next_parents = Vec::new();
+        for parent in &parents {
+            let children = if fanout == 0 {
+                n - made
+            } else {
+                fanout.min(n - made)
+            };
+            for c in 0..children {
+                let addr = format!("l{level}c{made}-{c}");
+                let host = net.add_host(addr.as_str(), Wallet::new(addr.as_str(), clock.clone()));
+                host.wallet().absorb_proof(&proof, parent.addr()).unwrap();
+                net.request(
+                    parent.addr(),
+                    Request::Subscribe {
+                        delegation: cert.id(),
+                        subscriber: host.addr().clone(),
+                    },
+                )
+                .unwrap();
+                made += 1;
+                next_parents.push(host.clone());
+                leaves.push(host);
+                if made >= n {
+                    break;
+                }
+            }
+            if made >= n {
+                break;
+            }
+        }
+        parents = next_parents;
+        level += 1;
+        if fanout == 0 {
+            break;
+        }
+    }
+    net.reset_stats();
+    Topology {
+        net,
+        clock,
+        owner,
+        cert,
+        home,
+        leaves,
+    }
+}
+
+/// Revokes the credential and measures propagation.
+fn run(t: &Topology) -> (usize, u64, u64) {
+    let start = t.clock.now();
+    let revocation = SignedRevocation::revoke(&t.cert, &t.owner, start).unwrap();
+    t.net
+        .request(&"home".into(), Request::Revoke(revocation))
+        .unwrap();
+    let home_fanout = t.home.subscribers_of(t.cert.id()).len();
+    t.net.run_until_idle();
+    let total_pushes = t.net.stats().push_messages;
+    let latency = t.clock.now().since(start).0;
+    // Every leaf must have learned of the revocation.
+    for leaf in &t.leaves {
+        assert!(leaf.wallet().with_graph(|g| g.is_revoked(t.cert.id())));
+    }
+    (home_fanout, total_pushes, latency)
+}
+
+fn print_series() {
+    table_header(
+        "F-G — flat vs hierarchical subscription fan-out (one revocation, N caches)",
+        &[
+            "N",
+            "topology",
+            "home fan-out",
+            "total pushes",
+            "last-cache latency (ticks)",
+        ],
+    );
+    for n in [16usize, 64, 256] {
+        for (name, fanout) in [("flat", 0usize), ("tree-f4", 4), ("tree-f8", 8)] {
+            let t = build(n, fanout);
+            let (home_fanout, total, latency) = run(&t);
+            table_row(&[
+                n.to_string(),
+                name.into(),
+                home_fanout.to_string(),
+                total.to_string(),
+                latency.to_string(),
+            ]);
+        }
+    }
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+    for (name, fanout) in [("flat", 0usize), ("tree-f8", 8)] {
+        group.bench_with_input(BenchmarkId::new("propagate_64", name), &fanout, |b, &f| {
+            b.iter_with_setup(|| build(64, f), |t| black_box(run(&t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hierarchy
+}
+criterion_main!(benches);

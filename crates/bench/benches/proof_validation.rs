@@ -1,0 +1,120 @@
+//! Experiment F-E: proof validation cost vs chain length, support-proof
+//! nesting depth, and signature group (fast test group vs realistic
+//! 2048-bit MODP group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drbac_baselines::workload::chain;
+use drbac_core::{
+    LocalEntity, Node, Proof, ProofStep, ProofValidator, Timestamp, ValidationContext,
+};
+use drbac_crypto::SchnorrGroup;
+use drbac_graph::SearchOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn chain_proof(len: usize) -> Proof {
+    let mut rng = StdRng::seed_from_u64(len as u64);
+    let w = chain(len, &mut rng);
+    let (proof, _) = w
+        .graph
+        .direct_query(&w.subject, &w.object, &SearchOptions::at(Timestamp(0)));
+    proof.expect("chain connects")
+}
+
+/// A proof whose single third-party step nests support proofs `depth`
+/// levels deep (each support's issuer itself authorized by a third-party
+/// delegation).
+fn nested_support_proof(depth: usize, rng: &mut StdRng) -> Proof {
+    let g = SchnorrGroup::test_256();
+    let owner = LocalEntity::generate("Owner", g.clone(), rng);
+    let user = LocalEntity::generate("User", g.clone(), rng);
+    let role = owner.role("r");
+
+    // deputies[0] gets R' self-certified; deputies[i] gets R' from
+    // deputies[i-1] (third-party, needing the previous support).
+    let deputies: Vec<LocalEntity> = (0..=depth)
+        .map(|i| LocalEntity::generate(format!("D{i}"), g.clone(), rng))
+        .collect();
+    let root_grant = owner
+        .delegate(Node::entity(&deputies[0]), Node::role_admin(role.clone()))
+        .sign(&owner)
+        .unwrap();
+    let mut support = Proof::from_steps(vec![ProofStep::new(root_grant)]).unwrap();
+    for i in 1..=depth {
+        let grant = deputies[i - 1]
+            .delegate(Node::entity(&deputies[i]), Node::role_admin(role.clone()))
+            .sign(&deputies[i - 1])
+            .unwrap();
+        support = Proof::from_steps(vec![ProofStep::new(grant).with_support(support)]).unwrap();
+    }
+    let last = &deputies[depth];
+    let final_cert = last
+        .delegate(Node::entity(&user), Node::role(role))
+        .sign(last)
+        .unwrap();
+    Proof::from_steps(vec![ProofStep::new(final_cert).with_support(support)]).unwrap()
+}
+
+fn bench_chain_length(c: &mut Criterion) {
+    let validator = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+    let mut group = c.benchmark_group("proof_validation/chain_length");
+    for len in [1usize, 4, 16, 32] {
+        let proof = chain_proof(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| validator.validate(black_box(&proof)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_support_depth(c: &mut Criterion) {
+    let validator =
+        ProofValidator::new(ValidationContext::at(Timestamp(0)).with_max_support_depth(16));
+    let mut rng = StdRng::seed_from_u64(0xFE);
+    let mut group = c.benchmark_group("proof_validation/support_depth");
+    for depth in [0usize, 2, 4, 8] {
+        let proof = nested_support_proof(depth, &mut rng);
+        validator.validate(&proof).expect("nested proof valid");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| validator.validate(black_box(&proof)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature_groups(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xFF);
+    let mut group = c.benchmark_group("proof_validation/signature_group");
+    group.sample_size(10);
+    for (name, schnorr) in [
+        ("test_256", SchnorrGroup::test_256()),
+        ("modp_2048", SchnorrGroup::modp_2048()),
+    ] {
+        let issuer = LocalEntity::generate("Issuer", schnorr.clone(), &mut rng);
+        let subject = LocalEntity::generate("Subject", schnorr, &mut rng);
+        let cert = issuer
+            .delegate(Node::entity(&subject), Node::role(issuer.role("r")))
+            .sign(&issuer)
+            .unwrap();
+        group.bench_function(BenchmarkId::new("sign", name), |b| {
+            b.iter(|| {
+                issuer
+                    .delegate(Node::entity(&subject), Node::role(issuer.role("r")))
+                    .sign(&issuer)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("verify", name), |b| {
+            b.iter(|| black_box(&cert).verify(Timestamp(0)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chain_length, bench_support_depth, bench_signature_groups
+}
+criterion_main!(benches);

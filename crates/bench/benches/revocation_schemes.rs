@@ -1,0 +1,273 @@
+//! Experiment F-C (§6): delegation subscriptions vs OCSP polling vs CRL
+//! lists.
+//!
+//! Paper claims measured here:
+//! * "Unlike OCSP, where a client ... must continuously poll an
+//!   authorized server (even when the credential has not changed),
+//!   delegation subscriptions only require server and network resources
+//!   when a credential has been updated."
+//! * "Revocation-based schemes transmit information regarding all revoked
+//!   certificates to all subscribers" (CRL volume), while subscriptions
+//!   "avoid communication of updates irrelevant to particular caches."
+//!
+//! Setup: one home wallet holding `n` delegations, `n` relying parties
+//! each monitoring one of them over a horizon of `T` ticks, with a
+//! fraction `r` of delegations revoked at random times. We count wire
+//! messages and detection staleness for each scheme.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drbac_baselines::crl::{CrlPublisher, CrlSubscriber};
+use drbac_baselines::ocsp::{OcspClient, OcspResponder};
+use drbac_bench::{fmt, table_header, table_row};
+use drbac_core::{
+    DelegationId, LocalEntity, Node, Proof, ProofStep, SignedRevocation, SimClock, Ticks, Timestamp,
+};
+use drbac_crypto::SchnorrGroup;
+use drbac_net::{proto::Request, SimNet};
+use drbac_wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const HORIZON: u64 = 1_000;
+const POLL_INTERVAL: u64 = 50;
+const CRL_PERIOD: u64 = 50;
+const N: usize = 50;
+
+struct RevocationPlan {
+    owner: LocalEntity,
+    certs: Vec<Arc<drbac_core::SignedDelegation>>,
+    /// (index, revocation time), sorted by time.
+    revocations: Vec<(usize, Timestamp)>,
+}
+
+fn plan(rate: f64, rng: &mut StdRng) -> RevocationPlan {
+    let owner = LocalEntity::generate("Owner", SchnorrGroup::test_256(), rng);
+    let certs: Vec<Arc<drbac_core::SignedDelegation>> = (0..N)
+        .map(|i| {
+            let user = LocalEntity::generate(format!("U{i}"), SchnorrGroup::test_256(), rng);
+            Arc::new(
+                owner
+                    .delegate(
+                        Node::entity(&user),
+                        Node::role(owner.role(&format!("r{i}"))),
+                    )
+                    .sign(&owner)
+                    .unwrap(),
+            )
+        })
+        .collect();
+    let mut revocations: Vec<(usize, Timestamp)> = Vec::new();
+    for i in 0..N {
+        if rng.gen_bool(rate) {
+            revocations.push((i, Timestamp(rng.gen_range(1..HORIZON))));
+        }
+    }
+    revocations.sort_by_key(|&(_, t)| t);
+    RevocationPlan {
+        owner,
+        certs,
+        revocations,
+    }
+}
+
+struct SchemeResult {
+    messages: u64,
+    mean_staleness: f64,
+    detected: usize,
+}
+
+/// dRBAC delegation subscriptions over the simulated network.
+fn run_subscriptions(plan: &RevocationPlan) -> SchemeResult {
+    let clock = SimClock::new();
+    let net = SimNet::new(clock.clone(), Ticks(1));
+    let home = net.add_host("home", Wallet::new("home", clock.clone()));
+    for cert in &plan.certs {
+        home.wallet().publish(Arc::clone(cert), vec![]).unwrap();
+    }
+    // Each relying party caches its credential and subscribes once.
+    let caches: Vec<_> = (0..N)
+        .map(|i| {
+            let addr = format!("cache{i}");
+            let host = net.add_host(addr.as_str(), Wallet::new(addr.as_str(), clock.clone()));
+            let proof =
+                Proof::from_steps(vec![ProofStep::new(Arc::clone(&plan.certs[i]))]).unwrap();
+            host.wallet().absorb_proof(&proof, home.addr()).unwrap();
+            net.request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: plan.certs[i].id(),
+                    subscriber: addr.as_str().into(),
+                },
+            )
+            .unwrap();
+            host
+        })
+        .collect();
+    net.reset_stats(); // setup cost excluded, as for the other schemes
+
+    let mut staleness_sum = 0.0;
+    let mut detected = 0usize;
+    for &(idx, at) in &plan.revocations {
+        clock.advance_to(at);
+        let revocation = SignedRevocation::revoke(&plan.certs[idx], &plan.owner, at).unwrap();
+        net.request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        net.run_until_idle();
+        // Push latency = 1 tick; the cache's graph reflects it now.
+        let known = caches[idx]
+            .wallet()
+            .with_graph(|g| g.is_revoked(plan.certs[idx].id()));
+        if known {
+            detected += 1;
+            staleness_sum += clock.now().since(at).0 as f64;
+        }
+    }
+    clock.advance_to(Timestamp(HORIZON));
+    let stats = net.stats();
+    SchemeResult {
+        messages: stats.total_messages,
+        mean_staleness: if detected > 0 {
+            staleness_sum / detected as f64
+        } else {
+            0.0
+        },
+        detected,
+    }
+}
+
+/// OCSP-style polling.
+fn run_ocsp(plan: &RevocationPlan) -> SchemeResult {
+    let mut responder = OcspResponder::new();
+    let mut clients: Vec<OcspClient> = plan
+        .certs
+        .iter()
+        .map(|c| OcspClient::new(Ticks(POLL_INTERVAL), vec![c.id()]))
+        .collect();
+    let mut messages = 0u64;
+    let mut event_idx = 0usize;
+    for t in 0..=HORIZON {
+        while event_idx < plan.revocations.len() && plan.revocations[event_idx].1 .0 == t {
+            let (idx, at) = plan.revocations[event_idx];
+            responder.revoke(plan.certs[idx].id(), at);
+            event_idx += 1;
+        }
+        for client in &mut clients {
+            messages += client.tick(Timestamp(t), &mut responder);
+        }
+    }
+    let mut staleness_sum = 0.0;
+    let mut detected = 0usize;
+    for &(idx, _) in &plan.revocations {
+        if let Some(s) = clients[idx].staleness(plan.certs[idx].id(), &responder) {
+            detected += 1;
+            staleness_sum += s.0 as f64;
+        }
+    }
+    SchemeResult {
+        messages,
+        mean_staleness: if detected > 0 {
+            staleness_sum / detected as f64
+        } else {
+            0.0
+        },
+        detected,
+    }
+}
+
+/// CRL-style periodic lists.
+fn run_crl(plan: &RevocationPlan) -> SchemeResult {
+    let mut publisher = CrlPublisher::new(Ticks(CRL_PERIOD));
+    let mut subscribers: Vec<CrlSubscriber> = (0..N).map(|_| CrlSubscriber::new()).collect();
+    let mut event_idx = 0usize;
+    let mut messages = 0u64;
+    for t in 0..=HORIZON {
+        while event_idx < plan.revocations.len() && plan.revocations[event_idx].1 .0 == t {
+            let (idx, at) = plan.revocations[event_idx];
+            publisher.revoke(plan.certs[idx].id(), at);
+            event_idx += 1;
+        }
+        for list in publisher.publish_due(Timestamp(t)) {
+            for sub in &mut subscribers {
+                sub.receive(&list);
+                messages += 1;
+            }
+        }
+    }
+    let mut staleness_sum = 0.0;
+    let mut detected = 0usize;
+    for &(idx, _) in &plan.revocations {
+        if let Some(s) = subscribers[idx].staleness(plan.certs[idx].id(), &publisher) {
+            detected += 1;
+            staleness_sum += s.0 as f64;
+        }
+    }
+    SchemeResult {
+        messages,
+        mean_staleness: if detected > 0 {
+            staleness_sum / detected as f64
+        } else {
+            0.0
+        },
+        detected,
+    }
+}
+
+fn id_unused(_: DelegationId) {}
+
+fn print_series() {
+    table_header(
+        &format!(
+            "F-C — messages & staleness over {HORIZON} ticks, {N} monitored delegations \
+             (poll/CRL period {POLL_INTERVAL})"
+        ),
+        &[
+            "revocation rate",
+            "scheme",
+            "messages",
+            "mean staleness",
+            "detected/revoked",
+        ],
+    );
+    for rate in [0.02f64, 0.10, 0.30] {
+        let mut rng = StdRng::seed_from_u64((rate * 1000.0) as u64);
+        let p = plan(rate, &mut rng);
+        let revoked = p.revocations.len();
+        for (name, result) in [
+            ("subscription", run_subscriptions(&p)),
+            ("ocsp-poll", run_ocsp(&p)),
+            ("crl", run_crl(&p)),
+        ] {
+            table_row(&[
+                format!("{rate:.2}"),
+                name.into(),
+                result.messages.to_string(),
+                fmt(result.mean_staleness),
+                format!("{}/{revoked}", result.detected),
+            ]);
+        }
+    }
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    print_series();
+    let mut rng = StdRng::seed_from_u64(0xFC);
+    let p = plan(0.10, &mut rng);
+    let mut group = c.benchmark_group("revocation_schemes");
+    group.bench_function("subscription", |b| {
+        b.iter(|| black_box(run_subscriptions(&p).messages))
+    });
+    group.bench_function("ocsp", |b| b.iter(|| black_box(run_ocsp(&p).messages)));
+    group.bench_function("crl", |b| b.iter(|| black_box(run_crl(&p).messages)));
+    group.finish();
+    id_unused(DelegationId([0; 32]));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schemes
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Experiment F-F (§3.1.3, §6): third-party delegation vs the SPKI/RT0
+//! phantom-role encoding.
+//!
+//! Paper claim: without third-party delegation, each administrator must
+//! mint a phantom role per delegable privilege, so setup cost and
+//! namespace pollution grow as `k·m` (roles × administrators) instead of
+//! `k + m`. The printed series show the crossover is immediate and the
+//! gap widens linearly in each dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drbac_baselines::phantom::{drbac_encoding, phantom_encoding};
+use drbac_bench::{table_header, table_row};
+use drbac_core::LocalEntity;
+use drbac_crypto::SchnorrGroup;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn world(admins: usize, rng: &mut StdRng) -> (LocalEntity, Vec<LocalEntity>) {
+    let g = SchnorrGroup::test_256();
+    let owner = LocalEntity::generate("Owner", g.clone(), rng);
+    let admins = (0..admins)
+        .map(|i| LocalEntity::generate(format!("T{i}"), g.clone(), rng))
+        .collect();
+    (owner, admins)
+}
+
+fn roles(k: usize) -> Vec<String> {
+    (0..k).map(|i| format!("r{i}")).collect()
+}
+
+fn print_series() {
+    table_header(
+        "F-F — setup delegations & roles created: dRBAC vs phantom-role (m admins, k roles)",
+        &[
+            "m",
+            "k",
+            "dRBAC setup",
+            "phantom setup",
+            "dRBAC roles",
+            "phantom roles",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(0xFF00);
+    for (m, k) in [(2usize, 4usize), (4, 8), (8, 16), (16, 32)] {
+        let (owner, admins) = world(m, &mut rng);
+        let d = drbac_encoding(&owner, &admins, &roles(k)).unwrap().cost;
+        let p = phantom_encoding(&owner, &admins, &roles(k)).unwrap().cost;
+        table_row(&[
+            m.to_string(),
+            k.to_string(),
+            d.setup_delegations.to_string(),
+            p.setup_delegations.to_string(),
+            d.roles_created.to_string(),
+            p.roles_created.to_string(),
+        ]);
+    }
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("separability");
+    for (m, k) in [(4usize, 8usize), (8, 16)] {
+        let mut rng = StdRng::seed_from_u64((m * 100 + k) as u64);
+        let (owner, admins) = world(m, &mut rng);
+        let names = roles(k);
+        group.bench_with_input(
+            BenchmarkId::new("drbac_setup", format!("m{m}k{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| black_box(drbac_encoding(&owner, &admins, &names).unwrap().setup.len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("phantom_setup", format!("m{m}k{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        phantom_encoding(&owner, &admins, &names)
+                            .unwrap()
+                            .setup
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encodings
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared helpers for the dRBAC benchmark harness.
+//!
+//! The paper (ICDCS 2002) has no quantitative evaluation section; its
+//! tables are syntax tables and its figures are architecture diagrams.
+//! The benches in `benches/` therefore (a) time the reproduction of each
+//! table/figure's *behaviour*, and (b) measure the paper's qualitative
+//! performance claims (§3.1.3, §4.2.3, §6). Count-based results are
+//! printed as tables on stderr at bench start so `cargo bench` output
+//! contains the full experiment record; EXPERIMENTS.md snapshots them.
+
+/// Prints an experiment table header (markdown-ish, greppable).
+pub fn table_header(experiment: &str, columns: &[&str]) {
+    eprintln!("\n### {experiment}");
+    eprintln!("| {} |", columns.join(" | "));
+    eprintln!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Prints one experiment table row.
+pub fn table_row(cells: &[String]) {
+    eprintln!("| {} |", cells.join(" | "));
+}
+
+/// Formats a float with sensible precision for the tables.
+pub fn fmt(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}

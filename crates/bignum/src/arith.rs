@@ -1,0 +1,512 @@
+//! Core arithmetic on [`BigUint`]: addition, subtraction, multiplication,
+//! shifts, and division (Knuth Algorithm D).
+
+use std::ops::{Add, Mul, Rem, Shl, Shr, Sub};
+
+use crate::BigUint;
+
+impl BigUint {
+    /// `self + other`.
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut limbs = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let a = long.limbs[i] as u128;
+            let b = *short.limbs.get(i).unwrap_or(&0) as u128;
+            let sum = a + b + carry as u128;
+            limbs.push(sum as u64);
+            carry = (sum >> 64) as u64;
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    ///
+    /// ```
+    /// # use drbac_bignum::BigUint;
+    /// let a = BigUint::from(5u64);
+    /// let b = BigUint::from(7u64);
+    /// assert_eq!(b.checked_sub(&a), Some(BigUint::from(2u64)));
+    /// assert_eq!(a.checked_sub(&b), None);
+    /// ```
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.len());
+        let mut borrow = 0i128;
+        for i in 0..self.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(diff as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(limbs))
+    }
+
+    /// `self * other`: schoolbook below [`Self::KARATSUBA_THRESHOLD`]
+    /// limbs, Karatsuba above.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.len().min(other.len()) >= Self::KARATSUBA_THRESHOLD {
+            self.mul_karatsuba(other)
+        } else {
+            self.mul_schoolbook(other)
+        }
+    }
+
+    /// Operand size (in limbs) above which [`BigUint::mul_karatsuba`]
+    /// beats the schoolbook product (measured by the `bignum_ablation`
+    /// bench).
+    pub const KARATSUBA_THRESHOLD: usize = 24;
+
+    /// `self * other` by the O(n²) schoolbook method. Exposed for the
+    /// ablation benchmarks; [`BigUint::mul_ref`] picks automatically.
+    pub fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u64; self.len() + other.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + limbs[i + j] as u128 + carry as u128;
+                limbs[i + j] = t as u64;
+                carry = (t >> 64) as u64;
+            }
+            limbs[i + other.len()] = carry;
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// `self * other` by Karatsuba's O(n^1.585) split:
+    /// `(a1·B + a0)(b1·B + b0) = z2·B² + (z1 − z2 − z0)·B + z0` with three
+    /// recursive half-size products. Exposed for the ablation benchmarks.
+    pub fn mul_karatsuba(&self, other: &BigUint) -> BigUint {
+        let n = self.len().max(other.len());
+        if self.len().min(other.len()) < Self::KARATSUBA_THRESHOLD {
+            return self.mul_schoolbook(other);
+        }
+        let half = n / 2;
+        let (a0, a1) = self.split_at_limb(half);
+        let (b0, b1) = other.split_at_limb(half);
+
+        let z0 = a0.mul_ref(&b0);
+        let z2 = a1.mul_ref(&b1);
+        let z1 = (&a0 + &a1).mul_ref(&(&b0 + &b1));
+        // middle = z1 - z2 - z0 (non-negative by construction)
+        let middle = (&z1 - &z2)
+            .checked_sub(&z0)
+            .expect("karatsuba middle term is non-negative");
+
+        let mut acc = z2.shl_bits(half * 128);
+        acc = &acc + &middle.shl_bits(half * 64);
+        &acc + &z0
+    }
+
+    /// Splits into (low `at` limbs, the rest).
+    fn split_at_limb(&self, at: usize) -> (BigUint, BigUint) {
+        if at >= self.len() {
+            return (self.clone(), BigUint::zero());
+        }
+        let low = BigUint::from_limbs(self.limbs[..at].to_vec());
+        let high = BigUint::from_limbs(self.limbs[at..].to_vec());
+        (low, high)
+    }
+
+    /// `self * m` for a single limb.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        let mut limbs = Vec::with_capacity(self.len() + 1);
+        let mut carry = 0u64;
+        for &a in &self.limbs {
+            let t = a as u128 * m as u128 + carry as u128;
+            limbs.push(t as u64);
+            carry = (t >> 64) as u64;
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// `(self / d, self % d)` for a single limb divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn divrem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0u64; self.len()];
+        let mut rem = 0u64;
+        for i in (0..self.len()).rev() {
+            let cur = ((rem as u128) << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = (cur % d as u128) as u64;
+        }
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl_bits(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr_bits(&self, n: usize) -> BigUint {
+        let limb_shift = n / 64;
+        if limb_shift >= self.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// `(self / divisor, self % divisor)` via Knuth Algorithm D.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.len() == 1 {
+            let (q, r) = self.divrem_u64(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl_bits(shift);
+        let v = divisor.shl_bits(shift);
+        let n = v.len();
+        let m = u.len() - n;
+
+        let mut un: Vec<u64> = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs
+        let vn = &v.limbs;
+        let v_top = vn[n - 1];
+        let v_second = vn[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate quotient digit.
+            let numerator = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = numerator / v_top as u128;
+            let mut rhat = numerator % v_top as u128;
+            while qhat >= 1u128 << 64
+                || qhat * v_second as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top as u128;
+                if rhat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply and subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                if sub < 0 {
+                    un[j + i] = (sub + (1i128 << 64)) as u64;
+                    borrow = 1;
+                } else {
+                    un[j + i] = sub as u64;
+                    borrow = 0;
+                }
+            }
+            let sub = un[j + n] as i128 - carry as i128 - borrow;
+            if sub < 0 {
+                // qhat was one too large: add back.
+                un[j + n] = (sub + (1i128 << 64)) as u64;
+                qhat -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let t = un[j + i] as u128 + vn[i] as u128 + carry2;
+                    un[j + i] = t as u64;
+                    carry2 = t >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u64);
+            } else {
+                un[j + n] = sub as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        let quotient = BigUint::from_limbs(q);
+        let remainder = BigUint::from_limbs(un[..n].to_vec()).shr_bits(shift);
+        (quotient, remainder)
+    }
+
+    /// `self % modulus`.
+    pub fn rem_ref(&self, modulus: &BigUint) -> BigUint {
+        self.divrem(modulus).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $imp:ident, $out:ty) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = $out;
+            fn $method(self, rhs: &BigUint) -> $out {
+                self.$imp(rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = $out;
+            fn $method(self, rhs: BigUint) -> $out {
+                (&self).$imp(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = $out;
+            fn $method(self, rhs: &BigUint) -> $out {
+                (&self).$imp(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = $out;
+            fn $method(self, rhs: BigUint) -> $out {
+                self.$imp(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref, BigUint);
+forward_binop!(Mul, mul, mul_ref, BigUint);
+forward_binop!(Rem, rem, rem_ref, BigUint);
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub<BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, n: usize) -> BigUint {
+        self.shl_bits(n)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, n: usize) -> BigUint {
+        self.shr_bits(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+    use proptest::prelude::*;
+
+    fn big(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = big("ffffffffffffffffffffffffffffffff");
+        let one = BigUint::one();
+        assert_eq!(&a + &one, big("100000000000000000000000000000000"));
+    }
+
+    #[test]
+    fn sub_borrow_chain() {
+        let a = big("100000000000000000000000000000000");
+        let one = BigUint::one();
+        assert_eq!(&a - &one, big("ffffffffffffffffffffffffffffffff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::one() - &BigUint::from(2u64);
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = big("ffffffffffffffff");
+        assert_eq!(&a * &a, big("fffffffffffffffe0000000000000001"));
+        assert_eq!(&a * &BigUint::zero(), BigUint::zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("1");
+        assert_eq!(
+            a.shl_bits(130).to_hex(),
+            "400000000000000000000000000000000"
+        );
+        assert_eq!(a.shl_bits(130).shr_bits(130), a);
+        assert_eq!(a.shr_bits(1), BigUint::zero());
+        assert_eq!(big("ff00").shr_bits(8), big("ff"));
+    }
+
+    #[test]
+    fn divrem_small_divisor() {
+        let a: BigUint = "123456789012345678901234567890".parse().unwrap();
+        let (q, r) = a.divrem_u64(1_000_000_007);
+        assert_eq!(&q.mul_u64(1_000_000_007) + &BigUint::from(r), a);
+    }
+
+    #[test]
+    fn divrem_multi_limb() {
+        let a = big("123456789abcdef0123456789abcdef0123456789abcdef");
+        let d = big("fedcba9876543210fedcba98");
+        let (q, r) = a.divrem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn divrem_requires_add_back_case() {
+        // Constructed to trigger the rare "add back" branch of Algorithm D:
+        // u = 2^128 - 1, v = 2^64 + 3.
+        let u = big("ffffffffffffffffffffffffffffffff");
+        let v = big("10000000000000003");
+        let (q, r) = u.divrem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().divrem(&BigUint::zero());
+    }
+
+    fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+        prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_round_trip(a in arb_biguint(6), b in arb_biguint(6)) {
+            let sum = &a + &b;
+            prop_assert_eq!(&sum - &b, a.clone());
+            prop_assert_eq!(&sum - &a, b);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in arb_biguint(4), b in arb_biguint(4)) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn prop_karatsuba_matches_schoolbook(
+            a in arb_biguint(80),
+            b in arb_biguint(80),
+        ) {
+            prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+        }
+
+        #[test]
+        fn prop_modpow_naive_matches_montgomery(
+            a in arb_biguint(3),
+            e in 0u64..500,
+            mut m in arb_biguint(2),
+        ) {
+            m.limbs.push(7);
+            if m.is_even() { m = &m + &BigUint::one(); }
+            let e = BigUint::from(e);
+            prop_assert_eq!(a.modpow_naive(&e, &m), a.modpow(&e, &m));
+        }
+
+        #[test]
+        fn prop_divrem_invariant(a in arb_biguint(8), b in arb_biguint(4)) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.divrem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_biguint(3), b in arb_biguint(3), c in arb_biguint(3)) {
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn prop_shift_is_mul_by_power_of_two(a in arb_biguint(4), n in 0usize..200) {
+            let shifted = a.shl_bits(n);
+            let pow = BigUint::one().shl_bits(n);
+            prop_assert_eq!(shifted, &a * &pow);
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(a in arb_biguint(6)) {
+            prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+        }
+
+        #[test]
+        fn prop_decimal_round_trip(a in arb_biguint(4)) {
+            prop_assert_eq!(a.to_string().parse::<BigUint>().unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Primality testing and random number generation.
+//!
+//! Used by `drbac-crypto` to validate the hard-coded Schnorr group
+//! parameters and to generate fresh (small, test-sized) groups.
+
+use rand::Rng;
+
+use crate::BigUint;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Uniformly random [`BigUint`] in `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_biguint_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    let limbs = bits.div_ceil(64);
+    let top_mask = if bits.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (bits % 64)) - 1
+    };
+    // Rejection sampling; expected < 2 iterations.
+    loop {
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        if let Some(top) = v.last_mut() {
+            *top &= top_mask;
+        }
+        let candidate = BigUint::from_limbs(v);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random witnesses
+/// (plus deterministic trial division by small primes).
+///
+/// A composite passes with probability at most 4^-rounds; `rounds = 32` is
+/// overwhelming for the sizes used here.
+///
+/// # Example
+///
+/// ```
+/// use drbac_bignum::{is_probable_prime, BigUint};
+/// let mut rng = rand::thread_rng();
+/// assert!(is_probable_prime(&BigUint::from(65537u64), 16, &mut rng));
+/// assert!(!is_probable_prime(&BigUint::from(65536u64), 16, &mut rng));
+/// ```
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if n < &BigUint::from(2u64) {
+        return false;
+    }
+    for &p in SMALL_PRIMES {
+        let p_big = BigUint::from(p);
+        if n == &p_big {
+            return true;
+        }
+        if n.rem_ref(&p_big).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let s = {
+        let mut s = 0usize;
+        while !n_minus_1.bit(s) {
+            s += 1;
+        }
+        s
+    };
+    let d = n_minus_1.shr_bits(s);
+
+    let two = BigUint::from(2u64);
+    let n_minus_2 = n - &two;
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2]
+        let a = &random_biguint_below(rng, &(&n_minus_2 - &one)) + &two;
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.modpow(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "a prime needs at least 2 bits");
+    loop {
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        // Force exact bit length and oddness.
+        let top_bit = (bits - 1) % 64;
+        let last = limbs - 1;
+        v[last] &= if top_bit == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (top_bit + 1)) - 1
+        };
+        v[last] |= 1u64 << top_bit;
+        v[0] |= 1;
+        let candidate = BigUint::from_limbs(v);
+        if is_probable_prime(&candidate, 32, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let primes = [2u64, 3, 5, 97, 65537, (1 << 61) - 1];
+        for p in primes {
+            assert!(
+                is_probable_prime(&BigUint::from(p), 32, &mut rng),
+                "{p} is prime"
+            );
+        }
+        let composites = [0u64, 1, 4, 100, 65535, 561 /* Carmichael */, 6601];
+        for c in composites {
+            assert!(
+                !is_probable_prime(&BigUint::from(c), 32, &mut rng),
+                "{c} is composite"
+            );
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = BigUint::from_hex("7fffffffffffffffffffffffffffffff").unwrap();
+        assert!(is_probable_prime(&p, 16, &mut rng));
+        let q = &p - &BigUint::from(2u64);
+        assert!(!is_probable_prime(&q, 16, &mut rng));
+    }
+
+    #[test]
+    fn random_below_stays_below() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bound = BigUint::from_hex("1000000000000000000000001").unwrap();
+        for _ in 0..200 {
+            assert!(random_biguint_below(&mut rng, &bound) < bound);
+        }
+        // Tiny bound: only 0 possible.
+        assert!(random_biguint_below(&mut rng, &BigUint::one()).is_zero());
+    }
+
+    #[test]
+    fn random_prime_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for bits in [8usize, 16, 32, 64, 96] {
+            let p = random_prime(&mut rng, bits);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+}

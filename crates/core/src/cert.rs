@@ -1,0 +1,287 @@
+//! Signed delegation certificates.
+
+use std::fmt;
+
+use drbac_crypto::{sha256, PublicKey, Signature};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Timestamp;
+use crate::delegation::Delegation;
+use crate::entity::{EntityId, LocalEntity};
+use crate::error::ValidationError;
+
+/// Content-addressed identity of a delegation: the SHA-256 of its
+/// canonical wire bytes. Two structurally identical delegations share an
+/// id; reissues are distinguished by the serial field inside the body.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DelegationId(pub [u8; 32]);
+
+impl DelegationId {
+    /// Computes the id of a delegation body.
+    pub fn of(delegation: &Delegation) -> Self {
+        DelegationId(sha256(&delegation.wire_bytes()))
+    }
+}
+
+impl fmt::Display for DelegationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DelegationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DelegationId({self})")
+    }
+}
+
+/// A delegation signed by its issuer: the credential that circulates
+/// between wallets.
+///
+/// # Example
+///
+/// ```
+/// use drbac_core::{LocalEntity, Node, Timestamp};
+/// use drbac_crypto::SchnorrGroup;
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let a = LocalEntity::generate("A", SchnorrGroup::test_256(), &mut rng);
+/// let b = LocalEntity::generate("B", SchnorrGroup::test_256(), &mut rng);
+/// let cert = a.delegate(Node::entity(&b), Node::role(a.role("r"))).sign(&a)?;
+/// assert!(cert.verify(Timestamp(0)).is_ok());
+/// # Ok::<(), drbac_core::ValidationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignedDelegation {
+    delegation: Delegation,
+    issuer_key: PublicKey,
+    signature: Signature,
+}
+
+impl SignedDelegation {
+    /// Signs `delegation` with `issuer`'s key.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::WrongSigner`] if `issuer` is not the delegation's
+    /// named issuer.
+    pub fn sign(delegation: Delegation, issuer: &LocalEntity) -> Result<Self, ValidationError> {
+        if issuer.id() != delegation.issuer() {
+            return Err(ValidationError::WrongSigner {
+                expected: delegation.issuer(),
+                got: issuer.id(),
+            });
+        }
+        let signature = issuer.sign_bytes(&delegation.wire_bytes());
+        Ok(SignedDelegation {
+            delegation,
+            issuer_key: issuer.public_key().clone(),
+            signature,
+        })
+    }
+
+    /// The delegation body.
+    pub fn delegation(&self) -> &Delegation {
+        &self.delegation
+    }
+
+    /// The issuer's public key as attached to the credential.
+    pub fn issuer_key(&self) -> &PublicKey {
+        &self.issuer_key
+    }
+
+    /// The content-addressed id.
+    pub fn id(&self) -> DelegationId {
+        DelegationId::of(&self.delegation)
+    }
+
+    /// Serializes the full credential (body, issuer key, signature) into
+    /// its canonical wire form, suitable for transmission or storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::wire::{Encode, Writer};
+        let mut w = Writer::tagged(b"drbac-cert-v1");
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Deserializes a credential produced by [`SignedDelegation::to_bytes`].
+    /// The result is structurally valid but **not yet verified** — call
+    /// [`SignedDelegation::verify`] before trusting it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::DecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::wire::DecodeError> {
+        use crate::wire::{Decode, Reader};
+        let mut r = Reader::tagged(bytes, b"drbac-cert-v1")?;
+        let cert = SignedDelegation::decode(&mut r)?;
+        r.finish()?;
+        Ok(cert)
+    }
+
+    /// Verifies the credential in isolation: the attached key matches the
+    /// named issuer, the signature covers the canonical bytes, and the
+    /// delegation has not expired at `now`. (Third-party *authority* is a
+    /// proof-level property; see [`crate::ProofValidator`].)
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError`] for the first failed check.
+    pub fn verify(&self, now: Timestamp) -> Result<(), ValidationError> {
+        let signer = EntityId(self.issuer_key.fingerprint());
+        if signer != self.delegation.issuer() {
+            return Err(ValidationError::WrongSigner {
+                expected: self.delegation.issuer(),
+                got: signer,
+            });
+        }
+        if !self
+            .issuer_key
+            .verify(&self.delegation.wire_bytes(), &self.signature)
+        {
+            return Err(ValidationError::BadSignature);
+        }
+        if let Some(at) = self.delegation.expires() {
+            if now > at {
+                return Err(ValidationError::Expired { at, now });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl crate::wire::Encode for SignedDelegation {
+    fn encode(&self, w: &mut crate::wire::Writer) {
+        self.delegation.encode(w);
+        self.issuer_key.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl crate::wire::Decode for SignedDelegation {
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::DecodeError> {
+        let delegation = Delegation::decode(r)?;
+        let issuer_key = PublicKey::decode(r)?;
+        let signature = Signature::decode(r)?;
+        Ok(SignedDelegation {
+            delegation,
+            issuer_key,
+            signature,
+        })
+    }
+}
+
+impl fmt::Display for SignedDelegation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} #{}", self.delegation, self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Node;
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn local(name: &str, seed: u64) -> LocalEntity {
+        LocalEntity::generate(
+            name,
+            SchnorrGroup::test_256(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn sign_requires_matching_issuer() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let d = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .build();
+        assert!(matches!(
+            SignedDelegation::sign(d.clone(), &b),
+            Err(ValidationError::WrongSigner { .. })
+        ));
+        assert!(SignedDelegation::sign(d, &a).is_ok());
+    }
+
+    #[test]
+    fn verify_detects_tampering() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let cert = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        assert!(cert.verify(Timestamp(0)).is_ok());
+
+        // Tamper with the body: signature no longer matches.
+        let mut tampered = cert.clone();
+        tampered.delegation.serial = 99;
+        assert_eq!(
+            tampered.verify(Timestamp(0)),
+            Err(ValidationError::BadSignature)
+        );
+
+        // Swap in a different (valid) key: signer mismatch is caught first.
+        let mut swapped = cert.clone();
+        swapped.issuer_key = b.public_key().clone();
+        assert!(matches!(
+            swapped.verify(Timestamp(0)),
+            Err(ValidationError::WrongSigner { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_enforces_expiry() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let cert = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .expires(Timestamp(100))
+            .sign(&a)
+            .unwrap();
+        assert!(cert.verify(Timestamp(100)).is_ok());
+        assert!(matches!(
+            cert.verify(Timestamp(101)),
+            Err(ValidationError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn id_is_content_addressed() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let c1 = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let c2 = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        assert_eq!(c1.id(), c2.id());
+        let c3 = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .serial(1)
+            .sign(&a)
+            .unwrap();
+        assert_ne!(c1.id(), c3.id());
+    }
+
+    #[test]
+    fn display_contains_id() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let cert = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        assert!(cert.to_string().contains('#'));
+    }
+}

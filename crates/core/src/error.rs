@@ -1,0 +1,204 @@
+//! Error types for the dRBAC model.
+
+use std::fmt;
+
+use crate::attr::AttrOp;
+use crate::cert::DelegationId;
+use crate::clock::Timestamp;
+use crate::entity::EntityId;
+
+/// Errors constructing model values (names, operands, delegations).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A role or attribute name failed validation.
+    InvalidName(String),
+    /// An attribute operand was outside its operator's monotone range.
+    InvalidOperand {
+        /// The operator the operand was checked against.
+        op: AttrOp,
+        /// The offending operand.
+        operand: f64,
+    },
+    /// A delegation object must be a role-like node, not a bare entity.
+    ObjectNotRoleLike(String),
+    /// A delegation subject and object were identical (vacuous).
+    SelfLoop(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidName(n) => {
+                write!(f, "invalid name {n:?} (want 1-64 chars of [A-Za-z0-9_-])")
+            }
+            ModelError::InvalidOperand { op, operand } => {
+                write!(f, "operand {operand} out of range for operator {op}")
+            }
+            ModelError::ObjectNotRoleLike(n) => {
+                write!(f, "delegation object {n} must be a role, not a bare entity")
+            }
+            ModelError::SelfLoop(n) => write!(f, "delegation from {n} to itself is vacuous"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors validating certificates and proofs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The signing key does not belong to the entity that must authorize
+    /// this credential.
+    WrongSigner {
+        /// Entity whose signature was required.
+        expected: EntityId,
+        /// Entity that actually signed.
+        got: EntityId,
+    },
+    /// The cryptographic signature failed verification.
+    BadSignature,
+    /// The credential expired before the validation time.
+    Expired {
+        /// Expiration instant.
+        at: Timestamp,
+        /// Validation instant.
+        now: Timestamp,
+    },
+    /// A proof chain's adjacent steps do not connect.
+    BrokenChain {
+        /// Index of the step whose object does not match the next subject.
+        position: usize,
+    },
+    /// A proof with no steps for distinct subject and object.
+    EmptyProof,
+    /// A third-party delegation (or foreign attribute clause) lacks a
+    /// support proof granting the issuer the needed right.
+    MissingSupport {
+        /// Issuer needing authorization.
+        issuer: EntityId,
+        /// Description of the right that was not proven.
+        needed: String,
+    },
+    /// A support proof proves the wrong statement.
+    WrongSupport {
+        /// What the support proof was expected to prove.
+        expected: String,
+        /// What it actually proves.
+        got: String,
+    },
+    /// Support-proof recursion exceeded the configured depth limit.
+    SupportDepthExceeded,
+    /// A delegation's transitive-trust limit was exceeded: more
+    /// delegations extend the grant than its issuer allowed.
+    DepthExceeded {
+        /// The issuer-set extension limit.
+        limit: u64,
+        /// How many delegations actually extend the grant in this proof.
+        extensions: u64,
+    },
+    /// Support proofs refer back to a delegation already being validated.
+    SupportCycle,
+    /// A delegation in the proof has been revoked.
+    Revoked(DelegationId),
+    /// The accumulated attributes violate a query constraint.
+    ConstraintViolated(String),
+    /// The proof does not connect the requested subject/object pair.
+    TargetMismatch {
+        /// Requested endpoint rendering.
+        expected: String,
+        /// Endpoint the proof actually has.
+        got: String,
+    },
+    /// A model-level invariant was violated inside a credential.
+    Model(ModelError),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::WrongSigner { expected, got } => {
+                write!(
+                    f,
+                    "credential must be signed by {expected}, was signed by {got}"
+                )
+            }
+            ValidationError::BadSignature => f.write_str("signature verification failed"),
+            ValidationError::Expired { at, now } => {
+                write!(f, "credential expired at {at}, now {now}")
+            }
+            ValidationError::BrokenChain { position } => {
+                write!(
+                    f,
+                    "proof chain broken between steps {position} and {}",
+                    position + 1
+                )
+            }
+            ValidationError::EmptyProof => f.write_str("proof has no delegations"),
+            ValidationError::MissingSupport { issuer, needed } => {
+                write!(f, "issuer {issuer} lacks a support proof for {needed}")
+            }
+            ValidationError::WrongSupport { expected, got } => {
+                write!(f, "support proof proves {got}, expected {expected}")
+            }
+            ValidationError::SupportDepthExceeded => f.write_str("support proof nesting too deep"),
+            ValidationError::DepthExceeded { limit, extensions } => write!(
+                f,
+                "delegation allows {limit} further extensions but {extensions} were used"
+            ),
+            ValidationError::SupportCycle => f.write_str("support proofs form a cycle"),
+            ValidationError::Revoked(id) => write!(f, "delegation {id} has been revoked"),
+            ValidationError::ConstraintViolated(c) => {
+                write!(f, "attribute constraint violated: {c}")
+            }
+            ValidationError::TargetMismatch { expected, got } => {
+                write!(f, "proof connects {got}, query asked for {expected}")
+            }
+            ValidationError::Model(e) => write!(f, "invalid credential contents: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ValidationError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ValidationError {
+    fn from(e: ModelError) -> Self {
+        ValidationError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_crypto::KeyFingerprint;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::InvalidName("bad name".into());
+        assert!(e.to_string().starts_with("invalid name"));
+        let v = ValidationError::Expired {
+            at: Timestamp(5),
+            now: Timestamp(9),
+        };
+        assert!(v.to_string().contains("t5"));
+        let w = ValidationError::WrongSigner {
+            expected: EntityId(KeyFingerprint([0; 32])),
+            got: EntityId(KeyFingerprint([1; 32])),
+        };
+        assert!(w.to_string().contains("signed"));
+    }
+
+    #[test]
+    fn model_error_converts_and_sources() {
+        use std::error::Error;
+        let v: ValidationError = ModelError::SelfLoop("x".into()).into();
+        assert!(v.source().is_some());
+        assert!(ValidationError::BadSignature.source().is_none());
+    }
+}

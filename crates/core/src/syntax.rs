@@ -1,0 +1,696 @@
+//! Textual syntax for delegations: the paper's bracket notation, parsed
+//! and rendered with human-readable entity names.
+//!
+//! The paper writes delegations as
+//!
+//! ```text
+//! [Maria -> BigISP.member] Mark
+//! [BigISP.memberServices -> BigISP.member'] BigISP
+//! [BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila
+//! [AirNet.mktg -> AirNet.storage -= '] AirNet
+//! ```
+//!
+//! [`parse_delegation`] turns that notation (plus optional
+//! `<expiry: N>` / `<depth: N>` annotations) into a [`Delegation`] body,
+//! resolving names through a [`SyntaxContext`]; [`render_delegation`]
+//! does the reverse. The arrow may be written `->` or `→`.
+//!
+//! # Example
+//!
+//! ```
+//! use drbac_core::syntax::{parse_delegation, SyntaxContext};
+//! use drbac_core::{DelegationKind, LocalEntity};
+//! use drbac_crypto::SchnorrGroup;
+//! # use rand::SeedableRng;
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! # let g = SchnorrGroup::test_256();
+//! let big_isp = LocalEntity::generate("BigISP", g.clone(), &mut rng);
+//! let mark = LocalEntity::generate("Mark", g.clone(), &mut rng);
+//! let maria = LocalEntity::generate("Maria", g, &mut rng);
+//!
+//! let mut ctx = SyntaxContext::new();
+//! for e in [&big_isp, &mark, &maria] {
+//!     ctx.register_local(e);
+//! }
+//! let d = parse_delegation("[Maria -> BigISP.member] Mark", &ctx)?;
+//! assert_eq!(d.kind(), DelegationKind::ThirdParty);
+//! let cert = drbac_core::SignedDelegation::sign(d, &mark)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::attr::{AttrName, AttrOp, AttrRef};
+use crate::delegation::{Delegation, DelegationBuilder};
+use crate::entity::{EntityId, LocalEntity};
+use crate::role::RoleName;
+use crate::{Node, Timestamp};
+
+/// Error parsing the textual delegation syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where the problem was noticed.
+    pub at: usize,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Name-resolution context: maps display names to entity identities and
+/// remembers each attribute's operator binding.
+#[derive(Debug, Clone, Default)]
+pub struct SyntaxContext {
+    entities: HashMap<String, EntityId>,
+    reverse: HashMap<EntityId, String>,
+    attr_ops: HashMap<(EntityId, String), AttrOp>,
+}
+
+impl SyntaxContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entity under a display name.
+    pub fn register(&mut self, name: impl Into<String>, entity: EntityId) {
+        let name = name.into();
+        self.reverse.insert(entity, name.clone());
+        self.entities.insert(name, entity);
+    }
+
+    /// Registers a [`LocalEntity`] under its own display name.
+    pub fn register_local(&mut self, entity: &LocalEntity) {
+        self.register(entity.name().to_string(), entity.id());
+    }
+
+    /// Resolves a display name.
+    pub fn entity(&self, name: &str) -> Option<EntityId> {
+        self.entities.get(name).copied()
+    }
+
+    /// The display name for an entity, if registered.
+    pub fn name_of(&self, entity: EntityId) -> Option<&str> {
+        self.reverse.get(&entity).map(String::as_str)
+    }
+
+    /// Records an attribute's operator binding so clauses may omit
+    /// explicit context. (Clauses carry the operator inline, so this is
+    /// consistency-checked rather than required.)
+    pub fn register_attr(&mut self, entity: EntityId, attr: impl Into<String>, op: AttrOp) {
+        self.attr_ops.insert((entity, attr.into()), op);
+    }
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> SyntaxError {
+        SyntaxError {
+            message: message.into(),
+            at: self.pos,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), SyntaxError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {token:?}")))
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.rest().is_empty()
+    }
+
+    /// A name token: `[A-Za-z0-9_-]+`.
+    fn name(&mut self) -> Result<&'a str, SyntaxError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected a name"));
+        }
+        // `-` also begins the `-=` operator and `->` arrow: stop a name
+        // before those.
+        let mut end = end;
+        if let Some(dash) = rest[..end].find("-=") {
+            end = dash;
+        }
+        if let Some(dash) = rest[..end].find("->") {
+            end = dash;
+        }
+        if end == 0 {
+            return Err(self.error("expected a name"));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn number(&mut self) -> Result<f64, SyntaxError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let slice = &rest[..end];
+        let value: f64 = slice.parse().map_err(|_| self.error("expected a number"))?;
+        self.pos += end;
+        Ok(value)
+    }
+
+    fn arrow(&mut self) -> Result<(), SyntaxError> {
+        if self.eat("->") || self.eat("→") || self.eat("=>") {
+            Ok(())
+        } else {
+            Err(self.error("expected '->'"))
+        }
+    }
+
+    fn attr_op(&mut self) -> Option<AttrOp> {
+        if self.eat("-=") {
+            Some(AttrOp::Subtract)
+        } else if self.eat("*=") {
+            Some(AttrOp::Scale)
+        } else if self.eat("<=") {
+            Some(AttrOp::Min)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses a node: `Entity`, `Entity.role`, `Entity.role'`, or the
+/// attribute-assignment form `Entity.attr <op>= '`.
+pub fn parse_node(input: &str, ctx: &SyntaxContext) -> Result<Node, SyntaxError> {
+    let mut c = Cursor::new(input);
+    let node = node(&mut c, ctx)?;
+    if !c.at_end() {
+        return Err(c.error("unexpected trailing input"));
+    }
+    Ok(node)
+}
+
+fn node(c: &mut Cursor<'_>, ctx: &SyntaxContext) -> Result<Node, SyntaxError> {
+    let entity_name = c.name()?;
+    let entity = ctx
+        .entity(entity_name)
+        .ok_or_else(|| c.error(format!("unknown entity {entity_name:?}")))?;
+    if !c.eat(".") {
+        return Ok(Node::Entity(entity));
+    }
+    let local = c.name()?;
+    // Attribute-assignment object: `E.attr <op>= '`.
+    let save = c.pos;
+    if let Some(op) = c.attr_op() {
+        if c.eat("'") {
+            let attr_name = AttrName::new(local).map_err(|e| c.error(e.to_string()))?;
+            return Ok(Node::AttrAdmin(AttrRef::new(entity, attr_name, op)));
+        }
+        c.pos = save; // it was a clause operator, not an admin node
+    }
+    let role_name = RoleName::new(local).map_err(|e| c.error(e.to_string()))?;
+    let role = crate::Role::new(entity, role_name);
+    if c.eat("'") {
+        Ok(Node::RoleAdmin(role))
+    } else {
+        Ok(Node::Role(role))
+    }
+}
+
+/// Parses a full delegation in the paper's syntax (see module docs).
+///
+/// # Errors
+///
+/// [`SyntaxError`] with a byte offset for malformed input, unknown
+/// names, out-of-range operands, or invalid structure (entity object,
+/// self-loop).
+pub fn parse_delegation(input: &str, ctx: &SyntaxContext) -> Result<Delegation, SyntaxError> {
+    let mut c = Cursor::new(input);
+    c.expect("[")?;
+    let subject = node(&mut c, ctx)?;
+    c.arrow()?;
+    let object = node(&mut c, ctx)?;
+
+    let mut clauses: Vec<(AttrRef, f64)> = Vec::new();
+    if c.eat("with") {
+        loop {
+            let entity_name = c.name()?;
+            let entity = ctx
+                .entity(entity_name)
+                .ok_or_else(|| c.error(format!("unknown entity {entity_name:?}")))?;
+            c.expect(".")?;
+            let attr_name = c.name()?;
+            let op = c
+                .attr_op()
+                .ok_or_else(|| c.error("expected '-=', '*=' or '<='"))?;
+            let value = c.number()?;
+            let attr_name = AttrName::new(attr_name).map_err(|e| c.error(e.to_string()))?;
+            if let Some(&declared) = ctx.attr_ops.get(&(entity, attr_name.as_str().to_string())) {
+                if declared != op {
+                    return Err(c.error(format!(
+                        "attribute {attr_name} is bound to operator {declared}, not {op}"
+                    )));
+                }
+            }
+            clauses.push((AttrRef::new(entity, attr_name, op), value));
+            if !c.eat("and") {
+                break;
+            }
+        }
+    }
+
+    let mut expires: Option<Timestamp> = None;
+    let mut depth: Option<u64> = None;
+    while c.eat("<") {
+        if c.eat("expiry:") {
+            expires = Some(Timestamp(c.number()? as u64));
+        } else if c.eat("depth:") {
+            depth = Some(c.number()? as u64);
+        } else {
+            return Err(c.error("expected 'expiry:' or 'depth:' annotation"));
+        }
+        c.expect(">")?;
+    }
+
+    c.expect("]")?;
+    let issuer_name = c.name()?;
+    let issuer = ctx
+        .entity(issuer_name)
+        .ok_or_else(|| c.error(format!("unknown entity {issuer_name:?}")))?;
+    if !c.at_end() {
+        return Err(c.error("unexpected trailing input"));
+    }
+
+    let mut builder = DelegationBuilder::new(subject, object, issuer).map_err(|e| SyntaxError {
+        message: e.to_string(),
+        at: 0,
+    })?;
+    for (attr, value) in clauses {
+        builder = builder.with_attr(attr, value).map_err(|e| SyntaxError {
+            message: e.to_string(),
+            at: 0,
+        })?;
+    }
+    if let Some(at) = expires {
+        builder = builder.expires(at);
+    }
+    if let Some(d) = depth {
+        builder = builder.max_extension_depth(d);
+    }
+    Ok(builder.build())
+}
+
+fn render_node(node: &Node, ctx: &SyntaxContext) -> String {
+    let name = |e: EntityId| {
+        ctx.name_of(e)
+            .map(str::to_string)
+            .unwrap_or_else(|| e.to_string())
+    };
+    match node {
+        Node::Entity(e) => name(*e),
+        Node::Role(r) => format!("{}.{}", name(r.entity()), r.name()),
+        Node::RoleAdmin(r) => format!("{}.{}'", name(r.entity()), r.name()),
+        Node::AttrAdmin(a) => format!("{}.{} {} '", name(a.entity()), a.name(), a.op()),
+    }
+}
+
+/// Renders a delegation in the paper's syntax with display names from
+/// `ctx` (falling back to fingerprints for unregistered entities).
+/// `parse_delegation` ∘ `render_delegation` is the identity for
+/// registered names (see the round-trip tests).
+pub fn render_delegation(d: &Delegation, ctx: &SyntaxContext) -> String {
+    let name = |e: EntityId| {
+        ctx.name_of(e)
+            .map(str::to_string)
+            .unwrap_or_else(|| e.to_string())
+    };
+    let mut out = format!(
+        "[{} -> {}",
+        render_node(d.subject(), ctx),
+        render_node(d.object(), ctx)
+    );
+    for (i, clause) in d.clauses().iter().enumerate() {
+        let kw = if i == 0 { "with" } else { "and" };
+        out.push_str(&format!(
+            " {kw} {}.{} {} {}",
+            name(clause.attr().entity()),
+            clause.attr().name(),
+            clause.attr().op(),
+            clause.operand()
+        ));
+    }
+    if let Some(at) = d.expires() {
+        out.push_str(&format!(" <expiry: {}>", at.0));
+    }
+    if let Some(depth) = d.max_extension_depth() {
+        out.push_str(&format!(" <depth: {depth}>"));
+    }
+    out.push_str(&format!("] {}", name(d.issuer())));
+    out
+}
+
+/// Renders a proof as an indented tree: the primary chain step by step,
+/// with each step's support proofs nested beneath it.
+///
+/// ```text
+/// Maria => AirNet.access
+/// ├─ [Maria -> BigISP.member] Mark
+/// │    support: Mark => BigISP.member'
+/// │    ├─ [Mark -> BigISP.memberServices] BigISP
+/// │    └─ [BigISP.memberServices -> BigISP.member'] BigISP
+/// └─ ...
+/// ```
+pub fn render_proof(proof: &crate::Proof, ctx: &SyntaxContext) -> String {
+    let mut out = format!(
+        "{} => {}\n",
+        render_node(proof.subject(), ctx),
+        render_node(proof.object(), ctx)
+    );
+    render_steps(proof, ctx, "", &mut out);
+    out
+}
+
+fn render_steps(proof: &crate::Proof, ctx: &SyntaxContext, indent: &str, out: &mut String) {
+    let steps = proof.steps();
+    for (i, step) in steps.iter().enumerate() {
+        let last = i + 1 == steps.len();
+        let branch = if last { "└─" } else { "├─" };
+        let cont = if last { "   " } else { "│  " };
+        out.push_str(indent);
+        out.push_str(branch);
+        out.push(' ');
+        out.push_str(&render_delegation(step.cert().delegation(), ctx));
+        out.push('\n');
+        for support in step.supports() {
+            out.push_str(indent);
+            out.push_str(cont);
+            out.push_str(&format!(
+                " support: {} => {}\n",
+                render_node(support.subject(), ctx),
+                render_node(support.object(), ctx)
+            ));
+            let nested = format!("{indent}{cont} ");
+            render_steps(support, ctx, &nested, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelegationKind;
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fx {
+        big_isp: LocalEntity,
+        air_net: LocalEntity,
+        mark: LocalEntity,
+        maria: LocalEntity,
+        sheila: LocalEntity,
+        ctx: SyntaxContext,
+    }
+
+    fn fx() -> Fx {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = SchnorrGroup::test_256();
+        let big_isp = LocalEntity::generate("BigISP", g.clone(), &mut rng);
+        let air_net = LocalEntity::generate("AirNet", g.clone(), &mut rng);
+        let mark = LocalEntity::generate("Mark", g.clone(), &mut rng);
+        let maria = LocalEntity::generate("Maria", g.clone(), &mut rng);
+        let sheila = LocalEntity::generate("Sheila", g, &mut rng);
+        let mut ctx = SyntaxContext::new();
+        for e in [&big_isp, &air_net, &mark, &maria, &sheila] {
+            ctx.register_local(e);
+        }
+        Fx {
+            big_isp,
+            air_net,
+            mark,
+            maria,
+            sheila,
+            ctx,
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_table1_examples() {
+        let f = fx();
+        // (1) [Mark -> BigISP.memberServices] BigISP
+        let d = parse_delegation("[Mark -> BigISP.memberServices] BigISP", &f.ctx).unwrap();
+        assert_eq!(d.subject(), &Node::entity(&f.mark));
+        assert_eq!(d.kind(), DelegationKind::SelfCertified);
+        // (2) [BigISP.memberServices -> BigISP.member'] BigISP
+        let d =
+            parse_delegation("[BigISP.memberServices -> BigISP.member'] BigISP", &f.ctx).unwrap();
+        assert!(d.is_assignment());
+        assert_eq!(d.object(), &Node::role_admin(f.big_isp.role("member")));
+        // (3) [Maria -> BigISP.member] Mark
+        let d = parse_delegation("[Maria -> BigISP.member] Mark", &f.ctx).unwrap();
+        assert_eq!(d.kind(), DelegationKind::ThirdParty);
+        assert_eq!(d.issuer(), f.mark.id());
+    }
+
+    #[test]
+    fn parses_the_papers_table2_examples() {
+        let f = fx();
+        // (4) with valued attributes.
+        let d = parse_delegation(
+            "[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila",
+            &f.ctx,
+        )
+        .unwrap();
+        assert_eq!(d.clauses().len(), 2);
+        assert_eq!(d.clauses()[0].attr().op(), AttrOp::Min);
+        assert_eq!(d.clauses()[0].operand(), 100.0);
+        assert_eq!(d.clauses()[1].attr().op(), AttrOp::Subtract);
+        assert_eq!(d.issuer(), f.sheila.id());
+
+        // (5) attribute-assignment: [AirNet.mktg -> AirNet.storage -= '] AirNet
+        let d = parse_delegation("[AirNet.mktg -> AirNet.storage -= '] AirNet", &f.ctx).unwrap();
+        assert!(matches!(d.object(), Node::AttrAdmin(a) if a.op() == AttrOp::Subtract));
+        assert_eq!(d.kind(), DelegationKind::SelfCertified);
+    }
+
+    #[test]
+    fn parses_scale_and_unicode_arrow_and_annotations() {
+        let f = fx();
+        let d = parse_delegation(
+            "[BigISP.member → AirNet.member with AirNet.hours *= 0.3 <expiry: 500> <depth: 2>] Sheila",
+            &f.ctx,
+        )
+        .unwrap();
+        assert_eq!(d.clauses()[0].attr().op(), AttrOp::Scale);
+        assert_eq!(d.expires(), Some(Timestamp(500)));
+        assert_eq!(d.max_extension_depth(), Some(2));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let f = fx();
+        let inputs = [
+            "[Maria -> BigISP.member] Mark",
+            "[BigISP.memberServices -> BigISP.member'] BigISP",
+            "[AirNet.mktg -> AirNet.storage -= '] AirNet",
+            "[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila",
+            "[Maria -> BigISP.member <expiry: 99> <depth: 1>] Mark",
+        ];
+        for input in inputs {
+            let d = parse_delegation(input, &f.ctx).unwrap();
+            let rendered = render_delegation(&d, &f.ctx);
+            let reparsed = parse_delegation(&rendered, &f.ctx).unwrap();
+            assert_eq!(
+                d, reparsed,
+                "round trip failed for {input:?} -> {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_proof_shows_nested_supports() {
+        let f = fx();
+        let member = f.big_isp.role("member");
+        let services = f.big_isp.role("memberServices");
+        let d1 = crate::SignedDelegation::sign(
+            parse_delegation("[Mark -> BigISP.memberServices] BigISP", &f.ctx).unwrap(),
+            &f.big_isp,
+        )
+        .unwrap();
+        let d2 = crate::SignedDelegation::sign(
+            parse_delegation("[BigISP.memberServices -> BigISP.member'] BigISP", &f.ctx).unwrap(),
+            &f.big_isp,
+        )
+        .unwrap();
+        let support =
+            crate::Proof::from_steps(vec![crate::ProofStep::new(d1), crate::ProofStep::new(d2)])
+                .unwrap();
+        let d3 = crate::SignedDelegation::sign(
+            parse_delegation("[Maria -> BigISP.member] Mark", &f.ctx).unwrap(),
+            &f.mark,
+        )
+        .unwrap();
+        let proof = crate::Proof::from_steps(vec![crate::ProofStep::new(d3).with_support(support)])
+            .unwrap();
+
+        let rendered = render_proof(&proof, &f.ctx);
+        assert!(
+            rendered.starts_with("Maria => BigISP.member\n"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("└─ [Maria -> BigISP.member] Mark"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("support: Mark => BigISP.member'"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("├─ [Mark -> BigISP.memberServices] BigISP"),
+            "{rendered}"
+        );
+        let _ = (member, services);
+    }
+
+    #[test]
+    fn parsed_delegations_sign_and_validate() {
+        let f = fx();
+        let d = parse_delegation("[Maria -> BigISP.member] BigISP", &f.ctx).unwrap();
+        let cert = crate::SignedDelegation::sign(d, &f.big_isp).unwrap();
+        assert!(cert.verify(Timestamp(0)).is_ok());
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let f = fx();
+        let err = parse_delegation("[Nobody -> BigISP.member] BigISP", &f.ctx).unwrap_err();
+        assert!(err.message.contains("unknown entity"), "{err}");
+        let err = parse_delegation("[Maria BigISP.member] BigISP", &f.ctx).unwrap_err();
+        assert!(err.message.contains("->"), "{err}");
+        let err = parse_delegation("[Maria -> Maria] BigISP", &f.ctx).unwrap_err();
+        assert!(err.message.contains("role"), "{err}");
+        let err = parse_delegation("[Maria -> BigISP.member] BigISP trailing", &f.ctx).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let err = parse_delegation(
+            "[Maria -> AirNet.member with AirNet.hours *= 1.5] Sheila",
+            &f.ctx,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn attr_op_binding_consistency_checked() {
+        let mut f = fx();
+        f.ctx.register_attr(f.air_net.id(), "BW", AttrOp::Min);
+        // Using the declared operator parses…
+        assert!(parse_delegation(
+            "[BigISP.member -> AirNet.member with AirNet.BW <= 50] Sheila",
+            &f.ctx
+        )
+        .is_ok());
+        // …a different operator is rejected (single-operator rule).
+        let err = parse_delegation(
+            "[BigISP.member -> AirNet.member with AirNet.BW -= 50] Sheila",
+            &f.ctx,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("bound to operator"), "{err}");
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Arbitrary input never panics the parser.
+            #[test]
+            fn parser_never_panics(input in ".{0,120}") {
+                let f = fx();
+                let _ = parse_delegation(&input, &f.ctx);
+                let _ = parse_node(&input, &f.ctx);
+            }
+
+            /// Bracket-soup near-miss inputs never panic either.
+            #[test]
+            fn bracket_soup_never_panics(
+                parts in prop::collection::vec(
+                    prop::sample::select(vec![
+                        "[", "]", "->", "→", "with", "and", "Maria", "BigISP",
+                        ".", "'", "member", "<=", "-=", "*=", "100", "<expiry:",
+                        "<depth:", ">", " ",
+                    ]),
+                    0..20,
+                )
+            ) {
+                let f = fx();
+                let input = parts.concat();
+                let _ = parse_delegation(&input, &f.ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_node_forms() {
+        let f = fx();
+        assert_eq!(parse_node("Maria", &f.ctx).unwrap(), Node::entity(&f.maria));
+        assert_eq!(
+            parse_node("BigISP.member", &f.ctx).unwrap(),
+            Node::role(f.big_isp.role("member"))
+        );
+        assert_eq!(
+            parse_node("BigISP.member'", &f.ctx).unwrap(),
+            Node::role_admin(f.big_isp.role("member"))
+        );
+        assert!(matches!(
+            parse_node("AirNet.BW <= '", &f.ctx).unwrap(),
+            Node::AttrAdmin(_)
+        ));
+        assert!(parse_node("Maria junk", &f.ctx).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! HMAC-SHA-256 (RFC 2104), for channel message authentication.
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// HMAC-SHA-256 of `msg` under `key`.
+///
+/// # Example
+///
+/// ```
+/// use drbac_crypto::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0..4], [0xf7, 0xbc, 0x83, 0xf4]);
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let digest = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        key_block[..32].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time-ish tag comparison (full-width accumulate; avoids the
+/// obvious early-exit timing channel).
+pub fn verify_hmac_sha256(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+    if tag.len() != 32 {
+        return false;
+    }
+    let expected = hmac_sha256(key, msg);
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test cases 1–4, 6, 7.
+    #[test]
+    fn rfc4231_vectors() {
+        // Case 1
+        assert_eq!(
+            hex(&hmac_sha256(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Case 2
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Case 3
+        assert_eq!(
+            hex(&hmac_sha256(&[0xaa; 20], &[0xdd; 50])),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+        // Case 4
+        let key: Vec<u8> = (1..=25).collect();
+        assert_eq!(
+            hex(&hmac_sha256(&key, &[0xcd; 50])),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+        // Case 6: key longer than block.
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+        // Case 7: long key and long data.
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm." as &[u8]
+            )),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_hmac_sha256(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify_hmac_sha256(b"k", b"m", &bad));
+        assert!(!verify_hmac_sha256(b"k", b"other", &tag));
+        assert!(!verify_hmac_sha256(b"other", b"m", &tag));
+        assert!(!verify_hmac_sha256(b"k", b"m", &tag[..31]));
+    }
+}

@@ -1,0 +1,413 @@
+//! Key pairs and public keys.
+
+use std::fmt;
+
+use drbac_bignum::{random_biguint_below, BigUint};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::KeyFingerprint;
+use crate::group::{GroupId, SchnorrGroup};
+use crate::sha256::Sha256;
+use crate::sign::Signature;
+
+/// A Schnorr secret key: an exponent `x` in `[1, q)`.
+///
+/// Holds its group so it can sign without extra context. The `Debug` impl
+/// redacts the exponent.
+#[derive(Clone)]
+pub struct SecretKey {
+    group: SchnorrGroup,
+    x: BigUint,
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecretKey")
+            .field("group", &self.group)
+            .field("x", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for SecretKey {
+    /// Best-effort scrubbing of the exponent on drop (clones and moves
+    /// may still leave copies; see [`drbac_bignum::BigUint::scrub`]).
+    fn drop(&mut self) {
+        self.x.scrub();
+    }
+}
+
+/// A Schnorr public key: `y = g^x mod p` in a named group.
+///
+/// # Example
+///
+/// ```
+/// use drbac_crypto::{KeyPair, SchnorrGroup};
+/// # use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let kp = KeyPair::generate(SchnorrGroup::test_256(), &mut rng);
+/// let pk = kp.public_key();
+/// assert!(pk.group().is_subgroup_element(pk.y()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "PublicKeyRepr", into = "PublicKeyRepr")]
+pub struct PublicKey {
+    group: SchnorrGroup,
+    y: BigUint,
+}
+
+/// Serde-friendly representation of a [`PublicKey`].
+#[derive(Serialize, Deserialize)]
+struct PublicKeyRepr {
+    group: GroupId,
+    /// `(p, q, g)` hex, present only for custom groups.
+    custom_params: Option<(String, String, String)>,
+    y: String,
+}
+
+impl From<PublicKey> for PublicKeyRepr {
+    fn from(pk: PublicKey) -> Self {
+        let custom_params = match pk.group.id() {
+            GroupId::Custom => Some((
+                pk.group.p().to_hex(),
+                pk.group.q().to_hex(),
+                pk.group.g().to_hex(),
+            )),
+            _ => None,
+        };
+        PublicKeyRepr {
+            group: pk.group.id(),
+            custom_params,
+            y: pk.y.to_hex(),
+        }
+    }
+}
+
+impl From<PublicKeyRepr> for PublicKey {
+    fn from(repr: PublicKeyRepr) -> Self {
+        let group = match repr.group {
+            GroupId::Test256 => SchnorrGroup::test_256(),
+            GroupId::Modp2048 => SchnorrGroup::modp_2048(),
+            GroupId::Custom => {
+                let (p, q, g) = repr.custom_params.unwrap_or_default();
+                SchnorrGroup::from_hex_parts(&p, &q, &g)
+            }
+        };
+        PublicKey {
+            group,
+            y: BigUint::from_hex(&repr.y).unwrap_or_default(),
+        }
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({}, {})", self.group.id(), self.fingerprint())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.fingerprint())
+    }
+}
+
+impl PublicKey {
+    /// Reassembles a public key from its parts (wire decoding). Check
+    /// [`PublicKey::is_valid`] before trusting a key received this way.
+    pub fn from_parts(group: SchnorrGroup, y: BigUint) -> Self {
+        PublicKey { group, y }
+    }
+
+    /// The group this key lives in.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The group element `y = g^x`.
+    pub fn y(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// Canonical byte encoding: domain tag, group id, `p`, `g`, and `y`,
+    /// all length-prefixed. Signatures and fingerprints bind to this.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"drbac-pk-v1");
+        let tag = match self.group.id() {
+            GroupId::Test256 => 1u8,
+            GroupId::Modp2048 => 2,
+            GroupId::Custom => 3,
+        };
+        out.push(tag);
+        for part in [self.group.p(), self.group.g(), &self.y] {
+            let bytes = part.to_bytes_be();
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// SHA-256 fingerprint of [`Self::canonical_bytes`]; the entity
+    /// identity in dRBAC.
+    pub fn fingerprint(&self) -> KeyFingerprint {
+        let mut h = Sha256::new();
+        h.update(&self.canonical_bytes());
+        KeyFingerprint(h.finalize())
+    }
+
+    /// Verifies a Schnorr signature over `msg`.
+    ///
+    /// Returns `false` for signatures from a different group, out-of-range
+    /// scalars, or any verification failure — never panics.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        sig.verify_with(&self.group, &self.y, self.fingerprint(), msg)
+    }
+
+    /// Structural validity: `y` is a proper subgroup element.
+    pub fn is_valid(&self) -> bool {
+        self.group.is_subgroup_element(&self.y)
+    }
+}
+
+impl SchnorrGroup {
+    /// Reconstructs a custom group from hex parts (used by serde).
+    /// Invalid input yields a degenerate group that fails all
+    /// verifications rather than panicking.
+    pub fn from_hex_parts(p: &str, q: &str, g: &str) -> SchnorrGroup {
+        let p = BigUint::from_hex(p).unwrap_or_else(|_| BigUint::from(3u64));
+        let p = if p.is_even() || p <= BigUint::from(2u64) {
+            BigUint::from(3u64)
+        } else {
+            p
+        };
+        let q = BigUint::from_hex(q).unwrap_or_else(|_| BigUint::one());
+        let g = BigUint::from_hex(g).unwrap_or_else(|_| BigUint::from(2u64));
+        SchnorrGroup::custom_from_parts(p, q, g)
+    }
+}
+
+/// A secret/public key pair for one entity.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair in `group`.
+    ///
+    /// ```
+    /// use drbac_crypto::{KeyPair, SchnorrGroup};
+    /// # use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    /// let a = KeyPair::generate(SchnorrGroup::test_256(), &mut rng);
+    /// let b = KeyPair::generate(SchnorrGroup::test_256(), &mut rng);
+    /// assert_ne!(a.public_key().fingerprint(), b.public_key().fingerprint());
+    /// ```
+    pub fn generate<R: Rng + ?Sized>(group: SchnorrGroup, rng: &mut R) -> Self {
+        let q_minus_1 = group.q() - &BigUint::one();
+        let x = &random_biguint_below(rng, &q_minus_1) + &BigUint::one();
+        Self::from_secret_exponent(group, x)
+    }
+
+    /// Builds a key pair from a known exponent `x` (reduced into `[1, q)`).
+    /// Useful for reproducible fixtures.
+    pub fn from_secret_exponent(group: SchnorrGroup, x: BigUint) -> Self {
+        let x = x.rem_ref(group.q());
+        let x = if x.is_zero() { BigUint::one() } else { x };
+        let y = group.pow_g(&x);
+        KeyPair {
+            public: PublicKey {
+                group: group.clone(),
+                y,
+            },
+            secret: SecretKey { group, x },
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The entity fingerprint of the public key.
+    pub fn fingerprint(&self) -> KeyFingerprint {
+        self.public.fingerprint()
+    }
+
+    /// Signs `msg` with a deterministic (hash-derived) nonce.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature::create(&self.secret.group, &self.secret.x, &self.public, msg)
+    }
+
+    /// Serializes the key pair (group and secret exponent) for keyring
+    /// storage. **The output contains the unencrypted secret key**;
+    /// protect the file accordingly.
+    pub fn export_secret(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"drbac-sk-v1");
+        let tag = match self.secret.group.id() {
+            GroupId::Test256 => 1u8,
+            GroupId::Modp2048 => 2,
+            GroupId::Custom => 3,
+        };
+        out.push(tag);
+        let mut put = |v: &BigUint| {
+            let b = v.to_bytes_be();
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(&b);
+        };
+        if self.secret.group.id() == GroupId::Custom {
+            put(self.secret.group.p());
+            put(self.secret.group.q());
+            put(self.secret.group.g());
+        }
+        put(&self.secret.x);
+        out
+    }
+
+    /// Restores a key pair from [`KeyPair::export_secret`] output.
+    /// Returns `None` for malformed input.
+    pub fn import_secret(bytes: &[u8]) -> Option<KeyPair> {
+        let rest = bytes.strip_prefix(b"drbac-sk-v1")?;
+        let (&tag, mut rest) = rest.split_first()?;
+        let take = |rest: &mut &[u8]| -> Option<BigUint> {
+            let (len, tail) = rest.split_at_checked(4)?;
+            let len = u32::from_be_bytes(len.try_into().ok()?) as usize;
+            let (value, tail) = tail.split_at_checked(len)?;
+            *rest = tail;
+            Some(BigUint::from_bytes_be(value))
+        };
+        let group = match tag {
+            1 => SchnorrGroup::test_256(),
+            2 => SchnorrGroup::modp_2048(),
+            3 => {
+                let p = take(&mut rest)?;
+                let q = take(&mut rest)?;
+                let g = take(&mut rest)?;
+                if p.is_even() || p.is_zero() {
+                    return None;
+                }
+                SchnorrGroup::custom_from_parts(p, q, g)
+            }
+            _ => return None,
+        };
+        let x = take(&mut rest)?;
+        if !rest.is_empty() || x.is_zero() {
+            return None;
+        }
+        Some(KeyPair::from_secret_exponent(group, x))
+    }
+
+    /// Diffie–Hellman shared secret with a peer key in the same group:
+    /// `SHA-256(tag ‖ peer_y^x)`. Both sides derive the same value, which
+    /// the switchboard uses to key its channel cipher.
+    ///
+    /// Returns `None` if the peer key is from a different group or is not
+    /// a valid subgroup element.
+    pub fn shared_secret(&self, peer: &PublicKey) -> Option<[u8; 32]> {
+        if peer.group() != &self.secret.group || !peer.is_valid() {
+            return None;
+        }
+        let s = self.secret.group.pow(peer.y(), &self.secret.x);
+        let mut h = Sha256::new();
+        h.update(b"drbac-dh-v1");
+        h.update(&s.to_bytes_be());
+        Some(h.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair(seed: u64) -> KeyPair {
+        KeyPair::generate(SchnorrGroup::test_256(), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn public_key_is_subgroup_element() {
+        assert!(pair(1).public_key().is_valid());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        let a = pair(1);
+        let b = pair(2);
+        assert_eq!(a.fingerprint(), a.public_key().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fixture_exponent_is_reproducible() {
+        let g = SchnorrGroup::test_256();
+        let a = KeyPair::from_secret_exponent(g.clone(), BigUint::from(42u64));
+        let b = KeyPair::from_secret_exponent(g, BigUint::from(42u64));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn zero_exponent_is_normalized() {
+        let g = SchnorrGroup::test_256();
+        let kp = KeyPair::from_secret_exponent(g.clone(), BigUint::zero());
+        assert_eq!(kp.public_key().y(), &g.pow_g(&BigUint::one()));
+    }
+
+    #[test]
+    fn debug_redacts_secret() {
+        let kp = pair(3);
+        let dbg = format!("{:?}", kp);
+        assert!(dbg.contains("<redacted>"));
+    }
+
+    #[test]
+    fn dh_shared_secret_is_symmetric_and_group_bound() {
+        let a = pair(21);
+        let b = pair(22);
+        let ab = a.shared_secret(b.public_key()).unwrap();
+        let ba = b.shared_secret(a.public_key()).unwrap();
+        assert_eq!(ab, ba, "both sides derive the same key");
+        let c = pair(23);
+        assert_ne!(
+            ab,
+            a.shared_secret(c.public_key()).unwrap(),
+            "distinct per peer"
+        );
+        // Cross-group keys are refused.
+        let modp = KeyPair::from_secret_exponent(SchnorrGroup::modp_2048(), BigUint::from(5u64));
+        assert!(a.shared_secret(modp.public_key()).is_none());
+    }
+
+    #[test]
+    fn secret_export_round_trips() {
+        let kp = pair(9);
+        let restored = KeyPair::import_secret(&kp.export_secret()).expect("round trip");
+        assert_eq!(restored.fingerprint(), kp.fingerprint());
+        // Signatures from the restored key verify against the original.
+        let sig = restored.sign(b"hello");
+        assert!(kp.public_key().verify(b"hello", &sig));
+
+        // Malformed inputs fail cleanly.
+        assert!(KeyPair::import_secret(b"garbage").is_none());
+        let mut truncated = kp.export_secret();
+        truncated.truncate(truncated.len() - 3);
+        assert!(KeyPair::import_secret(&truncated).is_none());
+        let mut trailing = kp.export_secret();
+        trailing.push(0);
+        assert!(KeyPair::import_secret(&trailing).is_none());
+    }
+
+    #[test]
+    fn canonical_bytes_bind_group_and_key() {
+        let a = pair(1);
+        let modp = KeyPair::from_secret_exponent(SchnorrGroup::modp_2048(), BigUint::from(7u64));
+        assert_ne!(
+            a.public_key().canonical_bytes(),
+            modp.public_key().canonical_bytes()
+        );
+    }
+}

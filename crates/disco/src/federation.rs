@@ -1,0 +1,330 @@
+//! A second coalition scenario: the paper's *governmental/military*
+//! setting (§1: "governmental/military, in which several nations work
+//! together to achieve a common goal").
+//!
+//! Three nations — Alpha, Bravo, Charlie — form a joint task force.
+//! Alpha shares its intelligence feed with Bravo's command under tight
+//! controls:
+//!
+//! * the grant is **depth-limited** (`<depth: 2>`): Bravo command may
+//!   enroll its officers (one extension), but officers cannot re-delegate
+//!   further — the transitive-trust extension sketched in the paper's §6;
+//! * a **clearance** valued attribute caps what Bravo-side principals can
+//!   see (`Alpha.clearance <= 2` of a declared base 3);
+//! * Charlie is in the coalition but receives **no** delegation from
+//!   Alpha: no chain, no access — each nation keeps what it doesn't
+//!   share.
+
+use drbac_core::{
+    AttrDeclaration, AttrOp, AttrRef, DiscoveryTag, LocalEntity, Node, Role, SignedAttrDeclaration,
+    SimClock, SubjectFlag, Ticks,
+};
+use drbac_crypto::SchnorrGroup;
+use drbac_net::{Directory, DiscoveryAgent, SimNet, WalletHost};
+use drbac_wallet::Wallet;
+use rand::Rng;
+
+/// Wallet addresses.
+pub const ALPHA_WALLET: &str = "wallet.alpha.mil";
+/// Bravo's home wallet.
+pub const BRAVO_WALLET: &str = "wallet.bravo.mil";
+/// The task-force server's local wallet.
+pub const TASKFORCE_WALLET: &str = "wallet.taskforce.mil";
+
+/// The constructed federation world.
+pub struct FederationScenario {
+    /// Shared logical clock.
+    pub clock: SimClock,
+    /// The simulated network.
+    pub net: SimNet,
+    /// Nation Alpha (owns the intel feed).
+    pub alpha: LocalEntity,
+    /// Nation Bravo (trusted partner).
+    pub bravo: LocalEntity,
+    /// Nation Charlie (coalition member without intel access).
+    pub charlie: LocalEntity,
+    /// A Bravo officer enrolled by Bravo command.
+    pub bravo_officer: LocalEntity,
+    /// A recruit the officer will (illegally) try to enroll.
+    pub recruit: LocalEntity,
+    /// A Charlie analyst.
+    pub charlie_analyst: LocalEntity,
+    /// Alpha's home wallet host.
+    pub alpha_home: WalletHost,
+    /// Bravo's home wallet host.
+    pub bravo_home: WalletHost,
+    /// The task-force server host (runs the feed).
+    pub taskforce: WalletHost,
+    /// `Alpha.clearance` (`<=`, base 3).
+    pub clearance: AttrRef,
+}
+
+impl FederationScenario {
+    /// Builds nations, wallets, tags, and the delegation structure.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let group = SchnorrGroup::test_256();
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), Ticks(1));
+
+        let alpha = LocalEntity::generate("Alpha", group.clone(), rng);
+        let bravo = LocalEntity::generate("Bravo", group.clone(), rng);
+        let charlie = LocalEntity::generate("Charlie", group.clone(), rng);
+        let bravo_officer = LocalEntity::generate("BravoOfficer", group.clone(), rng);
+        let recruit = LocalEntity::generate("Recruit", group.clone(), rng);
+        let charlie_analyst = LocalEntity::generate("CharlieAnalyst", group, rng);
+
+        let alpha_home = net.add_host(ALPHA_WALLET, Wallet::new(ALPHA_WALLET, clock.clone()));
+        let bravo_home = net.add_host(BRAVO_WALLET, Wallet::new(BRAVO_WALLET, clock.clone()));
+        let taskforce = net.add_host(
+            TASKFORCE_WALLET,
+            Wallet::new(TASKFORCE_WALLET, clock.clone()),
+        );
+
+        let intel = alpha.role("intel-feed");
+        let command = bravo.role("command");
+        let officers = bravo.role("officers");
+        let clearance = alpha.attr("clearance", AttrOp::Min);
+
+        let tag = |home: &str| {
+            DiscoveryTag::new(home)
+                .with_ttl(Ticks(60))
+                .with_subject_flag(SubjectFlag::Search)
+        };
+
+        // Alpha declares the clearance base.
+        let decl = SignedAttrDeclaration::sign(
+            AttrDeclaration::new(clearance.clone(), 3.0).expect("finite"),
+            &alpha,
+        )
+        .expect("alpha owns clearance");
+        alpha_home
+            .wallet()
+            .publish_declaration(&decl)
+            .expect("verifies");
+        // The task-force server also needs the base to compute grants.
+        taskforce
+            .wallet()
+            .publish_declaration(&decl)
+            .expect("verifies");
+
+        // The intergovernmental grant, depth-limited and clearance-capped:
+        // [Bravo.command -> Alpha.intel-feed with Alpha.clearance <= 2
+        //  <depth: 2>] Alpha.
+        let grant = alpha
+            .delegate(Node::role(command.clone()), Node::role(intel.clone()))
+            .with_attr(clearance.clone(), 2.0)
+            .expect("min operand")
+            .max_extension_depth(2)
+            .subject_tag(tag(BRAVO_WALLET))
+            .object_tag(tag(ALPHA_WALLET))
+            .sign(&alpha)
+            .expect("self-certified");
+        // Stored at the subject's home wallet (Bravo's), like Figure 2(a).
+        bravo_home
+            .wallet()
+            .publish(grant, vec![])
+            .expect("publishes");
+
+        // Bravo runs its own RBAC: officers roll up into command.
+        bravo_home
+            .wallet()
+            .publish(
+                bravo
+                    .delegate(Node::role(officers.clone()), Node::role(command))
+                    .subject_tag(tag(BRAVO_WALLET))
+                    .sign(&bravo)
+                    .expect("self-certified"),
+                vec![],
+            )
+            .expect("publishes");
+        // Bravo command enrolls the officer.
+        bravo_home
+            .wallet()
+            .publish(
+                bravo
+                    .delegate(Node::entity(&bravo_officer), Node::role(officers))
+                    .subject_tag(tag(BRAVO_WALLET))
+                    .sign(&bravo)
+                    .expect("self-certified"),
+                vec![],
+            )
+            .expect("publishes");
+
+        FederationScenario {
+            clock,
+            net,
+            alpha,
+            bravo,
+            charlie,
+            bravo_officer,
+            recruit,
+            charlie_analyst,
+            alpha_home,
+            bravo_home,
+            taskforce,
+            clearance,
+        }
+    }
+
+    /// The protected role.
+    pub fn intel_role(&self) -> Role {
+        self.alpha.role("intel-feed")
+    }
+
+    /// A task-force discovery agent seeded with the nations' tags.
+    pub fn taskforce_agent(&self) -> DiscoveryAgent {
+        let mut directory = Directory::new();
+        let tag = |home: &str| {
+            DiscoveryTag::new(home)
+                .with_ttl(Ticks(60))
+                .with_subject_flag(SubjectFlag::Search)
+        };
+        directory.register_entity(self.alpha.id(), tag(ALPHA_WALLET));
+        directory.register_entity(self.bravo.id(), tag(BRAVO_WALLET));
+        // Bravo personnel carry credentials whose subject tags point at
+        // Bravo's wallet (as Maria's did at BigISP in the case study).
+        directory.register(Node::entity(&self.bravo_officer), tag(BRAVO_WALLET));
+        directory.register(Node::entity(&self.recruit), tag(BRAVO_WALLET));
+        DiscoveryAgent::new(self.net.clone(), self.taskforce.clone(), directory)
+    }
+
+    /// The officer requests the feed; expected to succeed with clearance 2
+    /// through the chain officer → officers → command → intel-feed
+    /// (3 hops: the depth-2 grant is extended by exactly 2 delegations).
+    pub fn officer_access(&self) -> drbac_net::DiscoveryOutcome {
+        let mut agent = self.taskforce_agent();
+        agent.discover(
+            &Node::entity(&self.bravo_officer),
+            &Node::role(self.intel_role()),
+            &[],
+        )
+    }
+
+    /// The officer tries to pass the feed to a recruit: Bravo's namespace
+    /// can mint the delegation, but the resulting 4-hop chain exceeds the
+    /// grant's depth limit and must be refused.
+    pub fn recruit_extension_blocked(&self) -> bool {
+        // Bravo command happily creates a "recruits" layer…
+        let recruits = self.bravo.role("recruits");
+        self.bravo_home
+            .wallet()
+            .publish(
+                self.bravo
+                    .delegate(
+                        Node::role(recruits.clone()),
+                        Node::role(self.bravo.role("officers")),
+                    )
+                    .sign(&self.bravo)
+                    .expect("self-certified"),
+                vec![],
+            )
+            .expect("publishes");
+        self.bravo_home
+            .wallet()
+            .publish(
+                self.bravo
+                    .delegate(Node::entity(&self.recruit), Node::role(recruits))
+                    .sign(&self.bravo)
+                    .expect("self-certified"),
+                vec![],
+            )
+            .expect("publishes");
+        // …but no proof for the recruit exists within the depth limit.
+        let mut agent = self.taskforce_agent();
+        let outcome = agent.discover(
+            &Node::entity(&self.recruit),
+            &Node::role(self.intel_role()),
+            &[],
+        );
+        !outcome.found()
+    }
+}
+
+impl std::fmt::Debug for FederationScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationScenario")
+            .field("alpha_home", &self.alpha_home)
+            .field("bravo_home", &self.bravo_home)
+            .field("taskforce", &self.taskforce)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenario() -> FederationScenario {
+        FederationScenario::build(&mut StdRng::seed_from_u64(1944))
+    }
+
+    #[test]
+    fn officer_gets_feed_with_capped_clearance() {
+        let s = scenario();
+        let outcome = s.officer_access();
+        assert!(outcome.found(), "trace: {:?}", outcome.trace);
+        let monitor = outcome.monitor.unwrap();
+        assert_eq!(monitor.proof().chain_len(), 3);
+        assert_eq!(
+            monitor.summary().get(&s.clearance),
+            Some(2.0),
+            "clearance capped at 2 of 3"
+        );
+    }
+
+    #[test]
+    fn recruit_extension_exceeds_depth_limit() {
+        let s = scenario();
+        assert!(s.officer_access().found());
+        assert!(
+            s.recruit_extension_blocked(),
+            "depth-2 grant must not stretch to 4 hops"
+        );
+    }
+
+    #[test]
+    fn charlie_has_no_path() {
+        let s = scenario();
+        let mut agent = s.taskforce_agent();
+        let outcome = agent.discover(
+            &Node::entity(&s.charlie_analyst),
+            &Node::role(s.intel_role()),
+            &[],
+        );
+        assert!(!outcome.found());
+        // Even Charlie itself (the nation) has no chain.
+        let mut agent = s.taskforce_agent();
+        let outcome = agent.discover(&Node::entity(&s.charlie), &Node::role(s.intel_role()), &[]);
+        assert!(!outcome.found());
+    }
+
+    #[test]
+    fn alpha_can_sever_bravo_entirely() {
+        let s = scenario();
+        let outcome = s.officer_access();
+        let monitor = outcome.monitor.expect("granted");
+        // Find the intergovernmental grant inside the proof and revoke it.
+        let grant = monitor
+            .proof()
+            .all_certs()
+            .into_iter()
+            .find(|c| c.delegation().issuer() == s.alpha.id())
+            .expect("alpha's grant is in the chain");
+        let revocation =
+            drbac_core::SignedRevocation::revoke(&grant, &s.alpha, s.clock.now()).unwrap();
+        s.net
+            .request(
+                &BRAVO_WALLET.into(),
+                drbac_net::proto::Request::Revoke(revocation),
+            )
+            .unwrap();
+        s.net.run_until_idle();
+        assert!(
+            !monitor.is_valid(),
+            "severing the grant kills live sessions"
+        );
+        assert!(!s.officer_access().found(), "and future requests");
+    }
+}

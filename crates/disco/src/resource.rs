@@ -1,0 +1,476 @@
+//! Protected resources and monitored access sessions.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use drbac_core::{AttrConstraint, AttrSummary, Node, Role, Timestamp};
+use drbac_net::DiscoveryAgent;
+use drbac_wallet::{MonitorStatus, ProofMonitor, Wallet};
+
+/// Errors from authorization attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessError {
+    /// No satisfying proof exists (locally or via discovery).
+    Denied {
+        /// The principal that was refused.
+        principal: String,
+        /// The role the resource requires.
+        required: String,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Denied {
+                principal,
+                required,
+            } => {
+                write!(
+                    f,
+                    "access denied: no proof that {principal} holds {required}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// A resource registered behind a dRBAC role.
+///
+/// # Example
+///
+/// ```
+/// use drbac_core::{LocalEntity, Node, SimClock};
+/// use drbac_crypto::SchnorrGroup;
+/// use drbac_disco::ProtectedResource;
+/// use drbac_wallet::Wallet;
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(121);
+/// # let g = SchnorrGroup::test_256();
+/// let airnet = LocalEntity::generate("AirNet", g.clone(), &mut rng);
+/// let maria = LocalEntity::generate("Maria", g, &mut rng);
+/// let wallet = Wallet::new("server", SimClock::new());
+/// wallet.publish(
+///     airnet.delegate(Node::entity(&maria), Node::role(airnet.role("access"))).sign(&airnet)?,
+///     vec![],
+/// )?;
+///
+/// let resource = ProtectedResource::new("internet-uplink", airnet.role("access"), wallet);
+/// let session = resource.authorize(&Node::entity(&maria))?;
+/// assert!(session.is_active());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtectedResource {
+    name: String,
+    required_role: Role,
+    constraints: Vec<AttrConstraint>,
+    wallet: Wallet,
+}
+
+impl ProtectedResource {
+    /// Registers a resource requiring `role`, authorized against
+    /// `wallet`.
+    pub fn new(name: impl Into<String>, role: Role, wallet: Wallet) -> Self {
+        ProtectedResource {
+            name: name.into(),
+            required_role: role,
+            constraints: Vec::new(),
+            wallet,
+        }
+    }
+
+    /// Adds an attribute constraint every session must satisfy.
+    pub fn with_constraint(mut self, c: AttrConstraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// The resource name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The role required for access.
+    pub fn required_role(&self) -> &Role {
+        &self.required_role
+    }
+
+    /// Authorizes `principal` against the local wallet only.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessError::Denied`] when no satisfying proof exists.
+    pub fn authorize(&self, principal: &Node) -> Result<AccessSession, AccessError> {
+        let monitor = self
+            .wallet
+            .query_direct(
+                principal,
+                &Node::role(self.required_role.clone()),
+                &self.constraints,
+            )
+            .ok_or_else(|| self.denied(principal))?;
+        Ok(self.session(principal, monitor))
+    }
+
+    /// Authorizes `principal`, running tag-directed distributed discovery
+    /// if the local wallet cannot prove the relationship.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessError::Denied`] when discovery also fails.
+    pub fn authorize_with_discovery(
+        &self,
+        principal: &Node,
+        agent: &mut DiscoveryAgent,
+    ) -> Result<AccessSession, AccessError> {
+        let outcome = agent.discover(
+            principal,
+            &Node::role(self.required_role.clone()),
+            &self.constraints,
+        );
+        let monitor = outcome.monitor.ok_or_else(|| self.denied(principal))?;
+        Ok(self.session(principal, monitor))
+    }
+
+    fn denied(&self, principal: &Node) -> AccessError {
+        AccessError::Denied {
+            principal: principal.to_string(),
+            required: self.required_role.to_string(),
+        }
+    }
+
+    fn session(&self, principal: &Node, monitor: ProofMonitor) -> AccessSession {
+        let terminated = Arc::new(AtomicBool::new(false));
+        let t2 = Arc::clone(&terminated);
+        monitor.on_invalidate(move |_| t2.store(true, Ordering::SeqCst));
+        AccessSession {
+            resource: self.name.clone(),
+            principal: principal.clone(),
+            granted: monitor.summary().clone(),
+            started_at: self.wallet.now(),
+            monitor,
+            terminated,
+        }
+    }
+}
+
+/// A self-healing session: when its authorizing proof is invalidated, it
+/// immediately tries to re-authorize through any alternate delegation
+/// path, and failing that registers a pending-proof watch so service
+/// resumes the moment a new path is published.
+///
+/// This composes the paper's two recovery mechanisms (§4.2.2): "the
+/// entity can request an alternate proof", and "if the wallet initially
+/// cannot provide a proof ... register a callback that will be activated
+/// when such a proof is available".
+#[derive(Debug, Clone)]
+pub struct ResilientSession {
+    driver: Arc<SessionDriver>,
+}
+
+#[derive(Debug)]
+struct SessionDriver {
+    resource: ProtectedResource,
+    principal: Node,
+    current: parking_lot::Mutex<Option<AccessSession>>,
+    /// How many times the session has been (re-)established.
+    generation: std::sync::atomic::AtomicU64,
+}
+
+impl ResilientSession {
+    /// `true` while some authorizing proof is valid.
+    pub fn is_active(&self) -> bool {
+        self.driver
+            .current
+            .lock()
+            .as_ref()
+            .is_some_and(|s| s.is_active())
+    }
+
+    /// How many times the session has been established (1 = initial).
+    pub fn generation(&self) -> u64 {
+        self.driver.generation.load(Ordering::SeqCst)
+    }
+
+    /// The current grants, while active.
+    pub fn grants(&self) -> Option<AttrSummary> {
+        let guard = self.driver.current.lock();
+        guard
+            .as_ref()
+            .filter(|s| s.is_active())
+            .map(|s| s.grants().clone())
+    }
+}
+
+impl SessionDriver {
+    /// Installs `session` as current and arms re-establishment on its
+    /// invalidation.
+    fn arm(self: &Arc<Self>, session: AccessSession) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        let monitor = session.monitor().clone();
+        *self.current.lock() = Some(session);
+        let driver = Arc::clone(self);
+        monitor.on_invalidate(move |_| driver.reestablish());
+    }
+
+    /// Tries an alternate path now; otherwise waits for one.
+    fn reestablish(self: &Arc<Self>) {
+        match self.resource.authorize(&self.principal) {
+            Ok(session) => self.arm(session),
+            Err(_) => {
+                let driver = Arc::clone(self);
+                let wallet = self.resource.wallet.clone();
+                wallet.watch_for_proof(
+                    self.principal.clone(),
+                    Node::role(self.resource.required_role.clone()),
+                    self.resource.constraints.clone(),
+                    move |monitor| {
+                        let session = driver.resource.session(&driver.principal, monitor);
+                        driver.arm(session);
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl ProtectedResource {
+    /// Authorizes `principal` with automatic re-establishment across
+    /// revocations (see [`ResilientSession`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AccessError::Denied`] if no proof exists *now* (the resilient
+    /// machinery only takes over once a session exists).
+    pub fn authorize_resilient(&self, principal: &Node) -> Result<ResilientSession, AccessError> {
+        let session = self.authorize(principal)?;
+        let driver = Arc::new(SessionDriver {
+            resource: self.clone(),
+            principal: principal.clone(),
+            current: parking_lot::Mutex::new(None),
+            generation: std::sync::atomic::AtomicU64::new(0),
+        });
+        driver.arm(session);
+        Ok(ResilientSession { driver })
+    }
+}
+
+/// A granted, continuously monitored access session.
+///
+/// The session terminates automatically (and [`AccessSession::is_active`]
+/// flips to `false`) the moment any delegation in its authorizing proof
+/// is revoked or expires — the paper's prolonged-interaction guarantee.
+#[derive(Debug, Clone)]
+pub struct AccessSession {
+    resource: String,
+    principal: Node,
+    granted: AttrSummary,
+    started_at: Timestamp,
+    monitor: ProofMonitor,
+    terminated: Arc<AtomicBool>,
+}
+
+impl AccessSession {
+    /// The resource being accessed.
+    pub fn resource(&self) -> &str {
+        &self.resource
+    }
+
+    /// The accessing principal.
+    pub fn principal(&self) -> &Node {
+        &self.principal
+    }
+
+    /// Effective attribute values granted at establishment (e.g. the
+    /// paper's BW = 100, storage = 30, hours = 18).
+    pub fn grants(&self) -> &AttrSummary {
+        &self.granted
+    }
+
+    /// When the session began.
+    pub fn started_at(&self) -> Timestamp {
+        self.started_at
+    }
+
+    /// `true` while the authorizing proof remains valid.
+    pub fn is_active(&self) -> bool {
+        !self.terminated.load(Ordering::SeqCst) && self.monitor.is_valid()
+    }
+
+    /// The underlying proof monitor.
+    pub fn monitor(&self) -> &ProofMonitor {
+        &self.monitor
+    }
+
+    /// Registers a callback fired when the session terminates.
+    pub fn on_termination(&self, cb: impl Fn(&MonitorStatus) + Send + Sync + 'static) {
+        self.monitor.on_invalidate(cb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{AttrOp, LocalEntity, SignedRevocation, SimClock};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fx {
+        airnet: LocalEntity,
+        maria: LocalEntity,
+        clock: SimClock,
+        wallet: Wallet,
+    }
+
+    fn fx() -> Fx {
+        let mut rng = StdRng::seed_from_u64(131);
+        let g = SchnorrGroup::test_256();
+        let clock = SimClock::new();
+        Fx {
+            airnet: LocalEntity::generate("AirNet", g.clone(), &mut rng),
+            maria: LocalEntity::generate("Maria", g, &mut rng),
+            wallet: Wallet::new("server", clock.clone()),
+            clock,
+        }
+    }
+
+    #[test]
+    fn denied_without_credentials() {
+        let f = fx();
+        let resource = ProtectedResource::new("uplink", f.airnet.role("access"), f.wallet.clone());
+        let err = resource.authorize(&Node::entity(&f.maria)).unwrap_err();
+        assert!(matches!(err, AccessError::Denied { .. }));
+        assert!(err.to_string().contains("access denied"));
+    }
+
+    #[test]
+    fn session_reflects_revocation() {
+        let f = fx();
+        let cert = f
+            .airnet
+            .delegate(Node::entity(&f.maria), Node::role(f.airnet.role("access")))
+            .sign(&f.airnet)
+            .unwrap();
+        f.wallet.publish(cert.clone(), vec![]).unwrap();
+        let resource = ProtectedResource::new("uplink", f.airnet.role("access"), f.wallet.clone());
+        let session = resource.authorize(&Node::entity(&f.maria)).unwrap();
+        assert!(session.is_active());
+        assert_eq!(session.resource(), "uplink");
+
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired2 = Arc::clone(&fired);
+        session.on_termination(move |status| {
+            assert!(!status.is_valid());
+            fired2.store(true, Ordering::SeqCst);
+        });
+
+        let revocation = SignedRevocation::revoke(&cert, &f.airnet, f.clock.now()).unwrap();
+        f.wallet.revoke(&revocation).unwrap();
+        assert!(!session.is_active());
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn constraints_gate_authorization() {
+        let f = fx();
+        let bw = f.airnet.attr("BW", AttrOp::Min);
+        let cert = f
+            .airnet
+            .delegate(Node::entity(&f.maria), Node::role(f.airnet.role("access")))
+            .with_attr(bw.clone(), 50.0)
+            .unwrap()
+            .sign(&f.airnet)
+            .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+
+        let generous = ProtectedResource::new("uplink", f.airnet.role("access"), f.wallet.clone())
+            .with_constraint(AttrConstraint::at_least(bw.clone(), 50.0));
+        assert!(generous.authorize(&Node::entity(&f.maria)).is_ok());
+
+        let demanding = ProtectedResource::new("uplink", f.airnet.role("access"), f.wallet.clone())
+            .with_constraint(AttrConstraint::at_least(bw, 51.0));
+        assert!(demanding.authorize(&Node::entity(&f.maria)).is_err());
+    }
+
+    #[test]
+    fn resilient_session_recovers_through_alternate_paths() {
+        let f = fx();
+        let access = f.airnet.role("access");
+        let resource = ProtectedResource::new("uplink", access.clone(), f.wallet.clone());
+
+        // Two independent grants exist up front.
+        let direct = f
+            .airnet
+            .delegate(Node::entity(&f.maria), Node::role(access.clone()))
+            .serial(1)
+            .sign(&f.airnet)
+            .unwrap();
+        let backup = f
+            .airnet
+            .delegate(Node::entity(&f.maria), Node::role(access.clone()))
+            .serial(2)
+            .sign(&f.airnet)
+            .unwrap();
+        f.wallet.publish(direct.clone(), vec![]).unwrap();
+        f.wallet.publish(backup.clone(), vec![]).unwrap();
+
+        let session = resource
+            .authorize_resilient(&Node::entity(&f.maria))
+            .unwrap();
+        assert!(session.is_active());
+        assert_eq!(session.generation(), 1);
+
+        // Kill whichever grant the session uses; it must re-establish on
+        // the other immediately.
+        let first = SignedRevocation::revoke(&direct, &f.airnet, f.clock.now()).unwrap();
+        f.wallet.revoke(&first).unwrap();
+        assert!(
+            session.is_active(),
+            "alternate path keeps the session alive"
+        );
+        assert_eq!(session.generation(), 2);
+
+        // Kill the backup too: the session goes dormant...
+        let second = SignedRevocation::revoke(&backup, &f.airnet, f.clock.now()).unwrap();
+        f.wallet.revoke(&second).unwrap();
+        assert!(!session.is_active());
+
+        // ...and resumes when a new grant is published (pending-proof
+        // watch).
+        f.wallet
+            .publish(
+                f.airnet
+                    .delegate(Node::entity(&f.maria), Node::role(access))
+                    .serial(3)
+                    .sign(&f.airnet)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        assert!(session.is_active(), "watch re-established the session");
+        assert!(session.generation() >= 3);
+        assert!(session.grants().is_some());
+    }
+
+    #[test]
+    fn session_grants_expose_attr_summary() {
+        let f = fx();
+        let bw = f.airnet.attr("BW", AttrOp::Min);
+        let cert = f
+            .airnet
+            .delegate(Node::entity(&f.maria), Node::role(f.airnet.role("access")))
+            .with_attr(bw.clone(), 75.0)
+            .unwrap()
+            .sign(&f.airnet)
+            .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        let resource = ProtectedResource::new("uplink", f.airnet.role("access"), f.wallet.clone());
+        let session = resource.authorize(&Node::entity(&f.maria)).unwrap();
+        assert_eq!(session.grants().get(&bw), Some(75.0));
+    }
+}

@@ -1,0 +1,491 @@
+//! The indexed delegation store.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use drbac_core::{
+    AttrDeclaration, DeclarationSet, DelegationId, EntityId, Node, Proof, SignedDelegation,
+    Timestamp,
+};
+
+/// An in-memory graph of delegations, indexed by subject, object, and id.
+///
+/// This is the data structure at the heart of a wallet (paper Figure 1):
+/// nodes are entities/roles/rights, edges are delegations. Alongside the
+/// edges it stores the *support proofs* that issuers of third-party
+/// delegations are required to provide at publication, the attribute
+/// declarations for base values, and the set of revoked delegation ids.
+///
+/// # Example
+///
+/// ```
+/// use drbac_core::{LocalEntity, Node, Timestamp};
+/// use drbac_crypto::SchnorrGroup;
+/// use drbac_graph::{DelegationGraph, SearchOptions};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+/// # let g = SchnorrGroup::test_256();
+/// let a = LocalEntity::generate("A", g.clone(), &mut rng);
+/// let m = LocalEntity::generate("M", g, &mut rng);
+///
+/// let mut graph = DelegationGraph::new();
+/// graph.insert(a.delegate(Node::entity(&m), Node::role(a.role("r"))).sign(&a)?);
+///
+/// let (proof, _stats) = graph.direct_query(
+///     &Node::entity(&m),
+///     &Node::role(a.role("r")),
+///     &SearchOptions::at(Timestamp(0)),
+/// );
+/// assert!(proof.is_some());
+/// # Ok::<(), drbac_core::ValidationError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DelegationGraph {
+    pub(crate) by_subject: HashMap<Node, Vec<Arc<SignedDelegation>>>,
+    pub(crate) by_object: HashMap<Node, Vec<Arc<SignedDelegation>>>,
+    by_id: HashMap<DelegationId, Arc<SignedDelegation>>,
+    /// Support proofs provided at publication, keyed by (issuer, right).
+    pub(crate) supports: HashMap<(EntityId, Node), Proof>,
+    declarations: DeclarationSet,
+    pub(crate) revoked: BTreeSet<DelegationId>,
+}
+
+impl DelegationGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a delegation. Returns its id; idempotent for identical
+    /// delegations.
+    pub fn insert(&mut self, cert: impl Into<Arc<SignedDelegation>>) -> DelegationId {
+        let cert: Arc<SignedDelegation> = cert.into();
+        let id = cert.id();
+        if self.by_id.contains_key(&id) {
+            return id;
+        }
+        self.by_subject
+            .entry(cert.delegation().subject().clone())
+            .or_default()
+            .push(Arc::clone(&cert));
+        self.by_object
+            .entry(cert.delegation().object().clone())
+            .or_default()
+            .push(Arc::clone(&cert));
+        self.by_id.insert(id, cert);
+        id
+    }
+
+    /// Inserts a third-party delegation together with the support proofs
+    /// its issuer must provide (paper §4.1: wallets are freed "from having
+    /// to conduct recursive searches to collect the supporting chains").
+    pub fn insert_with_supports(
+        &mut self,
+        cert: impl Into<Arc<SignedDelegation>>,
+        supports: Vec<Proof>,
+    ) -> DelegationId {
+        let id = self.insert(cert);
+        for support in supports {
+            self.provide_support(support);
+        }
+        id
+    }
+
+    /// Registers a standalone support proof, keyed by what it proves.
+    /// Later insertions with the same key replace earlier ones.
+    pub fn provide_support(&mut self, support: Proof) {
+        if let Node::Entity(issuer) = support.subject() {
+            self.supports
+                .insert((*issuer, support.object().clone()), support);
+        }
+    }
+
+    /// Looks up a provided support proof for `(issuer, right)`.
+    pub fn provided_support(&self, issuer: EntityId, right: &Node) -> Option<&Proof> {
+        self.supports.get(&(issuer, right.clone()))
+    }
+
+    /// Every provided support proof (for persistence).
+    pub fn all_supports(&self) -> Vec<Proof> {
+        self.supports.values().cloned().collect()
+    }
+
+    /// Records a verified attribute declaration.
+    pub fn insert_declaration(&mut self, decl: &AttrDeclaration) {
+        self.declarations.insert(decl);
+    }
+
+    /// The declaration set (base values for effective-value computation).
+    pub fn declarations(&self) -> &DeclarationSet {
+        &self.declarations
+    }
+
+    /// Marks a delegation revoked. Revoked edges are skipped by searches
+    /// and fail validation. Returns `true` if the id was known.
+    pub fn revoke(&mut self, id: DelegationId) -> bool {
+        self.revoked.insert(id);
+        self.by_id.contains_key(&id)
+    }
+
+    /// `true` if `id` has been revoked.
+    pub fn is_revoked(&self, id: DelegationId) -> bool {
+        self.revoked.contains(&id)
+    }
+
+    /// The revocation set.
+    pub fn revoked(&self) -> &BTreeSet<DelegationId> {
+        &self.revoked
+    }
+
+    /// Removes a delegation entirely (e.g. an expired cache entry).
+    /// Returns the removed credential, if present.
+    pub fn remove(&mut self, id: DelegationId) -> Option<Arc<SignedDelegation>> {
+        let cert = self.by_id.remove(&id)?;
+        if let Some(v) = self.by_subject.get_mut(cert.delegation().subject()) {
+            v.retain(|c| c.id() != id);
+        }
+        if let Some(v) = self.by_object.get_mut(cert.delegation().object()) {
+            v.retain(|c| c.id() != id);
+        }
+        Some(cert)
+    }
+
+    /// Fetches a delegation by id.
+    pub fn get(&self, id: DelegationId) -> Option<&Arc<SignedDelegation>> {
+        self.by_id.get(&id)
+    }
+
+    /// `true` if the graph holds `id`.
+    pub fn contains(&self, id: DelegationId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Number of stored delegations.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// `true` if the graph holds no delegations.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Delegations whose subject is `node` (outgoing edges), excluding
+    /// revoked and expired ones.
+    pub fn outgoing(
+        &self,
+        node: &Node,
+        now: Timestamp,
+    ) -> impl Iterator<Item = &Arc<SignedDelegation>> {
+        self.by_subject
+            .get(node)
+            .into_iter()
+            .flatten()
+            .filter(move |c| !self.revoked.contains(&c.id()) && !c.delegation().is_expired(now))
+    }
+
+    /// Delegations whose object is `node` (incoming edges), excluding
+    /// revoked and expired ones.
+    pub fn incoming(
+        &self,
+        node: &Node,
+        now: Timestamp,
+    ) -> impl Iterator<Item = &Arc<SignedDelegation>> {
+        self.by_object
+            .get(node)
+            .into_iter()
+            .flatten()
+            .filter(move |c| !self.revoked.contains(&c.id()) && !c.delegation().is_expired(now))
+    }
+
+    /// Iterates over every stored delegation.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<SignedDelegation>> {
+        self.by_id.values()
+    }
+
+    /// Structural metrics over the stored graph (diagnostics and
+    /// experiment reporting).
+    pub fn metrics(&self) -> GraphMetrics {
+        let mut entities = std::collections::BTreeSet::new();
+        let mut roles = std::collections::BTreeSet::new();
+        let mut issuers = std::collections::BTreeSet::new();
+        fn note(
+            node: &Node,
+            entities: &mut std::collections::BTreeSet<EntityId>,
+            roles: &mut std::collections::BTreeSet<Node>,
+        ) {
+            match node {
+                Node::Entity(e) => {
+                    entities.insert(*e);
+                }
+                other => {
+                    roles.insert(other.clone());
+                    entities.insert(other.namespace());
+                }
+            }
+        }
+        let mut third_party = 0usize;
+        let mut with_attrs = 0usize;
+        for cert in self.by_id.values() {
+            let d = cert.delegation();
+            note(d.subject(), &mut entities, &mut roles);
+            note(d.object(), &mut entities, &mut roles);
+            issuers.insert(d.issuer());
+            entities.insert(d.issuer());
+            if d.kind() == drbac_core::DelegationKind::ThirdParty {
+                third_party += 1;
+            }
+            if !d.clauses().is_empty() {
+                with_attrs += 1;
+            }
+        }
+        let max_out_degree = self.by_subject.values().map(Vec::len).max().unwrap_or(0);
+        GraphMetrics {
+            delegations: self.by_id.len(),
+            revoked: self.revoked.len(),
+            entities: entities.len(),
+            roles: roles.len(),
+            issuers: issuers.len(),
+            third_party,
+            with_attributes: with_attrs,
+            max_out_degree,
+            provided_supports: self.supports.len(),
+            declarations: self.declarations.len(),
+        }
+    }
+
+    /// Drops expired delegations given the current time; returns how many
+    /// were removed.
+    pub fn purge_expired(&mut self, now: Timestamp) -> usize {
+        let expired: Vec<DelegationId> = self
+            .by_id
+            .values()
+            .filter(|c| c.delegation().is_expired(now))
+            .map(|c| c.id())
+            .collect();
+        let n = expired.len();
+        for id in expired {
+            self.remove(id);
+        }
+        n
+    }
+}
+
+/// Structural summary of a delegation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphMetrics {
+    /// Stored delegations (including revoked ones still marked).
+    pub delegations: usize,
+    /// Revocation marks.
+    pub revoked: usize,
+    /// Distinct entities appearing anywhere.
+    pub entities: usize,
+    /// Distinct role-like nodes.
+    pub roles: usize,
+    /// Distinct issuing entities.
+    pub issuers: usize,
+    /// Third-party delegations.
+    pub third_party: usize,
+    /// Delegations carrying attribute clauses.
+    pub with_attributes: usize,
+    /// Largest out-degree of any node.
+    pub max_out_degree: usize,
+    /// Provided support proofs on file.
+    pub provided_supports: usize,
+    /// Attribute declarations on file.
+    pub declarations: usize,
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} delegations ({} third-party, {} with attributes, {} revoked), \
+             {} roles across {} entities, max out-degree {}, {} supports, {} declarations",
+            self.delegations,
+            self.third_party,
+            self.with_attributes,
+            self.revoked,
+            self.roles,
+            self.entities,
+            self.max_out_degree,
+            self.provided_supports,
+            self.declarations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchOptions;
+    use drbac_core::LocalEntity;
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn local(name: &str, seed: u64) -> LocalEntity {
+        LocalEntity::generate(
+            name,
+            SchnorrGroup::test_256(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_indexed() {
+        let a = local("A", 1);
+        let m = local("M", 2);
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let mut g = DelegationGraph::new();
+        let id1 = g.insert(cert.clone());
+        let id2 = g.insert(cert);
+        assert_eq!(id1, id2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.outgoing(&Node::entity(&m), Timestamp(0)).count(), 1);
+        assert_eq!(
+            g.incoming(&Node::role(a.role("r")), Timestamp(0)).count(),
+            1
+        );
+        assert!(g.contains(id1));
+        assert!(g.get(id1).is_some());
+    }
+
+    #[test]
+    fn revoked_and_expired_edges_are_skipped() {
+        let a = local("A", 1);
+        let m = local("M", 2);
+        let c1 = a
+            .delegate(Node::entity(&m), Node::role(a.role("r1")))
+            .sign(&a)
+            .unwrap();
+        let c2 = a
+            .delegate(Node::entity(&m), Node::role(a.role("r2")))
+            .expires(Timestamp(5))
+            .sign(&a)
+            .unwrap();
+        let mut g = DelegationGraph::new();
+        let id1 = g.insert(c1);
+        g.insert(c2);
+        assert_eq!(g.outgoing(&Node::entity(&m), Timestamp(0)).count(), 2);
+        assert_eq!(g.outgoing(&Node::entity(&m), Timestamp(6)).count(), 1);
+        g.revoke(id1);
+        assert!(g.is_revoked(id1));
+        assert_eq!(g.outgoing(&Node::entity(&m), Timestamp(6)).count(), 0);
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let a = local("A", 1);
+        let m = local("M", 2);
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let mut g = DelegationGraph::new();
+        let id = g.insert(cert);
+        assert!(g.remove(id).is_some());
+        assert!(g.remove(id).is_none());
+        assert!(g.is_empty());
+        assert_eq!(g.outgoing(&Node::entity(&m), Timestamp(0)).count(), 0);
+    }
+
+    #[test]
+    fn purge_expired_removes_only_expired() {
+        let a = local("A", 1);
+        let m = local("M", 2);
+        let mut g = DelegationGraph::new();
+        g.insert(
+            a.delegate(Node::entity(&m), Node::role(a.role("keep")))
+                .sign(&a)
+                .unwrap(),
+        );
+        g.insert(
+            a.delegate(Node::entity(&m), Node::role(a.role("drop")))
+                .expires(Timestamp(3))
+                .sign(&a)
+                .unwrap(),
+        );
+        assert_eq!(g.purge_expired(Timestamp(10)), 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn supports_are_keyed_by_issuer_and_right() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let member = a.role("member");
+        let grant = a
+            .delegate(Node::entity(&b), Node::role_admin(member.clone()))
+            .sign(&a)
+            .unwrap();
+        let support = Proof::from_steps(vec![drbac_core::ProofStep::new(grant)]).unwrap();
+        let mut g = DelegationGraph::new();
+        g.provide_support(support.clone());
+        assert_eq!(
+            g.provided_support(b.id(), &Node::role_admin(member.clone())),
+            Some(&support)
+        );
+        assert_eq!(g.provided_support(a.id(), &Node::role_admin(member)), None);
+    }
+
+    #[test]
+    fn metrics_count_structure() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let m = local("M", 3);
+        let mut g = DelegationGraph::new();
+        assert_eq!(g.metrics(), GraphMetrics::default());
+
+        let bw = a.attr("bw", drbac_core::AttrOp::Min);
+        g.insert_declaration(&drbac_core::AttrDeclaration::new(bw.clone(), 10.0).unwrap());
+        // Self-certified with attribute.
+        let c1 = a
+            .delegate(Node::entity(&m), Node::role(a.role("r1")))
+            .with_attr(bw, 5.0)
+            .unwrap()
+            .sign(&a)
+            .unwrap();
+        // Third-party.
+        let c2 = b
+            .delegate(Node::role(a.role("r1")), Node::role(a.role("r2")))
+            .sign(&b)
+            .unwrap();
+        let id1 = g.insert(c1);
+        g.insert(c2);
+        g.revoke(id1);
+
+        let metrics = g.metrics();
+        assert_eq!(metrics.delegations, 2);
+        assert_eq!(metrics.revoked, 1);
+        assert_eq!(metrics.third_party, 1);
+        assert_eq!(metrics.with_attributes, 1);
+        assert_eq!(metrics.roles, 2);
+        assert_eq!(metrics.issuers, 2);
+        assert_eq!(metrics.entities, 3, "A, B, M");
+        assert_eq!(metrics.declarations, 1);
+        assert!(metrics.to_string().contains("2 delegations"));
+    }
+
+    #[test]
+    fn quickstart_example_finds_direct_proof() {
+        let a = local("A", 1);
+        let m = local("M", 2);
+        let mut g = DelegationGraph::new();
+        g.insert(
+            a.delegate(Node::entity(&m), Node::role(a.role("r")))
+                .sign(&a)
+                .unwrap(),
+        );
+        let (proof, stats) = g.direct_query(
+            &Node::entity(&m),
+            &Node::role(a.role("r")),
+            &SearchOptions::at(Timestamp(0)),
+        );
+        assert!(proof.is_some());
+        assert!(stats.nodes_expanded >= 1);
+    }
+}

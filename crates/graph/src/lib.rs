@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Delegation graph and credential-chain search for dRBAC.
+//!
+//! The paper's wallets "rely upon graph-based data structures that allow
+//! efficient enumeration of delegation chains between any specified
+//! subject and object" (§4.1). This crate provides that structure:
+//!
+//! * [`DelegationGraph`] — an indexed store of signed delegations,
+//!   provided support proofs, attribute declarations, and revocations;
+//! * the three query forms of §4.1 — [`DelegationGraph::direct_query`]
+//!   (`S ⇒ O?`), [`DelegationGraph::subject_query`] (`S ⇒ *`), and
+//!   [`DelegationGraph::object_query`] (`* ⇒ O`) — all constraint-aware;
+//! * monotonicity-based pruning of constrained searches (§4.2.3), with
+//!   [`SearchStats`] so experiments can measure its effect.
+//!
+//! See [`DelegationGraph`] for a worked example.
+
+mod graph;
+mod search;
+
+pub use graph::{DelegationGraph, GraphMetrics};
+pub use search::{SearchOptions, SearchStats};

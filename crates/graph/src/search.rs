@@ -1,0 +1,1137 @@
+//! Chain search over the delegation graph: the three wallet query forms
+//! (§4.1) with monotonicity-based pruning (§4.2.3).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use drbac_core::{
+    AttrAccumulator, AttrConstraint, AttrOp, EntityId, Node, Proof, ProofStep, SignedDelegation,
+    Timestamp,
+};
+
+use crate::DelegationGraph;
+
+/// Parameters of a graph search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Logical time (expiry filtering).
+    pub now: Timestamp,
+    /// Attribute constraints the resulting proof must satisfy.
+    pub constraints: Vec<AttrConstraint>,
+    /// Maximum primary-chain length (default 64).
+    pub max_depth: usize,
+    /// Prune branches whose accumulated attributes already violate the
+    /// constraints (§4.2.3). Sound because accumulation is monotone;
+    /// disable only to measure the pruning benefit.
+    pub prune_by_constraints: bool,
+    /// Depth limit for recursive support-proof resolution (default 8).
+    pub max_support_depth: usize,
+}
+
+impl SearchOptions {
+    /// Defaults at logical time `now`: no constraints, pruning enabled.
+    pub fn at(now: Timestamp) -> Self {
+        SearchOptions {
+            now,
+            constraints: Vec::new(),
+            max_depth: 64,
+            prune_by_constraints: true,
+            max_support_depth: 8,
+        }
+    }
+
+    /// Adds a constraint.
+    pub fn with_constraint(mut self, c: AttrConstraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Disables constraint pruning (for measurement).
+    pub fn without_pruning(mut self) -> Self {
+        self.prune_by_constraints = false;
+        self
+    }
+
+    /// Sets the primary-chain depth limit.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+}
+
+/// Work counters from one search, for the efficiency experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// States dequeued and expanded.
+    pub nodes_expanded: usize,
+    /// Edges (delegations) examined during expansion.
+    pub edges_considered: usize,
+    /// States enqueued (after pruning/dominance filtering).
+    pub states_enqueued: usize,
+    /// Recursive support-proof searches performed (not counting provided
+    /// supports).
+    pub support_resolutions: usize,
+}
+
+impl SearchStats {
+    /// Adds another stats record into this one.
+    pub fn absorb(&mut self, other: SearchStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.edges_considered += other.edges_considered;
+        self.states_enqueued += other.states_enqueued;
+        self.support_resolutions += other.support_resolutions;
+    }
+}
+
+/// Search direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+struct Engine<'g> {
+    graph: &'g DelegationGraph,
+    opts: &'g SearchOptions,
+    stats: SearchStats,
+}
+
+/// One search state: a node plus the proof and accumulation that reach it.
+struct State {
+    node: Node,
+    proof: Proof,
+    acc: AttrAccumulator,
+}
+
+impl DelegationGraph {
+    /// Direct query (§4.1): does a proof `subject ⇒ object` exist that
+    /// satisfies the constraints? Returns the first one found
+    /// (breadth-first, so minimal chain length) and the search work done.
+    pub fn direct_query(
+        &self,
+        subject: &Node,
+        object: &Node,
+        opts: &SearchOptions,
+    ) -> (Option<Proof>, SearchStats) {
+        let mut engine = Engine {
+            graph: self,
+            opts,
+            stats: SearchStats::default(),
+        };
+        let found = engine
+            .search(subject, Some(object), Direction::Forward)
+            .remove(object);
+        (found, engine.stats)
+    }
+
+    /// Subject query (§4.1): enumerate proofs `subject ⇒ *` that do not
+    /// violate the constraints, one per reachable node.
+    pub fn subject_query(&self, subject: &Node, opts: &SearchOptions) -> (Vec<Proof>, SearchStats) {
+        let mut engine = Engine {
+            graph: self,
+            opts,
+            stats: SearchStats::default(),
+        };
+        let reached = engine.search(subject, None, Direction::Forward);
+        let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
+        proofs.sort_by_key(|p| (p.chain_len(), p.object().to_string()));
+        (proofs, engine.stats)
+    }
+
+    /// Object query (§4.1): enumerate proofs `* ⇒ object` that do not
+    /// violate the constraints, one per reaching node.
+    pub fn object_query(&self, object: &Node, opts: &SearchOptions) -> (Vec<Proof>, SearchStats) {
+        let mut engine = Engine {
+            graph: self,
+            opts,
+            stats: SearchStats::default(),
+        };
+        let reached = engine.search(object, None, Direction::Reverse);
+        let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
+        proofs.sort_by_key(|p| (p.chain_len(), p.subject().to_string()));
+        (proofs, engine.stats)
+    }
+}
+
+impl DelegationGraph {
+    /// Enumerates *all* distinct proofs `subject ⇒ object` (simple paths,
+    /// no node repeated) satisfying the constraints, up to `max_proofs`.
+    ///
+    /// This is the exhaustive form of the paper's §4.1 queries
+    /// ("enumerate the full set of proofs") and the direct measure of the
+    /// §4.2.3 path-explosion phenomenon: in a tree with constant
+    /// branching the count grows exponentially with depth, which is why
+    /// [`DelegationGraph::direct_query`] exists as the single-answer
+    /// search. Returns `(proofs, stats)`; stats count every edge touched
+    /// during the walk.
+    pub fn enumerate_proofs(
+        &self,
+        subject: &Node,
+        object: &Node,
+        opts: &SearchOptions,
+        max_proofs: usize,
+    ) -> (Vec<Proof>, SearchStats) {
+        let mut engine = Engine {
+            graph: self,
+            opts,
+            stats: SearchStats::default(),
+        };
+        let mut proofs = Vec::new();
+        let mut on_path: Vec<Node> = vec![subject.clone()];
+        engine.enumerate(
+            subject,
+            object,
+            &Proof::trivial(subject.clone()),
+            &mut on_path,
+            &mut proofs,
+            max_proofs,
+        );
+        (proofs, engine.stats)
+    }
+}
+
+impl Engine<'_> {
+    /// Depth-first simple-path enumeration for
+    /// [`DelegationGraph::enumerate_proofs`].
+    fn enumerate(
+        &mut self,
+        node: &Node,
+        target: &Node,
+        proof_so_far: &Proof,
+        on_path: &mut Vec<Node>,
+        proofs: &mut Vec<Proof>,
+        max_proofs: usize,
+    ) {
+        if proofs.len() >= max_proofs || proof_so_far.chain_len() >= self.opts.max_depth {
+            return;
+        }
+        self.stats.nodes_expanded += 1;
+        let edges: Vec<Arc<SignedDelegation>> =
+            self.graph.outgoing(node, self.opts.now).cloned().collect();
+        for cert in edges {
+            if proofs.len() >= max_proofs {
+                return;
+            }
+            self.stats.edges_considered += 1;
+            let next = cert.delegation().object().clone();
+            if on_path.contains(&next) {
+                continue; // simple paths only
+            }
+            let mut acc = proof_so_far.accumulate();
+            for clause in cert.delegation().clauses() {
+                acc.absorb_clause(clause);
+            }
+            if self.opts.prune_by_constraints
+                && !self.opts.constraints.is_empty()
+                && !acc.satisfies(&self.opts.constraints, self.graph.declarations())
+            {
+                continue;
+            }
+            let Some(step) = self.build_step(&cert, &mut Vec::new(), 0) else {
+                continue;
+            };
+            let tail = Proof::from_steps(vec![step]).expect("single step");
+            let candidate = proof_so_far.clone().concat(tail).expect("linked");
+            if !candidate.respects_extension_depths() {
+                continue;
+            }
+            if &next == target {
+                if candidate
+                    .accumulate()
+                    .satisfies(&self.opts.constraints, self.graph.declarations())
+                {
+                    proofs.push(candidate);
+                }
+                continue;
+            }
+            on_path.push(next.clone());
+            self.enumerate(&next, target, &candidate, on_path, proofs, max_proofs);
+            on_path.pop();
+        }
+    }
+
+    /// Breadth-first search from `start`. Forward direction follows
+    /// subject→object edges; reverse follows object→subject. Returns the
+    /// best (first-found, non-dominated) proof per reached node. If
+    /// `target` is given, stops as soon as a satisfying proof reaches it.
+    fn search(
+        &mut self,
+        start: &Node,
+        target: Option<&Node>,
+        dir: Direction,
+    ) -> HashMap<Node, Proof> {
+        let mut results: HashMap<Node, Proof> = HashMap::new();
+        // Pareto frontier of accumulations seen per node (constrained
+        // searches); plain visited set otherwise.
+        let mut frontier: HashMap<Node, Vec<AttrAccumulator>> = HashMap::new();
+        let mut queue: VecDeque<State> = VecDeque::new();
+
+        let initial = State {
+            node: start.clone(),
+            proof: Proof::trivial(start.clone()),
+            acc: AttrAccumulator::new(),
+        };
+        frontier
+            .entry(start.clone())
+            .or_default()
+            .push(initial.acc.clone());
+        results.insert(start.clone(), initial.proof.clone());
+        queue.push_back(initial);
+
+        while let Some(state) = queue.pop_front() {
+            self.stats.nodes_expanded += 1;
+            if state.proof.chain_len() >= self.opts.max_depth {
+                continue;
+            }
+            let edges: Vec<Arc<SignedDelegation>> = match dir {
+                Direction::Forward => self
+                    .graph
+                    .outgoing(&state.node, self.opts.now)
+                    .cloned()
+                    .collect(),
+                Direction::Reverse => self
+                    .graph
+                    .incoming(&state.node, self.opts.now)
+                    .cloned()
+                    .collect(),
+            };
+            for cert in edges {
+                self.stats.edges_considered += 1;
+                let next_node = match dir {
+                    Direction::Forward => cert.delegation().object().clone(),
+                    Direction::Reverse => cert.delegation().subject().clone(),
+                };
+
+                let mut acc = state.acc.clone();
+                for clause in cert.delegation().clauses() {
+                    acc.absorb_clause(clause);
+                }
+                if self.opts.prune_by_constraints
+                    && !self.opts.constraints.is_empty()
+                    && !acc.satisfies(&self.opts.constraints, self.graph.declarations())
+                {
+                    continue;
+                }
+
+                // Dominance check against the node's frontier.
+                let seen = frontier.entry(next_node.clone()).or_default();
+                if seen
+                    .iter()
+                    .any(|prev| dominates(prev, &acc, &self.opts.constraints, self.graph))
+                {
+                    continue;
+                }
+                seen.retain(|prev| !dominates(&acc, prev, &self.opts.constraints, self.graph));
+                seen.push(acc.clone());
+
+                // Resolve supports; an unusable edge is skipped.
+                let Some(step) = self.build_step(&cert, &mut Vec::new(), 0) else {
+                    continue;
+                };
+
+                let proof = match dir {
+                    Direction::Forward => {
+                        let tail = Proof::from_steps(vec![step]).expect("single step");
+                        state
+                            .proof
+                            .clone()
+                            .concat(tail)
+                            .expect("linked by construction")
+                    }
+                    Direction::Reverse => {
+                        let head = Proof::from_steps(vec![step]).expect("single step");
+                        head.concat(state.proof.clone())
+                            .expect("linked by construction")
+                    }
+                };
+                // Transitive-trust limits: drop chains the validator
+                // would reject (forward appends can only break the new
+                // step; reverse prepends shift every position).
+                if !proof.respects_extension_depths() {
+                    continue;
+                }
+
+                let key = next_node.clone();
+                results.entry(key.clone()).or_insert_with(|| proof.clone());
+
+                if target == Some(&next_node)
+                    && proof
+                        .accumulate()
+                        .satisfies(&self.opts.constraints, self.graph.declarations())
+                {
+                    results.insert(next_node, proof);
+                    return results;
+                }
+
+                self.stats.states_enqueued += 1;
+                queue.push_back(State {
+                    node: next_node,
+                    proof,
+                    acc,
+                });
+            }
+        }
+        results
+    }
+
+    /// Wraps a credential in a proof step, attaching support proofs for
+    /// third-party authority and foreign attribute clauses. Provided
+    /// supports are preferred; otherwise a recursive search runs.
+    fn build_step(
+        &mut self,
+        cert: &Arc<SignedDelegation>,
+        resolving: &mut Vec<(EntityId, Node)>,
+        depth: usize,
+    ) -> Option<ProofStep> {
+        let delegation = cert.delegation();
+        let issuer = delegation.issuer();
+        let mut needed: Vec<Node> = Vec::new();
+        if let Some(right) = delegation.required_support() {
+            needed.push(right);
+        }
+        for clause in delegation.foreign_clauses() {
+            let admin = Node::attr_admin(clause.attr().clone());
+            if !needed.contains(&admin) {
+                needed.push(admin);
+            }
+        }
+        let mut step = ProofStep::new(Arc::clone(cert));
+        for right in needed {
+            let support = self.resolve_support(issuer, &right, resolving, depth)?;
+            step = step.with_support(support);
+        }
+        Some(step)
+    }
+
+    /// Finds a proof `issuer ⇒ right`, preferring supports provided at
+    /// publication and falling back to a recursive unconstrained search.
+    fn resolve_support(
+        &mut self,
+        issuer: EntityId,
+        right: &Node,
+        resolving: &mut Vec<(EntityId, Node)>,
+        depth: usize,
+    ) -> Option<Proof> {
+        if let Some(p) = self.graph.provided_support(issuer, right) {
+            // A provided support is only usable while none of its
+            // credentials have been revoked or expired; otherwise fall
+            // through to a fresh search.
+            let usable = p.all_certs().iter().all(|c| {
+                !self.graph.is_revoked(c.id()) && !c.delegation().is_expired(self.opts.now)
+            });
+            if usable {
+                return Some(p.clone());
+            }
+        }
+        if depth >= self.opts.max_support_depth {
+            return None;
+        }
+        let key = (issuer, right.clone());
+        if resolving.contains(&key) {
+            return None; // cycle among support requirements
+        }
+        resolving.push(key);
+        self.stats.support_resolutions += 1;
+        let found = self.support_search(&Node::Entity(issuer), right, resolving, depth);
+        resolving.pop();
+        found
+    }
+
+    /// A minimal forward search used only for support resolution (no
+    /// attribute constraints; supports authorize, they don't modulate).
+    fn support_search(
+        &mut self,
+        start: &Node,
+        target: &Node,
+        resolving: &mut Vec<(EntityId, Node)>,
+        depth: usize,
+    ) -> Option<Proof> {
+        let mut visited: HashSet<Node> = HashSet::new();
+        let mut queue: VecDeque<(Node, Proof)> = VecDeque::new();
+        visited.insert(start.clone());
+        queue.push_back((start.clone(), Proof::trivial(start.clone())));
+        while let Some((node, proof)) = queue.pop_front() {
+            self.stats.nodes_expanded += 1;
+            if proof.chain_len() >= self.opts.max_depth {
+                continue;
+            }
+            let edges: Vec<Arc<SignedDelegation>> =
+                self.graph.outgoing(&node, self.opts.now).cloned().collect();
+            for cert in edges {
+                self.stats.edges_considered += 1;
+                let next = cert.delegation().object().clone();
+                if visited.contains(&next) {
+                    continue;
+                }
+                let Some(step) = self.build_step(&cert, resolving, depth + 1) else {
+                    continue;
+                };
+                let tail = Proof::from_steps(vec![step]).expect("single step");
+                let next_proof = proof.clone().concat(tail).expect("linked");
+                if !next_proof.respects_extension_depths() {
+                    continue;
+                }
+                if &next == target {
+                    return Some(next_proof);
+                }
+                visited.insert(next.clone());
+                queue.push_back((next, next_proof));
+            }
+        }
+        None
+    }
+}
+
+/// `a` dominates `b` if, for every constrained attribute, `a`'s effective
+/// value is at least `b`'s — i.e. `b` cannot satisfy anything `a` cannot.
+/// With no constraints all accumulations are equivalent, so any previous
+/// visit dominates.
+fn dominates(
+    a: &AttrAccumulator,
+    b: &AttrAccumulator,
+    constraints: &[AttrConstraint],
+    graph: &DelegationGraph,
+) -> bool {
+    if constraints.is_empty() {
+        return true;
+    }
+    constraints.iter().all(|c| {
+        let base = graph
+            .declarations()
+            .base(&c.attr)
+            .unwrap_or_else(|| natural_base(c.attr.op()));
+        a.effective(&c.attr, base) >= b.effective(&c.attr, base)
+    })
+}
+
+fn natural_base(op: AttrOp) -> f64 {
+    match op {
+        AttrOp::Subtract => 0.0,
+        AttrOp::Scale => 1.0,
+        AttrOp::Min => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{AttrDeclaration, AttrOp, LocalEntity, ProofValidator, ValidationContext};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fx {
+        a: LocalEntity,
+        b: LocalEntity,
+        maria: LocalEntity,
+    }
+
+    fn fx() -> Fx {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = SchnorrGroup::test_256();
+        Fx {
+            a: LocalEntity::generate("A", g.clone(), &mut rng),
+            b: LocalEntity::generate("B", g.clone(), &mut rng),
+            maria: LocalEntity::generate("Maria", g, &mut rng),
+        }
+    }
+
+    fn opts() -> SearchOptions {
+        SearchOptions::at(Timestamp(0))
+    }
+
+    #[test]
+    fn multi_hop_chain_found_and_validates() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let r1 = f.a.role("r1");
+        let r2 = f.a.role("r2");
+        let r3 = f.a.role("r3");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(r1.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(r1), Node::role(r2.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(r2), Node::role(r3.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        let (proof, stats) = g.direct_query(&Node::entity(&f.maria), &Node::role(r3), &opts());
+        let proof = proof.expect("chain exists");
+        assert_eq!(proof.chain_len(), 3);
+        assert!(stats.edges_considered >= 3);
+        let v = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+        assert!(v.validate(&proof).is_ok());
+    }
+
+    #[test]
+    fn no_path_returns_none() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(f.a.role("r1")))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(
+            &Node::entity(&f.maria),
+            &Node::role(f.a.role("other")),
+            &opts(),
+        );
+        assert!(proof.is_none());
+    }
+
+    #[test]
+    fn bfs_finds_shortest_chain() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let target = f.a.role("target");
+        let hop = f.a.role("hop");
+        // Long path Maria -> hop -> target, and short path Maria -> target.
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(hop.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(hop), Node::role(target.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(target.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(target), &opts());
+        assert_eq!(proof.unwrap().chain_len(), 1);
+    }
+
+    #[test]
+    fn third_party_edge_uses_provided_support() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let member = f.a.role("member");
+        // A grants B member'.
+        let grant =
+            f.a.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .sign(&f.a)
+                .unwrap();
+        let support = Proof::from_steps(vec![ProofStep::new(grant)]).unwrap();
+        // B issues member to Maria (third-party), publishing the support.
+        let cert =
+            f.b.delegate(Node::entity(&f.maria), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap();
+        g.insert_with_supports(cert, vec![support]);
+
+        let (proof, stats) = g.direct_query(&Node::entity(&f.maria), &Node::role(member), &opts());
+        let proof = proof.expect("supported third-party chain");
+        assert_eq!(
+            stats.support_resolutions, 0,
+            "provided support used directly"
+        );
+        let v = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+        assert!(v.validate(&proof).is_ok());
+    }
+
+    #[test]
+    fn third_party_support_discovered_from_graph() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let member = f.a.role("member");
+        // Support material is in the graph but not pre-packaged.
+        g.insert(
+            f.a.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.b.delegate(Node::entity(&f.maria), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap(),
+        );
+
+        let (proof, stats) = g.direct_query(&Node::entity(&f.maria), &Node::role(member), &opts());
+        let proof = proof.expect("support found by recursive search");
+        assert!(stats.support_resolutions >= 1);
+        let v = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+        assert!(v.validate(&proof).is_ok());
+    }
+
+    #[test]
+    fn unsupported_third_party_edge_is_unusable() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let member = f.a.role("member");
+        g.insert(
+            f.b.delegate(Node::entity(&f.maria), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(member), &opts());
+        assert!(proof.is_none(), "no authority for B over A.member");
+    }
+
+    #[test]
+    fn subject_query_enumerates_reachable() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let r1 = f.a.role("r1");
+        let r2 = f.a.role("r2");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(r1.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::entity(&f.b), Node::role(r2.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        let (proofs, _) = g.subject_query(&Node::entity(&f.maria), &opts());
+        let objects: Vec<String> = proofs.iter().map(|p| p.object().to_string()).collect();
+        assert_eq!(proofs.len(), 2, "reaches r1 and r2: {objects:?}");
+        for p in &proofs {
+            assert_eq!(p.subject(), &Node::entity(&f.maria));
+        }
+    }
+
+    #[test]
+    fn object_query_enumerates_reaching() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let r1 = f.a.role("r1");
+        let r2 = f.a.role("r2");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(r1.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        let (proofs, _) = g.object_query(&Node::role(r2.clone()), &opts());
+        assert_eq!(proofs.len(), 2, "r1 and Maria both reach r2");
+        for p in &proofs {
+            assert_eq!(p.object(), &Node::role(r2.clone()));
+        }
+        // Reverse-built proofs validate too.
+        let v = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+        for p in &proofs {
+            assert!(v.validate(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn constraint_pruning_cuts_work_but_preserves_answers() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        g.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+        let target = f.a.role("target");
+
+        // Path 1 (fails constraint): BW drops to 10 then fans out widely.
+        let weak = f.a.role("weak");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(weak.clone()))
+                .with_attr(bw.clone(), 10.0)
+                .unwrap()
+                .sign(&f.a)
+                .unwrap(),
+        );
+        for i in 0..20 {
+            let filler = f.a.role(&format!("filler{i}"));
+            g.insert(
+                f.a.delegate(Node::role(weak.clone()), Node::role(filler.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+            g.insert(
+                f.a.delegate(Node::role(filler), Node::role(target.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+        }
+        // Path 2 (satisfies): BW 500 direct.
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(target.clone()))
+                .with_attr(bw.clone(), 500.0)
+                .unwrap()
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        let constraint = AttrConstraint::at_least(bw.clone(), 100.0);
+        let pruned_opts = opts().with_constraint(constraint.clone());
+        let unpruned_opts = opts().with_constraint(constraint).without_pruning();
+
+        let (p1, s1) = g.direct_query(
+            &Node::entity(&f.maria),
+            &Node::role(target.clone()),
+            &pruned_opts,
+        );
+        let (p2, s2) = g.direct_query(&Node::entity(&f.maria), &Node::role(target), &unpruned_opts);
+        let (p1, _p2) = (
+            p1.expect("found with pruning"),
+            p2.expect("found without pruning"),
+        );
+        assert!(p1
+            .accumulate()
+            .satisfies(&pruned_opts.constraints, g.declarations()));
+        assert!(
+            s1.edges_considered <= s2.edges_considered,
+            "pruning should not examine more edges ({} vs {})",
+            s1.edges_considered,
+            s2.edges_considered
+        );
+    }
+
+    #[test]
+    fn constrained_search_takes_weaker_free_path_when_strong_is_constrained() {
+        // Two paths: short one violates the constraint, longer one is fine.
+        // The Pareto frontier must keep the second path alive even though
+        // the violating path reaches nodes first.
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        g.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+        let mid = f.a.role("mid");
+        let target = f.a.role("target");
+        // Fast-but-narrow: Maria -> mid with BW 10.
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(mid.clone()))
+                .with_attr(bw.clone(), 10.0)
+                .unwrap()
+                .sign(&f.a)
+                .unwrap(),
+        );
+        // Slow-but-wide: Maria -> wide -> mid with BW 800.
+        let wide = f.a.role("wide");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(wide.clone()))
+                .with_attr(bw.clone(), 800.0)
+                .unwrap()
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(wide), Node::role(mid.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(mid), Node::role(target.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        let o = opts().with_constraint(AttrConstraint::at_least(bw.clone(), 100.0));
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(target), &o);
+        let proof = proof.expect("wide path satisfies");
+        assert_eq!(proof.chain_len(), 3);
+        let acc = proof.accumulate();
+        assert_eq!(acc.effective(&bw, 1000.0), 800.0);
+    }
+
+    #[test]
+    fn depth_limit_bounds_search() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let mut prev = Node::entity(&f.maria);
+        for i in 0..10 {
+            let r = f.a.role(&format!("r{i}"));
+            g.insert(
+                f.a.delegate(prev.clone(), Node::role(r.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+            prev = Node::role(r);
+        }
+        let shallow = opts().with_max_depth(5);
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &prev, &shallow);
+        assert!(proof.is_none(), "target is 10 hops away, limit 5");
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &prev, &opts());
+        assert_eq!(proof.unwrap().chain_len(), 10);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let r1 = f.a.role("r1");
+        let r2 = f.a.role("r2");
+        g.insert(
+            f.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(r2.clone()), Node::role(r1.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(r1.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(r2), &opts());
+        assert!(proof.is_some());
+        let (proofs, _) = g.subject_query(&Node::entity(&f.maria), &opts());
+        assert_eq!(proofs.len(), 2);
+    }
+
+    #[test]
+    fn mutual_assignment_support_cycle_terminates_without_proof() {
+        // B and C each claim assignment authority only via the other; no
+        // self-certified root exists, so no proof should be found (and the
+        // search must terminate).
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let r = f.a.role("r");
+        let b = &f.b;
+        let mut rng = StdRng::seed_from_u64(99);
+        let c = LocalEntity::generate("C", SchnorrGroup::test_256(), &mut rng);
+        g.insert(
+            b.delegate(Node::entity(&c), Node::role_admin(r.clone()))
+                .sign(b)
+                .unwrap(),
+        );
+        g.insert(
+            c.delegate(Node::entity(b), Node::role_admin(r.clone()))
+                .sign(&c)
+                .unwrap(),
+        );
+        g.insert(
+            b.delegate(Node::entity(&f.maria), Node::role(r.clone()))
+                .sign(b)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(r), &opts());
+        assert!(proof.is_none());
+    }
+
+    #[test]
+    fn enumerate_proofs_finds_every_simple_path() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let target = f.a.role("target");
+        // Diamond: Maria -> {l, r} -> target, plus a direct edge: 3 paths.
+        for name in ["l", "r"] {
+            let mid = f.a.role(name);
+            g.insert(
+                f.a.delegate(Node::entity(&f.maria), Node::role(mid.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+            g.insert(
+                f.a.delegate(Node::role(mid), Node::role(target.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+        }
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(target.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        let (proofs, stats) = g.enumerate_proofs(
+            &Node::entity(&f.maria),
+            &Node::role(target.clone()),
+            &opts(),
+            100,
+        );
+        assert_eq!(proofs.len(), 3);
+        assert!(stats.edges_considered >= 5);
+        let v = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+        for p in &proofs {
+            assert!(v.validate(p).is_ok());
+            assert_eq!(p.object(), &Node::role(target.clone()));
+        }
+        // All proofs distinct.
+        for (i, p) in proofs.iter().enumerate() {
+            for q in &proofs[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_proofs_count_is_exponential_in_depth() {
+        // Layered graph with branching 2 between layers: path count 2^depth.
+        let f = fx();
+        for depth in [2usize, 3, 4] {
+            let mut g = DelegationGraph::new();
+            let mut prev_layer = vec![Node::entity(&f.maria)];
+            for l in 0..depth {
+                let layer: Vec<Node> = (0..2)
+                    .map(|i| Node::role(f.a.role(&format!("d{depth}l{l}n{i}"))))
+                    .collect();
+                for from in &prev_layer {
+                    for to in &layer {
+                        g.insert(f.a.delegate(from.clone(), to.clone()).sign(&f.a).unwrap());
+                    }
+                }
+                prev_layer = layer;
+            }
+            let target = Node::role(f.a.role(&format!("d{depth}target")));
+            for from in &prev_layer {
+                g.insert(
+                    f.a.delegate(from.clone(), target.clone())
+                        .sign(&f.a)
+                        .unwrap(),
+                );
+            }
+            let (proofs, _) = g.enumerate_proofs(&Node::entity(&f.maria), &target, &opts(), 10_000);
+            assert_eq!(proofs.len(), 1 << depth, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn enumerate_proofs_respects_cap_and_constraints() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        g.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+        let target = f.a.role("target");
+        // Two paths: one wide (500), one narrow (50).
+        for (name, cap) in [("wide", 500.0), ("narrow", 50.0)] {
+            let mid = f.a.role(name);
+            g.insert(
+                f.a.delegate(Node::entity(&f.maria), Node::role(mid.clone()))
+                    .with_attr(bw.clone(), cap)
+                    .unwrap()
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+            g.insert(
+                f.a.delegate(Node::role(mid), Node::role(target.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+        }
+        let constrained = opts().with_constraint(AttrConstraint::at_least(bw, 100.0));
+        let (proofs, _) = g.enumerate_proofs(
+            &Node::entity(&f.maria),
+            &Node::role(target.clone()),
+            &constrained,
+            100,
+        );
+        assert_eq!(proofs.len(), 1, "only the wide path satisfies");
+        // Cap limits output.
+        let (capped, _) =
+            g.enumerate_proofs(&Node::entity(&f.maria), &Node::role(target), &opts(), 1);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn depth_limited_edges_pruned_but_alternatives_found() {
+        // Two routes to the target: a short depth-0 grant reachable only
+        // via one hop (violates) and a longer unrestricted route.
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let hop = f.a.role("hop");
+        let target = f.a.role("target");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(hop.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        // Restricted: [hop -> target <depth:0>] — cannot be extended by
+        // Maria's hop delegation.
+        g.insert(
+            f.a.delegate(Node::role(hop.clone()), Node::role(target.clone()))
+                .max_extension_depth(0)
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(
+            &Node::entity(&f.maria),
+            &Node::role(target.clone()),
+            &opts(),
+        );
+        assert!(proof.is_none(), "depth-0 grant must not be extended");
+
+        // Direct depth-0 grant works (position 0).
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(target.clone()))
+                .max_extension_depth(0)
+                .serial(2)
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(target), &opts());
+        let proof = proof.expect("direct grant usable");
+        assert_eq!(proof.chain_len(), 1);
+        assert!(ProofValidator::new(ValidationContext::at(Timestamp(0)))
+            .validate(&proof)
+            .is_ok());
+    }
+
+    #[test]
+    fn reverse_search_respects_depth_limits() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let hop = f.a.role("hop");
+        let target = f.a.role("target");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(hop.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::role(hop), Node::role(target.clone()))
+                .max_extension_depth(0)
+                .sign(&f.a)
+                .unwrap(),
+        );
+        // Object query from target: the depth-0 edge itself (position 0)
+        // is a valid 1-step proof, but the 2-step extension is not.
+        let (proofs, _) = g.object_query(&Node::role(target), &opts());
+        assert_eq!(proofs.len(), 1, "only the unextended proof survives");
+        assert_eq!(proofs[0].chain_len(), 1);
+    }
+
+    #[test]
+    fn expired_edges_ignored_at_query_time() {
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let r = f.a.role("r");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(r.clone()))
+                .expires(Timestamp(5))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (found, _) = g.direct_query(
+            &Node::entity(&f.maria),
+            &Node::role(r.clone()),
+            &SearchOptions::at(Timestamp(5)),
+        );
+        assert!(found.is_some());
+        let (gone, _) = g.direct_query(
+            &Node::entity(&f.maria),
+            &Node::role(r),
+            &SearchOptions::at(Timestamp(6)),
+        );
+        assert!(gone.is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! Public-registry auditing (paper §6).
+//!
+//! The paper proposes that "a scheme which leverages 'S' and 'O'
+//! discovery tags to *require* public registry of further delegation may
+//! provide an alternative mechanism to audit and restrict re-delegation":
+//! because `s`/`S` (`o`/`O`) tags **require** every delegation with that
+//! subject (object) to be stored in its home wallet, an auditor can
+//! enumerate the home wallet to see *all* re-delegations — and anything
+//! found elsewhere but missing from the registry is a compliance
+//! violation.
+//!
+//! [`audit_store_compliance`] sweeps every host in a [`SimNet`] and
+//! reports delegations that their own discovery tags say should be
+//! registered at a home wallet but are not. [`redelegations_of`] is the
+//! audit query itself: everything the registry knows about a role's
+//! onward delegation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use drbac_core::{DiscoveryTag, Node, ObjectFlag, SignedDelegation, SubjectFlag, WalletAddr};
+
+use crate::sim::SimNet;
+
+/// One compliance violation: a delegation whose tag requires registry at
+/// `home`, observed at `observed_at`, but absent from `home`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreViolation {
+    /// The delegation (rendered) that escaped the registry.
+    pub delegation: String,
+    /// Where the auditor saw it.
+    pub observed_at: WalletAddr,
+    /// The home wallet that should hold it.
+    pub home: WalletAddr,
+    /// Which endpoint's tag imposed the requirement.
+    pub endpoint: AuditEndpoint,
+}
+
+/// Which endpoint's flag triggered the requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditEndpoint {
+    /// The subject's `s`/`S` flag.
+    Subject,
+    /// The object's `o`/`O` flag.
+    Object,
+}
+
+impl fmt::Display for StoreViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let endpoint = match self.endpoint {
+            AuditEndpoint::Subject => "subject",
+            AuditEndpoint::Object => "object",
+        };
+        write!(
+            f,
+            "{} (seen at {}) must be registered at {} per its {endpoint} tag",
+            self.delegation, self.observed_at, self.home
+        )
+    }
+}
+
+fn requires_subject_registry(tag: &DiscoveryTag) -> bool {
+    !matches!(tag.subject_flag(), SubjectFlag::None)
+}
+
+fn requires_object_registry(tag: &DiscoveryTag) -> bool {
+    !matches!(tag.object_flag(), ObjectFlag::None)
+}
+
+/// Sweeps every host on the network and reports store-flag violations.
+///
+/// `hosts` names the wallets to sweep (the auditor's view of the world).
+pub fn audit_store_compliance(net: &SimNet, hosts: &[WalletAddr]) -> Vec<StoreViolation> {
+    let mut violations = Vec::new();
+    for addr in hosts {
+        let Some(host) = net.host(addr) else { continue };
+        let certs: Vec<Arc<SignedDelegation>> =
+            host.wallet().with_graph(|g| g.iter().cloned().collect());
+        for cert in certs {
+            let d = cert.delegation();
+            if let Some(tag) = d.subject_tag() {
+                if requires_subject_registry(tag) {
+                    let home = tag.home().clone();
+                    if !wallet_holds(net, &home, &cert) {
+                        violations.push(StoreViolation {
+                            delegation: d.to_string(),
+                            observed_at: addr.clone(),
+                            home,
+                            endpoint: AuditEndpoint::Subject,
+                        });
+                    }
+                }
+            }
+            if let Some(tag) = d.object_tag() {
+                if requires_object_registry(tag) {
+                    let home = tag.home().clone();
+                    if !wallet_holds(net, &home, &cert) {
+                        violations.push(StoreViolation {
+                            delegation: d.to_string(),
+                            observed_at: addr.clone(),
+                            home,
+                            endpoint: AuditEndpoint::Object,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn wallet_holds(net: &SimNet, home: &WalletAddr, cert: &SignedDelegation) -> bool {
+    net.host(home)
+        .map(|h| h.wallet().contains(cert.id()))
+        .unwrap_or(false)
+}
+
+/// The audit query the registry enables: every delegation registered at
+/// `registry` whose *subject* is `node` — i.e. all onward (re-)delegation
+/// of that role that the `S` flag forced into the open.
+pub fn redelegations_of(net: &SimNet, registry: &WalletAddr, node: &Node) -> Vec<String> {
+    let Some(host) = net.host(registry) else {
+        return Vec::new();
+    };
+    let now = host.wallet().now();
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    host.wallet().with_graph(|g| {
+        for cert in g.outgoing(node, now) {
+            out.insert(cert.delegation().to_string());
+        }
+    });
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{LocalEntity, SimClock, Ticks};
+    use drbac_crypto::SchnorrGroup;
+    use drbac_wallet::Wallet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fx {
+        net: SimNet,
+        a: LocalEntity,
+        m: LocalEntity,
+    }
+
+    fn fx() -> Fx {
+        let mut rng = StdRng::seed_from_u64(0xa1d17);
+        let g = SchnorrGroup::test_256();
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), Ticks(1));
+        for addr in ["home", "elsewhere"] {
+            net.add_host(addr, Wallet::new(addr, clock.clone()));
+        }
+        Fx {
+            net,
+            a: LocalEntity::generate("A", g.clone(), &mut rng),
+            m: LocalEntity::generate("M", g, &mut rng),
+        }
+    }
+
+    fn store_tag(home: &str) -> DiscoveryTag {
+        DiscoveryTag::new(home).with_subject_flag(SubjectFlag::Store)
+    }
+
+    #[test]
+    fn compliant_network_has_no_violations() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .subject_tag(store_tag("home"))
+                .sign(&f.a)
+                .unwrap();
+        f.net
+            .host(&"home".into())
+            .unwrap()
+            .wallet()
+            .publish(cert, vec![])
+            .unwrap();
+        let violations = audit_store_compliance(&f.net, &["home".into(), "elsewhere".into()]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn unregistered_delegation_is_flagged() {
+        let f = fx();
+        // The tag says "store at home", but the credential only lives at
+        // "elsewhere" — a covert re-delegation.
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .subject_tag(store_tag("home"))
+                .sign(&f.a)
+                .unwrap();
+        f.net
+            .host(&"elsewhere".into())
+            .unwrap()
+            .wallet()
+            .publish(cert, vec![])
+            .unwrap();
+        let violations = audit_store_compliance(&f.net, &["home".into(), "elsewhere".into()]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].endpoint, AuditEndpoint::Subject);
+        assert_eq!(violations[0].home.as_str(), "home");
+        assert!(violations[0].to_string().contains("must be registered"));
+    }
+
+    #[test]
+    fn object_flags_audited_too() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .object_tag(DiscoveryTag::new("home").with_object_flag(ObjectFlag::Search))
+                .sign(&f.a)
+                .unwrap();
+        f.net
+            .host(&"elsewhere".into())
+            .unwrap()
+            .wallet()
+            .publish(cert, vec![])
+            .unwrap();
+        let violations = audit_store_compliance(&f.net, &["elsewhere".into()]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].endpoint, AuditEndpoint::Object);
+    }
+
+    #[test]
+    fn untagged_delegations_are_unconstrained() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        f.net
+            .host(&"elsewhere".into())
+            .unwrap()
+            .wallet()
+            .publish(cert, vec![])
+            .unwrap();
+        assert!(audit_store_compliance(&f.net, &["elsewhere".into()]).is_empty());
+    }
+
+    #[test]
+    fn registry_enumerates_redelegations() {
+        let f = fx();
+        let role = Node::role(f.a.role("shared"));
+        let home = f.net.host(&"home".into()).unwrap();
+        for i in 0..3 {
+            home.wallet()
+                .publish(
+                    f.a.delegate(role.clone(), Node::role(f.a.role(&format!("onward{i}"))))
+                        .subject_tag(store_tag("home"))
+                        .sign(&f.a)
+                        .unwrap(),
+                    vec![],
+                )
+                .unwrap();
+        }
+        let listed = redelegations_of(&f.net, &"home".into(), &role);
+        assert_eq!(listed.len(), 3, "{listed:?}");
+        assert!(redelegations_of(&f.net, &"nowhere".into(), &role).is_empty());
+    }
+}

@@ -1,0 +1,1011 @@
+//! Tag-directed distributed credential discovery (paper §4.2.1).
+//!
+//! The agent builds proofs spanning multiple wallets "by conducting
+//! searches from subjects towards objects and/or objects towards subjects
+//! (using subject and object queries against individual wallets) as
+//! directed by discovery tags". Sub-proofs returned by remote wallets are
+//! inserted into the local trusted wallet, "with the objects of these
+//! proofs serving as the roots for further searches", and the local wallet
+//! glues the segments into a complete proof.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use drbac_core::{AttrConstraint, DiscoveryTag, EntityId, Node, Proof, WalletAddr};
+use drbac_wallet::{ProofMonitor, Wallet};
+
+use crate::proto::{Reply, Request};
+use crate::transport::Transport;
+
+/// Resolves nodes to their home wallets via discovery tags.
+///
+/// Initially seeded from out-of-band knowledge (e.g. the tags on
+/// credentials an entity presents); enriched automatically with tags
+/// carried by discovered delegations.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    node_tags: HashMap<Node, DiscoveryTag>,
+    entity_tags: HashMap<EntityId, DiscoveryTag>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node's discovery tag.
+    pub fn register(&mut self, node: Node, tag: DiscoveryTag) {
+        self.node_tags.insert(node, tag);
+    }
+
+    /// Registers a namespace-wide tag for an entity (fallback for roles in
+    /// that namespace).
+    pub fn register_entity(&mut self, entity: EntityId, tag: DiscoveryTag) {
+        self.entity_tags.insert(entity, tag);
+    }
+
+    /// The tag for `node`: exact registration first, then the namespace
+    /// owner's tag.
+    pub fn tag_of(&self, node: &Node) -> Option<&DiscoveryTag> {
+        self.node_tags
+            .get(node)
+            .or_else(|| self.entity_tags.get(&node.namespace()))
+    }
+
+    /// Absorbs the subject/object/issuer tags carried by every delegation
+    /// in `proof`.
+    pub fn learn_from_proof(&mut self, proof: &Proof) {
+        for cert in proof.all_certs() {
+            let d = cert.delegation();
+            if let Some(tag) = d.subject_tag() {
+                self.node_tags
+                    .entry(d.subject().clone())
+                    .or_insert_with(|| tag.clone());
+            }
+            if let Some(tag) = d.object_tag() {
+                self.node_tags
+                    .entry(d.object().clone())
+                    .or_insert_with(|| tag.clone());
+            }
+            if let Some(tag) = d.issuer_tag() {
+                self.entity_tags
+                    .entry(d.issuer())
+                    .or_insert_with(|| tag.clone());
+            }
+        }
+    }
+
+    /// Number of known tags.
+    pub fn len(&self) -> usize {
+        self.node_tags.len() + self.entity_tags.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.node_tags.is_empty() && self.entity_tags.is_empty()
+    }
+}
+
+/// Which directions the tags permit searching in (paper §4.2.3: searching
+/// simultaneously in both directions sharply reduces the paths
+/// considered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Subject has flag `S`: subject-towards-object search is complete.
+    Forward,
+    /// Object has flag `O`: object-towards-subject search is complete.
+    Reverse,
+    /// Both flags set: expand both frontiers alternately.
+    Bidirectional,
+    /// Neither flag: only the local wallet can answer.
+    LocalOnly,
+}
+
+/// One entry in the discovery trace — the audit log tests use to check
+/// the paper's Figure 2 walkthrough step by step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryStep {
+    /// Queried the local wallet.
+    LocalQuery {
+        /// Whether a complete proof was found locally.
+        found: bool,
+    },
+    /// Sent a direct query to a remote wallet.
+    RemoteDirect {
+        /// The wallet contacted.
+        wallet: WalletAddr,
+        /// The frontier node queried from (forward) or toward (reverse).
+        node: String,
+        /// Whether the remote returned a complete sub-proof.
+        found: bool,
+    },
+    /// Sent a subject query (`node ⇒ *`) to a remote wallet.
+    RemoteSubjectQuery {
+        /// The wallet contacted.
+        wallet: WalletAddr,
+        /// The frontier node.
+        node: String,
+        /// Number of sub-proofs returned.
+        proofs: usize,
+    },
+    /// Sent an object query (`* ⇒ node`) to a remote wallet.
+    RemoteObjectQuery {
+        /// The wallet contacted.
+        wallet: WalletAddr,
+        /// The frontier node.
+        node: String,
+        /// Number of sub-proofs returned.
+        proofs: usize,
+    },
+    /// Absorbed remote sub-proofs into the local wallet and subscribed
+    /// for coherence.
+    Absorbed {
+        /// Credentials inserted.
+        certs: usize,
+    },
+    /// Fetched attribute declarations from a remote wallet.
+    FetchedDeclarations {
+        /// The wallet contacted.
+        wallet: WalletAddr,
+        /// Declarations received.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DiscoveryStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryStep::LocalQuery { found } => write!(f, "local query (found: {found})"),
+            DiscoveryStep::RemoteDirect {
+                wallet,
+                node,
+                found,
+            } => {
+                write!(f, "direct query at {wallet} from {node} (found: {found})")
+            }
+            DiscoveryStep::RemoteSubjectQuery {
+                wallet,
+                node,
+                proofs,
+            } => {
+                write!(f, "subject query {node} => * at {wallet} ({proofs} proofs)")
+            }
+            DiscoveryStep::RemoteObjectQuery {
+                wallet,
+                node,
+                proofs,
+            } => {
+                write!(f, "object query * => {node} at {wallet} ({proofs} proofs)")
+            }
+            DiscoveryStep::Absorbed { certs } => write!(f, "absorbed {certs} credentials"),
+            DiscoveryStep::FetchedDeclarations { wallet, count } => {
+                write!(f, "fetched {count} declarations from {wallet}")
+            }
+        }
+    }
+}
+
+/// Result of a distributed discovery run.
+#[derive(Debug)]
+pub struct DiscoveryOutcome {
+    /// The monitored proof, if discovery succeeded.
+    pub monitor: Option<ProofMonitor>,
+    /// Ordered trace of discovery actions.
+    pub trace: Vec<DiscoveryStep>,
+    /// Remote wallets contacted.
+    pub wallets_contacted: BTreeSet<WalletAddr>,
+    /// The search mode the tags selected.
+    pub mode: SearchMode,
+}
+
+impl DiscoveryOutcome {
+    /// `true` when a proof was found.
+    pub fn found(&self) -> bool {
+        self.monitor.is_some()
+    }
+}
+
+/// Executes tag-directed discovery over any [`Transport`] —
+/// deterministic ([`crate::SimNet`]) or threaded
+/// ([`crate::ServiceRegistry`]) — building the proof in a local trusted
+/// wallet.
+pub struct DiscoveryAgent {
+    transport: std::sync::Arc<dyn Transport>,
+    local: Wallet,
+    directory: Directory,
+    /// Establish delegation subscriptions for absorbed credentials
+    /// (coherence; Figure 2's dotted lines). Default true.
+    pub auto_subscribe: bool,
+    /// Recursion guard for support repair.
+    repairing: bool,
+}
+
+impl std::fmt::Debug for DiscoveryAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscoveryAgent")
+            .field("local", &self.local)
+            .field("directory", &self.directory)
+            .finish()
+    }
+}
+
+impl DiscoveryAgent {
+    /// Creates an agent operating `local` as its trusted wallet.
+    pub fn new(
+        transport: impl Transport + 'static,
+        local: impl Into<Wallet>,
+        directory: Directory,
+    ) -> Self {
+        DiscoveryAgent {
+            transport: std::sync::Arc::new(transport),
+            local: local.into(),
+            directory,
+            auto_subscribe: true,
+            repairing: false,
+        }
+    }
+
+    /// The (mutable) directory, e.g. to register tags learned out of
+    /// band.
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.directory
+    }
+
+    /// Discovers a proof `subject ⇒ object` satisfying `constraints`,
+    /// following discovery tags across wallets.
+    pub fn discover(
+        &mut self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+    ) -> DiscoveryOutcome {
+        self.discover_with_seeds(subject, object, constraints, &[])
+    }
+
+    /// As [`DiscoveryAgent::discover`], with extra forward-frontier seed
+    /// nodes — used with the *acting-as* hints of third-party delegations
+    /// when re-discovering support chains (§4.2.1).
+    pub fn discover_with_seeds(
+        &mut self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+        extra_seeds: &[Node],
+    ) -> DiscoveryOutcome {
+        let mut trace = Vec::new();
+        let mut contacted = BTreeSet::new();
+
+        let mut mode = self.pick_mode(subject, object);
+        // Searchable seed tags enable forward expansion even when the
+        // subject's own roots carry no usable tag.
+        if matches!(mode, SearchMode::LocalOnly | SearchMode::Reverse)
+            && extra_seeds.iter().any(|n| {
+                self.directory
+                    .tag_of(n)
+                    .map(|t| t.searchable_from_subject())
+                    .unwrap_or(false)
+            })
+        {
+            mode = match mode {
+                SearchMode::Reverse => SearchMode::Bidirectional,
+                _ => SearchMode::Forward,
+            };
+        }
+
+        // Step 1: the local wallet first.
+        if let Some(monitor) = self.local.query_direct(subject, object, constraints) {
+            trace.push(DiscoveryStep::LocalQuery { found: true });
+            return DiscoveryOutcome {
+                monitor: Some(monitor),
+                trace,
+                wallets_contacted: contacted,
+                mode,
+            };
+        }
+        trace.push(DiscoveryStep::LocalQuery { found: false });
+        if mode == SearchMode::LocalOnly {
+            return DiscoveryOutcome {
+                monitor: None,
+                trace,
+                wallets_contacted: contacted,
+                mode,
+            };
+        }
+
+        // Frontiers seeded with the endpoints plus everything the local
+        // wallet already connects them to, plus caller-provided seeds.
+        let mut fwd: VecDeque<Node> = VecDeque::new();
+        let mut rev: VecDeque<Node> = VecDeque::new();
+        let mut fwd_seen: BTreeSet<Node> = BTreeSet::new();
+        let mut rev_seen: BTreeSet<Node> = BTreeSet::new();
+        if matches!(mode, SearchMode::Forward | SearchMode::Bidirectional) {
+            let mut roots = self.local_forward_roots(subject, constraints);
+            roots.extend(extra_seeds.iter().cloned());
+            for node in roots {
+                if fwd_seen.insert(node.clone()) {
+                    fwd.push_back(node);
+                }
+            }
+        }
+        if matches!(mode, SearchMode::Reverse | SearchMode::Bidirectional) {
+            for node in self.local_reverse_roots(object, constraints) {
+                if rev_seen.insert(node.clone()) {
+                    rev.push_back(node);
+                }
+            }
+        }
+
+        while !fwd.is_empty() || !rev.is_empty() {
+            // Alternate frontiers (bidirectional meets in the middle).
+            if let Some(node) = fwd.pop_front() {
+                if let Some(monitor) = self.expand_forward(
+                    &node,
+                    subject,
+                    object,
+                    constraints,
+                    &mut trace,
+                    &mut contacted,
+                    &mut fwd,
+                    &mut fwd_seen,
+                ) {
+                    return DiscoveryOutcome {
+                        monitor: Some(monitor),
+                        trace,
+                        wallets_contacted: contacted,
+                        mode,
+                    };
+                }
+            }
+            if let Some(node) = rev.pop_front() {
+                if let Some(monitor) = self.expand_reverse(
+                    &node,
+                    subject,
+                    object,
+                    constraints,
+                    &mut trace,
+                    &mut contacted,
+                    &mut rev,
+                    &mut rev_seen,
+                ) {
+                    return DiscoveryOutcome {
+                        monitor: Some(monitor),
+                        trace,
+                        wallets_contacted: contacted,
+                        mode,
+                    };
+                }
+            }
+        }
+
+        // Last resort (§4.2.1): stored support proofs may have been
+        // invalidated while fresh authority exists elsewhere — rebuild
+        // them from the issuers' *acting-as* hints and retry once.
+        if !self.repairing && self.repair_supports(&mut trace, &mut contacted) {
+            if let Some(monitor) = self.local.query_direct(subject, object, constraints) {
+                trace.push(DiscoveryStep::LocalQuery { found: true });
+                return DiscoveryOutcome {
+                    monitor: Some(monitor),
+                    trace,
+                    wallets_contacted: contacted,
+                    mode,
+                };
+            }
+        }
+
+        DiscoveryOutcome {
+            monitor: None,
+            trace,
+            wallets_contacted: contacted,
+            mode,
+        }
+    }
+
+    /// Re-discovers support proofs for third-party delegations whose
+    /// issuer authority can no longer be proven locally. Returns `true`
+    /// if at least one support was repaired.
+    fn repair_supports(
+        &mut self,
+        trace: &mut Vec<DiscoveryStep>,
+        contacted: &mut BTreeSet<WalletAddr>,
+    ) -> bool {
+        self.repairing = true;
+        let broken = self.local.unsupported_third_party();
+        let mut repaired = false;
+        for (issuer, right, acting_as) in broken {
+            let outcome = self.discover_with_seeds(&Node::Entity(issuer), &right, &[], &acting_as);
+            trace.extend(outcome.trace);
+            contacted.extend(outcome.wallets_contacted);
+            if let Some(monitor) = outcome.monitor {
+                if self.local.provide_support(monitor.proof().clone()).is_ok() {
+                    repaired = true;
+                }
+            }
+        }
+        self.repairing = false;
+        repaired
+    }
+
+    /// Selects the search mode from the discovery flags of the endpoints
+    /// *and* of the frontier the local wallet already connects them to —
+    /// this is how the paper's server wallet "observes that the subject of
+    /// the desired relationship, `BigISP.member`, has discovery search
+    /// type 'S'" after combining Maria's presented credential.
+    fn pick_mode(&self, subject: &Node, object: &Node) -> SearchMode {
+        let fwd = self.local_forward_roots(subject, &[]).iter().any(|n| {
+            self.directory
+                .tag_of(n)
+                .map(|t| t.searchable_from_subject())
+                .unwrap_or(false)
+        });
+        let rev = self.local_reverse_roots(object, &[]).iter().any(|n| {
+            self.directory
+                .tag_of(n)
+                .map(|t| t.searchable_from_object())
+                .unwrap_or(false)
+        });
+        match (fwd, rev) {
+            (true, true) => SearchMode::Bidirectional,
+            (true, false) => SearchMode::Forward,
+            (false, true) => SearchMode::Reverse,
+            (false, false) => SearchMode::LocalOnly,
+        }
+    }
+
+    /// Everything the local wallet already proves the subject can reach.
+    fn local_forward_roots(&self, subject: &Node, constraints: &[AttrConstraint]) -> Vec<Node> {
+        let mut roots = vec![subject.clone()];
+        for proof in self.local.query_subject(subject, constraints) {
+            roots.push(proof.object().clone());
+        }
+        roots
+    }
+
+    /// Everything the local wallet already proves can reach the object.
+    fn local_reverse_roots(&self, object: &Node, constraints: &[AttrConstraint]) -> Vec<Node> {
+        let mut roots = vec![object.clone()];
+        for proof in self.local.query_object(object, constraints) {
+            roots.push(proof.subject().clone());
+        }
+        roots
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_forward(
+        &mut self,
+        node: &Node,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+        trace: &mut Vec<DiscoveryStep>,
+        contacted: &mut BTreeSet<WalletAddr>,
+        frontier: &mut VecDeque<Node>,
+        seen: &mut BTreeSet<Node>,
+    ) -> Option<ProofMonitor> {
+        let home = self.home_of(node)?;
+        if &home == self.local.addr() {
+            return None;
+        }
+        self.prepare_wallet(&home, trace, contacted);
+
+        // Paper: "a direct query for Sub => Obj directed towards Sub's
+        // home wallet" first, then a subject query.
+        let direct = self.transport.request(
+            &home,
+            Request::DirectQuery {
+                subject: node.clone(),
+                object: object.clone(),
+                constraints: constraints.to_vec(),
+            },
+        );
+        if let Ok(Reply::Proofs(proofs)) = direct {
+            let found = !proofs.is_empty();
+            trace.push(DiscoveryStep::RemoteDirect {
+                wallet: home.clone(),
+                node: node.to_string(),
+                found,
+            });
+            if found {
+                self.absorb(&proofs, &home, trace);
+                if let Some(m) = self.local.query_direct(subject, object, constraints) {
+                    return Some(m);
+                }
+            }
+        }
+
+        let reply = self.transport.request(
+            &home,
+            Request::SubjectQuery {
+                subject: node.clone(),
+                constraints: constraints.to_vec(),
+            },
+        );
+        if let Ok(Reply::Proofs(proofs)) = reply {
+            trace.push(DiscoveryStep::RemoteSubjectQuery {
+                wallet: home.clone(),
+                node: node.to_string(),
+                proofs: proofs.len(),
+            });
+            self.absorb(&proofs, &home, trace);
+            for p in &proofs {
+                let next = p.object().clone();
+                if seen.insert(next.clone()) {
+                    frontier.push_back(next);
+                }
+            }
+            if let Some(m) = self.local.query_direct(subject, object, constraints) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_reverse(
+        &mut self,
+        node: &Node,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+        trace: &mut Vec<DiscoveryStep>,
+        contacted: &mut BTreeSet<WalletAddr>,
+        frontier: &mut VecDeque<Node>,
+        seen: &mut BTreeSet<Node>,
+    ) -> Option<ProofMonitor> {
+        let home = self.home_of(node)?;
+        if &home == self.local.addr() {
+            return None;
+        }
+        self.prepare_wallet(&home, trace, contacted);
+
+        let direct = self.transport.request(
+            &home,
+            Request::DirectQuery {
+                subject: subject.clone(),
+                object: node.clone(),
+                constraints: constraints.to_vec(),
+            },
+        );
+        if let Ok(Reply::Proofs(proofs)) = direct {
+            let found = !proofs.is_empty();
+            trace.push(DiscoveryStep::RemoteDirect {
+                wallet: home.clone(),
+                node: node.to_string(),
+                found,
+            });
+            if found {
+                self.absorb(&proofs, &home, trace);
+                if let Some(m) = self.local.query_direct(subject, object, constraints) {
+                    return Some(m);
+                }
+            }
+        }
+
+        let reply = self.transport.request(
+            &home,
+            Request::ObjectQuery {
+                object: node.clone(),
+                constraints: constraints.to_vec(),
+            },
+        );
+        if let Ok(Reply::Proofs(proofs)) = reply {
+            trace.push(DiscoveryStep::RemoteObjectQuery {
+                wallet: home.clone(),
+                node: node.to_string(),
+                proofs: proofs.len(),
+            });
+            self.absorb(&proofs, &home, trace);
+            for p in &proofs {
+                let next = p.subject().clone();
+                if seen.insert(next.clone()) {
+                    frontier.push_back(next);
+                }
+            }
+            if let Some(m) = self.local.query_direct(subject, object, constraints) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    fn home_of(&self, node: &Node) -> Option<WalletAddr> {
+        self.directory.tag_of(node).map(|t| t.home().clone())
+    }
+
+    /// First contact with a wallet: pull its attribute declarations so
+    /// the local wallet can compute effective values and constraints.
+    fn prepare_wallet(
+        &mut self,
+        home: &WalletAddr,
+        trace: &mut Vec<DiscoveryStep>,
+        contacted: &mut BTreeSet<WalletAddr>,
+    ) {
+        if !contacted.insert(home.clone()) {
+            return;
+        }
+        if let Ok(Reply::Declarations(decls)) =
+            self.transport.request(home, Request::FetchDeclarations)
+        {
+            trace.push(DiscoveryStep::FetchedDeclarations {
+                wallet: home.clone(),
+                count: decls.len(),
+            });
+            for d in decls {
+                let _ = self.local.publish_declaration(&d);
+            }
+        }
+    }
+
+    /// Inserts remote sub-proofs into the local wallet, learns their
+    /// discovery tags, and subscribes at the source for coherence.
+    fn absorb(&mut self, proofs: &[Proof], source: &WalletAddr, trace: &mut Vec<DiscoveryStep>) {
+        let mut certs = 0;
+        for proof in proofs {
+            if self.local.absorb_proof(proof, source).is_ok() {
+                self.directory.learn_from_proof(proof);
+                for id in proof.delegation_ids() {
+                    certs += 1;
+                    if self.auto_subscribe {
+                        let _ = self.transport.request(
+                            source,
+                            Request::Subscribe {
+                                delegation: id,
+                                subscriber: self.local.addr().clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if certs > 0 {
+            trace.push(DiscoveryStep::Absorbed { certs });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimNet, WalletHost};
+    use drbac_core::{LocalEntity, ObjectFlag, SimClock, SubjectFlag, Ticks};
+    use drbac_crypto::SchnorrGroup;
+    use drbac_wallet::Wallet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        clock: SimClock,
+        net: SimNet,
+        a: LocalEntity,
+        b: LocalEntity,
+        maria: LocalEntity,
+    }
+
+    fn world() -> World {
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = SchnorrGroup::test_256();
+        let clock = SimClock::new();
+        World {
+            net: SimNet::new(clock.clone(), Ticks(1)),
+            clock,
+            a: LocalEntity::generate("A", g.clone(), &mut rng),
+            b: LocalEntity::generate("B", g.clone(), &mut rng),
+            maria: LocalEntity::generate("Maria", g, &mut rng),
+        }
+    }
+
+    fn host(w: &World, addr: &str) -> WalletHost {
+        w.net.add_host(addr, Wallet::new(addr, w.clock.clone()))
+    }
+
+    fn search_tag(home: &str) -> DiscoveryTag {
+        DiscoveryTag::new(home)
+            .with_subject_flag(SubjectFlag::Search)
+            .with_object_flag(ObjectFlag::Search)
+    }
+
+    #[test]
+    fn local_hit_requires_no_network() {
+        let w = world();
+        let local = host(&w, "local");
+        let cert =
+            w.a.delegate(Node::entity(&w.maria), Node::role(w.a.role("r")))
+                .sign(&w.a)
+                .unwrap();
+        local.wallet().publish(cert, vec![]).unwrap();
+
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local, Directory::new());
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(w.a.role("r")), &[]);
+        assert!(outcome.found());
+        assert_eq!(
+            outcome.trace,
+            vec![DiscoveryStep::LocalQuery { found: true }]
+        );
+        assert!(outcome.wallets_contacted.is_empty());
+        assert_eq!(w.net.stats().total_messages, 0);
+    }
+
+    #[test]
+    fn forward_discovery_across_two_wallets() {
+        // local knows Maria => A.r1; wallet-a knows A.r1 => A.r2 (its home);
+        // discovery stitches Maria => A.r2.
+        let w = world();
+        let local = host(&w, "local");
+        let wallet_a = host(&w, "wallet.a");
+
+        let r1 = w.a.role("r1");
+        let r2 = w.a.role("r2");
+        local
+            .wallet()
+            .publish(
+                w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        wallet_a
+            .wallet()
+            .publish(
+                w.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+
+        let mut dir = Directory::new();
+        dir.register(Node::role(r1.clone()), search_tag("wallet.a"));
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local.clone(), dir);
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(r2.clone()), &[]);
+        assert!(outcome.found(), "trace: {:?}", outcome.trace);
+        assert_eq!(outcome.mode, SearchMode::Forward);
+        assert!(outcome
+            .wallets_contacted
+            .contains(&WalletAddr::new("wallet.a")));
+        let proof = outcome.monitor.as_ref().unwrap().proof();
+        assert_eq!(proof.subject(), &Node::entity(&w.maria));
+        assert_eq!(proof.object(), &Node::role(r2));
+        // The remote credential is now cached locally with coherence
+        // subscription registered at the source.
+        assert_eq!(local.wallet().len(), 2);
+        assert_eq!(w.net.stats().requests("subscribe"), 1);
+    }
+
+    #[test]
+    fn reverse_discovery_when_only_object_searchable() {
+        let w = world();
+        let local = host(&w, "local");
+        let wallet_a = host(&w, "wallet.a");
+
+        let r1 = w.a.role("r1");
+        let r2 = w.a.role("r2");
+        // Local knows the tail end r1 => r2; remote home of r1 knows Maria => r1.
+        local
+            .wallet()
+            .publish(
+                w.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        wallet_a
+            .wallet()
+            .publish(
+                w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+
+        let mut dir = Directory::new();
+        // Only object-side searchability: r1 (and r2) live at wallet.a.
+        let tag = DiscoveryTag::new("wallet.a").with_object_flag(ObjectFlag::Search);
+        dir.register(Node::role(r1.clone()), tag.clone());
+        dir.register(Node::role(r2.clone()), tag);
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local, dir);
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(r2), &[]);
+        assert_eq!(outcome.mode, SearchMode::Reverse);
+        assert!(outcome.found(), "trace: {:?}", outcome.trace);
+    }
+
+    #[test]
+    fn bidirectional_mode_selected_when_both_flags_set() {
+        let w = world();
+        let local = host(&w, "local");
+        let wallet_a = host(&w, "wallet.a");
+        let wallet_b = host(&w, "wallet.b");
+
+        // Chain Maria => r1 (wallet.a) ; r1 => r2 (wallet.b holds it, r2's home).
+        let r1 = w.a.role("r1");
+        let r2 = w.b.role("r2");
+        wallet_a
+            .wallet()
+            .publish(
+                w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        let grant =
+            w.b.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                .sign(&w.b)
+                .unwrap();
+        wallet_b.wallet().publish(grant, vec![]).unwrap();
+
+        let mut dir = Directory::new();
+        dir.register(Node::entity(&w.maria), search_tag("wallet.a"));
+        dir.register(Node::role(r1.clone()), search_tag("wallet.a"));
+        dir.register(Node::role(r2.clone()), search_tag("wallet.b"));
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local, dir);
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(r2), &[]);
+        assert_eq!(outcome.mode, SearchMode::Bidirectional);
+        assert!(outcome.found(), "trace: {:?}", outcome.trace);
+    }
+
+    #[test]
+    fn no_tags_means_local_only() {
+        let w = world();
+        let local = host(&w, "local");
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local, Directory::new());
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(w.a.role("r")), &[]);
+        assert_eq!(outcome.mode, SearchMode::LocalOnly);
+        assert!(!outcome.found());
+        assert_eq!(w.net.stats().total_messages, 0);
+    }
+
+    #[test]
+    fn unreachable_target_exhausts_frontier() {
+        let w = world();
+        let local = host(&w, "local");
+        let wallet_a = host(&w, "wallet.a");
+        let r1 = w.a.role("r1");
+        wallet_a
+            .wallet()
+            .publish(
+                w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        let mut dir = Directory::new();
+        dir.register(Node::entity(&w.maria), search_tag("wallet.a"));
+        dir.register(Node::role(r1), search_tag("wallet.a"));
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local, dir);
+        let outcome = agent.discover(
+            &Node::entity(&w.maria),
+            &Node::role(w.a.role("unrelated")),
+            &[],
+        );
+        assert!(!outcome.found());
+        assert!(!outcome.wallets_contacted.is_empty());
+    }
+
+    #[test]
+    fn revoked_support_is_rediscovered_via_acting_as_hints() {
+        // §4.2.1: "it may become necessary at some point to discover new
+        // supporting delegations" — a third-party delegation's support is
+        // revoked, the issuer regains authority through a fresh grant at
+        // the owner's home wallet, and discovery repairs the support
+        // using the delegation's acting-as hint.
+        let w = world();
+        let local = host(&w, "local");
+        let wallet_a = host(&w, "wallet.a");
+        let owner = &w.a; // controls the role namespace
+        let broker = &w.b; // third-party issuer
+        let admins = owner.role("admins");
+        let role = owner.role("r");
+
+        // Original authority chain.
+        let grant_v1 = owner
+            .delegate(Node::entity(broker), Node::role(admins.clone()))
+            .sign(owner)
+            .unwrap();
+        let admin_right = owner
+            .delegate(Node::role(admins.clone()), Node::role_admin(role.clone()))
+            .sign(owner)
+            .unwrap();
+        let support = Proof::from_steps(vec![
+            drbac_core::ProofStep::new(grant_v1.clone()),
+            drbac_core::ProofStep::new(admin_right.clone()),
+        ])
+        .unwrap();
+
+        // The third-party enrollment, with its acting-as hint, lives in
+        // the local wallet together with the (soon stale) support.
+        let enrollment = broker
+            .delegate(Node::entity(&w.maria), Node::role(role.clone()))
+            .acting_as(Node::role(admins.clone()))
+            .sign(broker)
+            .unwrap();
+        local.wallet().publish(enrollment, vec![support]).unwrap();
+
+        // The owner's home wallet keeps the authority material.
+        wallet_a
+            .wallet()
+            .publish(admin_right.clone(), vec![])
+            .unwrap();
+
+        // Sanity: access works.
+        let mut dir = Directory::new();
+        dir.register_entity(owner.id(), search_tag("wallet.a"));
+        dir.register_entity(broker.id(), search_tag("wallet.a"));
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local.clone(), dir.clone());
+        assert!(agent
+            .discover(&Node::entity(&w.maria), &Node::role(role.clone()), &[])
+            .found());
+
+        // The owner revokes the broker's admin grant; the local wallet
+        // learns of it.
+        let revocation =
+            drbac_core::SignedRevocation::revoke(&grant_v1, owner, w.clock.now()).unwrap();
+        local.wallet().publish(grant_v1.clone(), vec![]).unwrap();
+        local.wallet().revoke(&revocation).unwrap();
+        assert!(
+            local
+                .wallet()
+                .query_direct(&Node::entity(&w.maria), &Node::role(role.clone()), &[])
+                .is_none(),
+            "revoked support must invalidate the local answer"
+        );
+        assert_eq!(local.wallet().unsupported_third_party().len(), 1);
+
+        // Without fresh authority anywhere, repair fails...
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local.clone(), dir.clone());
+        assert!(!agent
+            .discover(&Node::entity(&w.maria), &Node::role(role.clone()), &[])
+            .found());
+
+        // ...the owner re-grants at its home wallet, and discovery heals.
+        let grant_v2 = owner
+            .delegate(Node::entity(broker), Node::role(admins))
+            .serial(2)
+            .sign(owner)
+            .unwrap();
+        wallet_a.wallet().publish(grant_v2, vec![]).unwrap();
+
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local.clone(), dir);
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(role), &[]);
+        assert!(outcome.found(), "support repaired: {:?}", outcome.trace);
+        assert!(local.wallet().unsupported_third_party().is_empty());
+    }
+
+    #[test]
+    fn directory_learns_tags_from_proofs() {
+        let w = world();
+        let r1 = w.a.role("r1");
+        let cert =
+            w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                .subject_tag(search_tag("maria.home"))
+                .object_tag(search_tag("a.home"))
+                .issuer_tag(search_tag("a.home"))
+                .sign(&w.a)
+                .unwrap();
+        let proof = Proof::from_steps(vec![drbac_core::ProofStep::new(cert)]).unwrap();
+        let mut dir = Directory::new();
+        assert!(dir.is_empty());
+        dir.learn_from_proof(&proof);
+        assert_eq!(
+            dir.tag_of(&Node::entity(&w.maria)).unwrap().home().as_str(),
+            "maria.home"
+        );
+        assert_eq!(
+            dir.tag_of(&Node::role(r1)).unwrap().home().as_str(),
+            "a.home"
+        );
+        // Entity fallback: an unregistered role in A's namespace resolves
+        // via the issuer tag.
+        assert_eq!(
+            dir.tag_of(&Node::role(w.a.role("other")))
+                .unwrap()
+                .home()
+                .as_str(),
+            "a.home"
+        );
+        assert_eq!(dir.len(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Distributed dRBAC infrastructure (paper §4.2).
+//!
+//! The paper's prototype ran wallets on Java hosts connected by the
+//! Switchboard secure-communication layer. This crate reproduces that
+//! architecture on a deterministic substrate:
+//!
+//! * [`proto`] — the inter-wallet request/reply and push message types;
+//! * [`SimNet`] / [`WalletHost`] — a discrete-event simulated network of
+//!   wallet hosts with per-message latency and full message accounting
+//!   ([`NetStats`]), so tests can assert the exact step-by-step behaviour
+//!   of the paper's Figure 2 walkthrough;
+//! * [`DiscoveryAgent`] — the §4.2.1 tag-directed distributed discovery
+//!   algorithm (forward, reverse, and bidirectional modes);
+//! * [`Switchboard`] — credentialed secure channels (handshake with real
+//!   signatures, optionally gated on a continuously monitored role proof),
+//!   modelled after the Switchboard abstraction the paper builds on (its reference \[8\]);
+//! * [`PushHub`] — a threaded (crossbeam) pub/sub fan-out demonstrating
+//!   the asynchronous event-push delivery model of delegation
+//!   subscriptions.
+//!
+//! Substitution note (see DESIGN.md): real TCP hosts are replaced by the
+//! deterministic simulator so experiments are reproducible; the message
+//! patterns, validation work, and subscription semantics are preserved.
+
+pub mod audit;
+mod discovery;
+pub mod proto;
+mod push;
+mod service;
+mod sim;
+mod switchboard;
+mod transport;
+
+pub use audit::{audit_store_compliance, redelegations_of, AuditEndpoint, StoreViolation};
+pub use discovery::{Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode};
+pub use push::{PushHub, PushPublisher};
+pub use service::{ServiceClosed, WalletClient, WalletService};
+pub use sim::{NetError, NetStats, SimNet, WalletHost};
+pub use switchboard::{Channel, ChannelError, Switchboard};
+pub use transport::{ServiceRegistry, Transport};

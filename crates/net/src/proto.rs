@@ -1,0 +1,269 @@
+//! The inter-wallet protocol: requests, replies, and one-way pushes.
+
+use std::fmt;
+use std::sync::Arc;
+
+use drbac_core::{
+    AttrConstraint, DelegationId, Node, Proof, SignedAttrDeclaration, SignedDelegation,
+    SignedRevocation, WalletAddr,
+};
+use drbac_wallet::DelegationEvent;
+
+/// A request sent from one wallet host to another.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `S ⇒ O?` under constraints (paper §4.1 direct query).
+    DirectQuery {
+        /// Subject of the sought relationship.
+        subject: Node,
+        /// Object of the sought relationship.
+        object: Node,
+        /// Attribute constraints the proof must satisfy.
+        constraints: Vec<AttrConstraint>,
+    },
+    /// Enumerate `S ⇒ *` (paper §4.1 subject query).
+    SubjectQuery {
+        /// The subject to search from.
+        subject: Node,
+        /// Attribute constraints.
+        constraints: Vec<AttrConstraint>,
+    },
+    /// Enumerate `* ⇒ O` (paper §4.1 object query).
+    ObjectQuery {
+        /// The object to search toward.
+        object: Node,
+        /// Attribute constraints.
+        constraints: Vec<AttrConstraint>,
+    },
+    /// Publish a credential (with issuer-provided supports) at the remote
+    /// wallet.
+    Publish {
+        /// The credential.
+        cert: Arc<SignedDelegation>,
+        /// Issuer-provided support proofs.
+        supports: Vec<Proof>,
+    },
+    /// Publish a signed attribute declaration.
+    PublishDeclaration(SignedAttrDeclaration),
+    /// Register a delegation subscription: push invalidations of
+    /// `delegation` to `subscriber` (paper §4.2.2).
+    Subscribe {
+        /// The delegation whose status is monitored.
+        delegation: DelegationId,
+        /// Wallet to push events to.
+        subscriber: WalletAddr,
+    },
+    /// Remove a previously registered subscription.
+    Unsubscribe {
+        /// The monitored delegation.
+        delegation: DelegationId,
+        /// The subscriber being removed.
+        subscriber: WalletAddr,
+    },
+    /// Deliver a signed revocation to the delegation's home wallet.
+    Revoke(SignedRevocation),
+    /// Fetch the signed attribute declarations the remote wallet holds.
+    FetchDeclarations,
+    /// Re-validate a cached credential against its home wallet (TTL
+    /// refresh, paper §4.2.1: a delegation "is valid [for TTL] following
+    /// validity confirmation from its home wallet").
+    FetchDelegation(DelegationId),
+}
+
+impl Request {
+    /// Approximate wire size in bytes (canonical encodings of the
+    /// payload plus a small header), for traffic accounting.
+    pub fn encoded_len(&self) -> usize {
+        const HEADER: usize = 16;
+        HEADER
+            + match self {
+                Request::DirectQuery {
+                    subject,
+                    object,
+                    constraints,
+                } => node_len(subject) + node_len(object) + constraints.len() * 48,
+                Request::SubjectQuery {
+                    subject,
+                    constraints,
+                } => node_len(subject) + constraints.len() * 48,
+                Request::ObjectQuery {
+                    object,
+                    constraints,
+                } => node_len(object) + constraints.len() * 48,
+                Request::Publish { cert, supports } => {
+                    cert.to_bytes().len()
+                        + supports.iter().map(|p| p.to_bytes().len()).sum::<usize>()
+                }
+                Request::PublishDeclaration(d) => d.to_bytes().len(),
+                Request::Subscribe { .. } | Request::Unsubscribe { .. } => 32 + 32,
+                Request::Revoke(r) => r.to_bytes().len(),
+                Request::FetchDeclarations => 0,
+                Request::FetchDelegation(_) => 32,
+            }
+    }
+
+    /// Short tag for statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::DirectQuery { .. } => "direct-query",
+            Request::SubjectQuery { .. } => "subject-query",
+            Request::ObjectQuery { .. } => "object-query",
+            Request::Publish { .. } => "publish",
+            Request::PublishDeclaration(_) => "publish-declaration",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Unsubscribe { .. } => "unsubscribe",
+            Request::Revoke(_) => "revoke",
+            Request::FetchDeclarations => "fetch-declarations",
+            Request::FetchDelegation(_) => "fetch-delegation",
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::DirectQuery {
+                subject, object, ..
+            } => {
+                write!(f, "direct-query {subject} => {object}")
+            }
+            Request::SubjectQuery { subject, .. } => write!(f, "subject-query {subject} => *"),
+            Request::ObjectQuery { object, .. } => write!(f, "object-query * => {object}"),
+            Request::Publish { cert, .. } => write!(f, "publish {}", cert.delegation()),
+            Request::PublishDeclaration(d) => {
+                write!(f, "publish-declaration {}", d.declaration().attr)
+            }
+            Request::Subscribe {
+                delegation,
+                subscriber,
+            } => {
+                write!(f, "subscribe #{delegation} -> {subscriber}")
+            }
+            Request::Unsubscribe {
+                delegation,
+                subscriber,
+            } => {
+                write!(f, "unsubscribe #{delegation} -> {subscriber}")
+            }
+            Request::Revoke(r) => write!(f, "{r}"),
+            Request::FetchDeclarations => f.write_str("fetch-declarations"),
+            Request::FetchDelegation(id) => write!(f, "fetch-delegation #{id}"),
+        }
+    }
+}
+
+/// A reply to a [`Request`].
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// Proofs answering a query (empty when none exist).
+    Proofs(Vec<Proof>),
+    /// The id assigned to a published credential.
+    Published(DelegationId),
+    /// Declaration accepted.
+    DeclarationPublished,
+    /// Subscription registered (or removed).
+    Subscribed,
+    /// Revocation honored; count of local notifications delivered.
+    Revoked(usize),
+    /// The wallet's signed declarations.
+    Declarations(Vec<SignedAttrDeclaration>),
+    /// The credential, if the wallet still holds it as valid (`None`
+    /// means revoked, expired, or never known — drop the cached copy).
+    Delegation(Option<Arc<SignedDelegation>>),
+    /// The request failed.
+    Error(String),
+}
+
+impl Reply {
+    /// `true` for [`Reply::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, Reply::Error(_))
+    }
+
+    /// Approximate wire size in bytes (see [`Request::encoded_len`]).
+    pub fn encoded_len(&self) -> usize {
+        const HEADER: usize = 16;
+        HEADER
+            + match self {
+                Reply::Proofs(proofs) => proofs.iter().map(|p| p.to_bytes().len()).sum(),
+                Reply::Published(_) => 32,
+                Reply::DeclarationPublished | Reply::Subscribed => 0,
+                Reply::Revoked(_) => 8,
+                Reply::Declarations(ds) => ds.iter().map(|d| d.to_bytes().len()).sum(),
+                Reply::Delegation(c) => c.as_ref().map(|c| c.to_bytes().len()).unwrap_or(0),
+                Reply::Error(m) => m.len(),
+            }
+    }
+}
+
+fn node_len(node: &Node) -> usize {
+    use drbac_core::{Encode, Writer};
+    let mut w = Writer::default();
+    node.encode(&mut w);
+    w.finish().len()
+}
+
+/// A one-way message (no reply expected).
+#[derive(Debug, Clone)]
+pub enum OneWay {
+    /// Push notification that a delegation was invalidated — the heart of
+    /// the delegation-subscription mechanism.
+    Invalidate(DelegationEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_kinds_are_distinct() {
+        let subject = Node::Entity(drbac_core::EntityId(drbac_crypto::KeyFingerprint([0; 32])));
+        let kinds = [
+            Request::SubjectQuery {
+                subject: subject.clone(),
+                constraints: vec![],
+            }
+            .kind(),
+            Request::FetchDeclarations.kind(),
+        ];
+        assert_eq!(kinds[0], "subject-query");
+        assert_eq!(kinds[1], "fetch-declarations");
+    }
+
+    #[test]
+    fn reply_error_detection() {
+        assert!(Reply::Error("x".into()).is_error());
+        assert!(!Reply::Proofs(vec![]).is_error());
+    }
+
+    #[test]
+    fn encoded_lens_scale_with_payload() {
+        use drbac_core::{LocalEntity, Proof, ProofStep};
+        use drbac_crypto::SchnorrGroup;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = SchnorrGroup::test_256();
+        let a = LocalEntity::generate("A", g.clone(), &mut rng);
+        let m = LocalEntity::generate("M", g, &mut rng);
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+
+        let publish = Request::Publish {
+            cert: Arc::new(cert.clone()),
+            supports: vec![proof.clone()],
+        };
+        let fetch = Request::FetchDeclarations;
+        assert!(publish.encoded_len() > cert.to_bytes().len());
+        assert!(fetch.encoded_len() < 64);
+
+        let one = Reply::Proofs(vec![proof.clone()]);
+        let two = Reply::Proofs(vec![proof.clone(), proof]);
+        assert!(two.encoded_len() > one.encoded_len());
+        assert!(Reply::Subscribed.encoded_len() < one.encoded_len());
+    }
+}

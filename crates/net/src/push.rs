@@ -1,0 +1,228 @@
+//! Asynchronous event-push delivery: a threaded pub/sub hub.
+//!
+//! The simulator ([`crate::SimNet`]) delivers subscription pushes
+//! deterministically for tests; this hub demonstrates the same *event
+//! push model* (paper §4.2.2 — "minimize polling") with real threads and
+//! channels, as a long-running service would deploy it. Subscribers
+//! receive [`DelegationEvent`]s on a crossbeam channel the moment a
+//! publisher posts them — no polling loop anywhere.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use drbac_core::DelegationId;
+use drbac_wallet::DelegationEvent;
+
+enum Command {
+    Subscribe(DelegationId, Sender<DelegationEvent>),
+    SubscribeAll(Sender<DelegationEvent>),
+    Publish(DelegationEvent),
+    Shutdown,
+}
+
+/// A threaded pub/sub fan-out hub for delegation events.
+///
+/// # Example
+///
+/// ```
+/// use drbac_core::DelegationId;
+/// use drbac_net::PushHub;
+/// use drbac_wallet::{DelegationEvent, InvalidationReason};
+///
+/// let hub = PushHub::new();
+/// let id = DelegationId([1; 32]);
+/// let rx = hub.subscribe(id);
+/// hub.publish(DelegationEvent { delegation: id, reason: InvalidationReason::Revoked });
+/// let event = rx.recv().unwrap();
+/// assert_eq!(event.delegation, id);
+/// hub.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct PushHub {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl PushHub {
+    /// Starts the hub's worker thread.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded::<Command>();
+        let worker = std::thread::Builder::new()
+            .name("drbac-push-hub".into())
+            .spawn(move || Self::run(rx))
+            .expect("spawn push hub worker");
+        PushHub {
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    fn run(rx: Receiver<Command>) {
+        let mut by_id: HashMap<DelegationId, Vec<Sender<DelegationEvent>>> = HashMap::new();
+        let mut all: Vec<Sender<DelegationEvent>> = Vec::new();
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Subscribe(id, tx) => by_id.entry(id).or_default().push(tx),
+                Command::SubscribeAll(tx) => all.push(tx),
+                Command::Publish(event) => {
+                    if let Some(subs) = by_id.get_mut(&event.delegation) {
+                        subs.retain(|tx| tx.send(event).is_ok());
+                    }
+                    all.retain(|tx| tx.send(event).is_ok());
+                }
+                Command::Shutdown => break,
+            }
+        }
+    }
+
+    /// Subscribes to events for one delegation; events arrive on the
+    /// returned channel.
+    pub fn subscribe(&self, id: DelegationId) -> Receiver<DelegationEvent> {
+        let (tx, rx) = unbounded();
+        let _ = self.tx.send(Command::Subscribe(id, tx));
+        rx
+    }
+
+    /// Subscribes to every published event (directory-cache style).
+    pub fn subscribe_all(&self) -> Receiver<DelegationEvent> {
+        let (tx, rx) = unbounded();
+        let _ = self.tx.send(Command::SubscribeAll(tx));
+        rx
+    }
+
+    /// Publishes an event to all matching subscribers.
+    pub fn publish(&self, event: DelegationEvent) {
+        let _ = self.tx.send(Command::Publish(event));
+    }
+
+    /// A cheap, cloneable publishing handle — hand these to wallet
+    /// callbacks or other threads without sharing the hub itself.
+    pub fn publisher(&self) -> PushPublisher {
+        PushPublisher {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Stops the worker and waits for it to exit. Prefer this to relying
+    /// on `Drop`, which only signals shutdown without blocking.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Default for PushHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cloneable handle that can publish into a [`PushHub`].
+#[derive(Debug, Clone)]
+pub struct PushPublisher {
+    tx: Sender<Command>,
+}
+
+impl PushPublisher {
+    /// Publishes an event; silently dropped if the hub has shut down.
+    pub fn publish(&self, event: DelegationEvent) {
+        let _ = self.tx.send(Command::Publish(event));
+    }
+}
+
+impl Drop for PushHub {
+    /// Signals shutdown without blocking (C-DTOR-BLOCK); use
+    /// [`PushHub::shutdown`] for a synchronous stop.
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_wallet::InvalidationReason;
+    use std::time::Duration;
+
+    fn event(b: u8) -> DelegationEvent {
+        DelegationEvent {
+            delegation: DelegationId([b; 32]),
+            reason: InvalidationReason::Revoked,
+        }
+    }
+
+    #[test]
+    fn push_reaches_matching_subscribers_only() {
+        let hub = PushHub::new();
+        let rx1 = hub.subscribe(DelegationId([1; 32]));
+        let rx2 = hub.subscribe(DelegationId([2; 32]));
+        hub.publish(event(1));
+        assert_eq!(rx1.recv_timeout(Duration::from_secs(2)).unwrap(), event(1));
+        assert!(rx2.recv_timeout(Duration::from_millis(50)).is_err());
+        hub.shutdown();
+    }
+
+    #[test]
+    fn subscribe_all_sees_everything() {
+        let hub = PushHub::new();
+        let rx = hub.subscribe_all();
+        hub.publish(event(1));
+        hub.publish(event(2));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), event(1));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), event(2));
+        hub.shutdown();
+    }
+
+    #[test]
+    fn multiple_subscribers_fan_out() {
+        let hub = PushHub::new();
+        let id = DelegationId([3; 32]);
+        let rxs: Vec<_> = (0..4).map(|_| hub.subscribe(id)).collect();
+        hub.publish(event(3));
+        for rx in rxs {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), event(3));
+        }
+        hub.shutdown();
+    }
+
+    #[test]
+    fn publisher_handles_work_across_threads() {
+        let hub = PushHub::new();
+        let id = DelegationId([5; 32]);
+        let rx = hub.subscribe(id);
+        let publishers: Vec<_> = (0..4).map(|_| hub.publisher()).collect();
+        let handles: Vec<_> = publishers
+            .into_iter()
+            .map(|p| std::thread::spawn(move || p.publish(event(5))))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..4 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), event(5));
+        }
+        hub.shutdown();
+    }
+
+    #[test]
+    fn publisher_after_shutdown_is_silent() {
+        let hub = PushHub::new();
+        let publisher = hub.publisher();
+        hub.shutdown();
+        publisher.publish(event(6)); // must not panic
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let hub = PushHub::new();
+        let id = DelegationId([4; 32]);
+        drop(hub.subscribe(id));
+        let rx = hub.subscribe(id);
+        hub.publish(event(4)); // must not wedge on the dropped receiver
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), event(4));
+        hub.shutdown();
+    }
+}

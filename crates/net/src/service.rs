@@ -1,0 +1,274 @@
+//! A threaded wallet service: the deployment shape of a wallet host.
+//!
+//! [`SimNet`](crate::SimNet) gives deterministic in-process dispatch for
+//! tests and experiments; `WalletService` runs the same [`Wallet`] behind
+//! a real thread and channel-based RPC, demonstrating that the whole
+//! stack is `Send + Sync` and that many concurrent clients can be served
+//! — the shape a production dRBAC wallet daemon would take (the paper's
+//! prototype served DisCo queries the same way).
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use drbac_wallet::Wallet;
+
+use crate::proto::{Reply, Request};
+
+enum Command {
+    Rpc(Request, Sender<Reply>),
+    Shutdown,
+}
+
+/// Handle to a wallet served on its own thread. Cloneable; clones talk
+/// to the same service.
+#[derive(Debug, Clone)]
+pub struct WalletClient {
+    tx: Sender<Command>,
+}
+
+/// Error talking to the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("wallet service has shut down")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+impl WalletClient {
+    /// Sends a request and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceClosed`] if the service thread has exited.
+    pub fn call(&self, request: Request) -> Result<Reply, ServiceClosed> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::Rpc(request, reply_tx))
+            .map_err(|_| ServiceClosed)?;
+        reply_rx.recv().map_err(|_| ServiceClosed)
+    }
+}
+
+/// A wallet running on a dedicated service thread.
+#[derive(Debug)]
+pub struct WalletService {
+    client: WalletClient,
+    wallet: Wallet,
+    worker: Option<JoinHandle<u64>>,
+    tx: Sender<Command>,
+}
+
+impl WalletService {
+    /// Spawns the service thread around `wallet`.
+    pub fn spawn(wallet: Wallet) -> Self {
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+        let served_wallet = wallet.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("drbac-wallet-{}", wallet.addr()))
+            .spawn(move || Self::run(served_wallet, rx))
+            .expect("spawn wallet service");
+        WalletService {
+            client: WalletClient { tx: tx.clone() },
+            wallet,
+            worker: Some(worker),
+            tx,
+        }
+    }
+
+    fn run(wallet: Wallet, rx: Receiver<Command>) -> u64 {
+        let mut served = 0u64;
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Rpc(request, reply_tx) => {
+                    served += 1;
+                    let reply = Self::handle(&wallet, request);
+                    let _ = reply_tx.send(reply);
+                }
+                Command::Shutdown => break,
+            }
+        }
+        served
+    }
+
+    /// The service-side request dispatch (subscription fan-out is the
+    /// caller's concern here; use [`crate::SimNet`] hosts for that).
+    fn handle(wallet: &Wallet, request: Request) -> Reply {
+        match request {
+            Request::DirectQuery {
+                subject,
+                object,
+                constraints,
+            } => match wallet.find_proof(&subject, &object, &constraints) {
+                Some(p) => Reply::Proofs(vec![p]),
+                None => Reply::Proofs(vec![]),
+            },
+            Request::SubjectQuery {
+                subject,
+                constraints,
+            } => Reply::Proofs(wallet.query_subject(&subject, &constraints)),
+            Request::ObjectQuery {
+                object,
+                constraints,
+            } => Reply::Proofs(wallet.query_object(&object, &constraints)),
+            Request::Publish { cert, supports } => match wallet.publish(cert, supports) {
+                Ok(id) => Reply::Published(id),
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::PublishDeclaration(decl) => match wallet.publish_declaration(&decl) {
+                Ok(()) => Reply::DeclarationPublished,
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::Revoke(revocation) => match wallet.revoke(&revocation) {
+                Ok(n) => Reply::Revoked(n),
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::FetchDeclarations => Reply::Declarations(wallet.signed_declarations()),
+            Request::FetchDelegation(id) => {
+                let now = wallet.now();
+                let live = wallet.get(id).filter(|c| {
+                    !wallet.with_graph(|g| g.is_revoked(id)) && !c.delegation().is_expired(now)
+                });
+                Reply::Delegation(live)
+            }
+            Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
+                Reply::Error("push subscriptions are served by SimNet hosts".into())
+            }
+        }
+    }
+
+    /// A client handle (cheap to clone, usable from any thread).
+    pub fn client(&self) -> WalletClient {
+        self.client.clone()
+    }
+
+    /// Direct access to the underlying wallet (same shared state the
+    /// service thread operates on).
+    pub fn wallet(&self) -> &Wallet {
+        &self.wallet
+    }
+
+    /// Stops the service and returns how many requests it served.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(Command::Shutdown);
+        self.worker
+            .take()
+            .map(|w| w.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for WalletService {
+    /// Signals shutdown without blocking; use [`WalletService::shutdown`]
+    /// to wait for the thread.
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{LocalEntity, Node, SimClock};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn serves_publish_and_query() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = SchnorrGroup::test_256();
+        let a = LocalEntity::generate("A", g.clone(), &mut rng);
+        let m = LocalEntity::generate("M", g, &mut rng);
+        let service = WalletService::spawn(Wallet::new("svc", SimClock::new()));
+        let client = service.client();
+
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let reply = client
+            .call(Request::Publish {
+                cert: Arc::new(cert),
+                supports: vec![],
+            })
+            .unwrap();
+        assert!(matches!(reply, Reply::Published(_)));
+
+        let reply = client
+            .call(Request::DirectQuery {
+                subject: Node::entity(&m),
+                object: Node::role(a.role("r")),
+                constraints: vec![],
+            })
+            .unwrap();
+        match reply {
+            Reply::Proofs(p) => assert_eq!(p.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(service.shutdown(), 2);
+    }
+
+    #[test]
+    fn concurrent_clients_from_many_threads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = SchnorrGroup::test_256();
+        let a = LocalEntity::generate("A", g.clone(), &mut rng);
+        let users: Vec<LocalEntity> = (0..8)
+            .map(|i| LocalEntity::generate(format!("U{i}"), g.clone(), &mut rng))
+            .collect();
+        let service = WalletService::spawn(Wallet::new("svc", SimClock::new()));
+        for u in &users {
+            service
+                .wallet()
+                .publish(
+                    a.delegate(Node::entity(u), Node::role(a.role("r")))
+                        .sign(&a)
+                        .unwrap(),
+                    vec![],
+                )
+                .unwrap();
+        }
+
+        let role = a.role("r");
+        let handles: Vec<_> = users
+            .iter()
+            .map(|u| {
+                let client = service.client();
+                let subject = Node::entity(u);
+                let object = Node::role(role.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let reply = client
+                            .call(Request::DirectQuery {
+                                subject: subject.clone(),
+                                object: object.clone(),
+                                constraints: vec![],
+                            })
+                            .unwrap();
+                        assert!(matches!(reply, Reply::Proofs(ref p) if p.len() == 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(service.shutdown(), 80);
+    }
+
+    #[test]
+    fn closed_service_reports_error() {
+        let service = WalletService::spawn(Wallet::new("svc", SimClock::new()));
+        let client = service.client();
+        service.shutdown();
+        assert!(matches!(
+            client.call(Request::FetchDeclarations),
+            Err(ServiceClosed)
+        ));
+    }
+}

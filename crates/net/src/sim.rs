@@ -1,0 +1,943 @@
+//! The deterministic simulated network of wallet hosts.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use drbac_core::{DelegationId, SimClock, Ticks, Timestamp, WalletAddr};
+use drbac_wallet::{DelegationEvent, Wallet};
+use parking_lot::{Mutex, RwLock};
+
+use crate::proto::{OneWay, Reply, Request};
+
+/// Errors from network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No host is registered at the address.
+    UnknownHost(WalletAddr),
+    /// The host is registered but currently unreachable (failure
+    /// injection).
+    HostDown(WalletAddr),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownHost(a) => write!(f, "no wallet host at {a}"),
+            NetError::HostDown(a) => write!(f, "wallet host at {a} is down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Message accounting for the efficiency experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages on the wire (a request/reply pair counts as 2).
+    pub total_messages: u64,
+    /// One-way push messages (invalidations).
+    pub push_messages: u64,
+    /// Approximate payload bytes on the wire (canonical encodings).
+    pub total_bytes: u64,
+    /// Request counts by kind tag.
+    pub requests_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl NetStats {
+    /// Count of requests with the given kind tag.
+    pub fn requests(&self, kind: &str) -> u64 {
+        self.requests_by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// A wallet attached to the network, with the remote-subscriber registry
+/// that implements the push side of delegation subscriptions.
+#[derive(Clone)]
+pub struct WalletHost {
+    addr: WalletAddr,
+    wallet: Wallet,
+    /// delegation id → remote wallets subscribed to its status.
+    subscribers: Arc<Mutex<HashMap<DelegationId, BTreeSet<WalletAddr>>>>,
+    /// Events already applied locally (loop guard for cascaded pushes).
+    seen_events: Arc<Mutex<HashSet<DelegationEvent>>>,
+}
+
+impl fmt::Debug for WalletHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalletHost")
+            .field("addr", &self.addr)
+            .field("wallet", &self.wallet)
+            .finish()
+    }
+}
+
+impl From<WalletHost> for Wallet {
+    /// A host's wallet (shared state), e.g. for [`crate::DiscoveryAgent`].
+    fn from(host: WalletHost) -> Wallet {
+        host.wallet.clone()
+    }
+}
+
+impl From<&WalletHost> for Wallet {
+    fn from(host: &WalletHost) -> Wallet {
+        host.wallet.clone()
+    }
+}
+
+impl WalletHost {
+    /// The host's address.
+    pub fn addr(&self) -> &WalletAddr {
+        &self.addr
+    }
+
+    /// The wallet served by this host.
+    pub fn wallet(&self) -> &Wallet {
+        &self.wallet
+    }
+
+    /// Remote wallets currently subscribed to `id`.
+    pub fn subscribers_of(&self, id: DelegationId) -> BTreeSet<WalletAddr> {
+        self.subscribers
+            .lock()
+            .get(&id)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Handles a request, possibly enqueueing pushes onto `net`.
+    fn handle(&self, net: &SimNet, req: Request) -> Reply {
+        match req {
+            Request::DirectQuery {
+                subject,
+                object,
+                constraints,
+            } => match self.wallet.find_proof(&subject, &object, &constraints) {
+                Some(p) => Reply::Proofs(vec![p]),
+                None => Reply::Proofs(vec![]),
+            },
+            Request::SubjectQuery {
+                subject,
+                constraints,
+            } => Reply::Proofs(self.wallet.query_subject(&subject, &constraints)),
+            Request::ObjectQuery {
+                object,
+                constraints,
+            } => Reply::Proofs(self.wallet.query_object(&object, &constraints)),
+            Request::Publish { cert, supports } => match self.wallet.publish(cert, supports) {
+                Ok(id) => Reply::Published(id),
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::PublishDeclaration(decl) => match self.wallet.publish_declaration(&decl) {
+                Ok(()) => Reply::DeclarationPublished,
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::Subscribe {
+                delegation,
+                subscriber,
+            } => {
+                self.subscribers
+                    .lock()
+                    .entry(delegation)
+                    .or_default()
+                    .insert(subscriber);
+                Reply::Subscribed
+            }
+            Request::Unsubscribe {
+                delegation,
+                subscriber,
+            } => {
+                if let Some(set) = self.subscribers.lock().get_mut(&delegation) {
+                    set.remove(&subscriber);
+                }
+                Reply::Subscribed
+            }
+            Request::Revoke(revocation) => match self.wallet.revoke(&revocation) {
+                Ok(delivered) => {
+                    let event = DelegationEvent {
+                        delegation: revocation.delegation_id(),
+                        reason: drbac_wallet::InvalidationReason::Revoked,
+                    };
+                    self.seen_events.lock().insert(event);
+                    self.push_to_subscribers(net, event);
+                    Reply::Revoked(delivered)
+                }
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::FetchDeclarations => Reply::Declarations(self.wallet.signed_declarations()),
+            Request::FetchDelegation(id) => {
+                let now = self.wallet.now();
+                let live = self.wallet.get(id).filter(|c| {
+                    !self.wallet.with_graph(|g| g.is_revoked(id)) && !c.delegation().is_expired(now)
+                });
+                Reply::Delegation(live)
+            }
+        }
+    }
+
+    /// Revalidates every stale cached credential against its recorded
+    /// source wallet (TTL refresh). Entries the source no longer vouches
+    /// for are invalidated locally. Returns `(refreshed, dropped)`.
+    pub fn refresh_stale(&self, net: &SimNet) -> (usize, usize) {
+        let mut refreshed = 0;
+        let mut dropped = 0;
+        for id in self.wallet.stale_entries() {
+            let Some(entry) = self.wallet.cache_entry(id) else {
+                continue;
+            };
+            match net.request(&entry.source, Request::FetchDelegation(id)) {
+                Ok(Reply::Delegation(Some(_))) => {
+                    self.wallet.mark_refreshed(id);
+                    refreshed += 1;
+                }
+                Ok(Reply::Delegation(None)) => {
+                    // Source disowned it: invalidate locally and cascade.
+                    let event = DelegationEvent {
+                        delegation: id,
+                        reason: drbac_wallet::InvalidationReason::Expired,
+                    };
+                    self.seen_events.lock().insert(event);
+                    self.wallet.push_event(event);
+                    self.push_to_subscribers(net, event);
+                    dropped += 1;
+                }
+                _ => {} // unreachable source: keep the stale entry for now
+            }
+        }
+        (refreshed, dropped)
+    }
+
+    /// Fans `event` out to this host's remote subscribers.
+    fn push_to_subscribers(&self, net: &SimNet, event: DelegationEvent) {
+        let targets = self.subscribers_of(event.delegation);
+        for target in targets {
+            net.send(&target, OneWay::Invalidate(event));
+        }
+    }
+
+    /// Applies an incoming push: delivers to the local wallet (monitors,
+    /// subscriptions, graph) and cascades to this host's own subscribers
+    /// exactly once per event.
+    fn apply_push(&self, net: &SimNet, event: DelegationEvent) {
+        if !self.seen_events.lock().insert(event) {
+            return; // already applied; break forwarding cycles
+        }
+        self.wallet.push_event(event);
+        self.push_to_subscribers(net, event);
+    }
+
+    /// Processes local expiries and pushes resulting invalidations to
+    /// subscribers. Drive after advancing the clock.
+    pub fn process_expiries(&self, net: &SimNet) -> usize {
+        let now = self.wallet.now();
+        let expired: Vec<DelegationId> = self.wallet.with_graph(|g| {
+            g.iter()
+                .filter(|c| c.delegation().is_expired(now))
+                .map(|c| c.id())
+                .collect()
+        });
+        self.wallet.process_expiries();
+        for id in &expired {
+            let event = DelegationEvent {
+                delegation: *id,
+                reason: drbac_wallet::InvalidationReason::Expired,
+            };
+            self.seen_events.lock().insert(event);
+            self.push_to_subscribers(net, event);
+        }
+        expired.len()
+    }
+}
+
+/// An in-flight one-way message.
+struct Envelope {
+    deliver_at: Timestamp,
+    seq: u64,
+    to: WalletAddr,
+    msg: OneWay,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+impl Eq for Envelope {}
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Envelope {
+    /// Min-heap by (time, seq): BinaryHeap is a max-heap, so reverse.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+struct SimState {
+    clock: SimClock,
+    latency: Ticks,
+    hosts: RwLock<HashMap<WalletAddr, WalletHost>>,
+    queue: Mutex<BinaryHeap<Envelope>>,
+    stats: Mutex<NetStats>,
+    seq: AtomicU64,
+    /// Failure injection: hosts currently unreachable.
+    down: Mutex<HashSet<WalletAddr>>,
+    /// Failure injection: drop every Nth push (0 = no loss).
+    drop_every_nth_push: AtomicU64,
+    push_counter: AtomicU64,
+}
+
+/// A deterministic discrete-event network of wallet hosts.
+///
+/// Requests are synchronous RPCs costing one latency each way; pushes are
+/// queued one-way messages delivered by [`SimNet::run_until_idle`] in
+/// `(time, sequence)` order. All message counts are recorded in
+/// [`NetStats`].
+///
+/// # Example
+///
+/// ```
+/// use drbac_core::{LocalEntity, Node, SimClock, Ticks};
+/// use drbac_crypto::SchnorrGroup;
+/// use drbac_net::{proto::Request, SimNet};
+/// use drbac_wallet::Wallet;
+/// # use rand::SeedableRng;
+/// # use std::sync::Arc;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+/// # let g = SchnorrGroup::test_256();
+/// let clock = SimClock::new();
+/// let net = SimNet::new(clock.clone(), Ticks(1));
+/// let a = LocalEntity::generate("A", g.clone(), &mut rng);
+/// let m = LocalEntity::generate("M", g, &mut rng);
+/// net.add_host("wallet.a", Wallet::new("wallet.a", clock.clone()));
+///
+/// let cert = a.delegate(Node::entity(&m), Node::role(a.role("r"))).sign(&a)?;
+/// let reply = net.request(&"wallet.a".into(), Request::Publish { cert: Arc::new(cert), supports: vec![] })?;
+/// assert!(!reply.is_error());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct SimNet {
+    state: Arc<SimState>,
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("hosts", &self.state.hosts.read().len())
+            .field("now", &self.state.clock.now())
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// Creates a network with the given per-message latency.
+    pub fn new(clock: SimClock, latency: Ticks) -> Self {
+        SimNet {
+            state: Arc::new(SimState {
+                clock,
+                latency,
+                hosts: RwLock::new(HashMap::new()),
+                queue: Mutex::new(BinaryHeap::new()),
+                stats: Mutex::new(NetStats::default()),
+                seq: AtomicU64::new(0),
+                down: Mutex::new(HashSet::new()),
+                drop_every_nth_push: AtomicU64::new(0),
+                push_counter: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Failure injection: marks a host unreachable. Requests to it fail
+    /// with [`NetError::HostDown`]; queued pushes addressed to it are
+    /// dropped at delivery time.
+    pub fn fail_host(&self, addr: &WalletAddr) {
+        self.state.down.lock().insert(addr.clone());
+    }
+
+    /// Restores a failed host.
+    pub fn restore_host(&self, addr: &WalletAddr) {
+        self.state.down.lock().remove(addr);
+    }
+
+    /// `true` if the host is currently marked down.
+    pub fn is_down(&self, addr: &WalletAddr) -> bool {
+        self.state.down.lock().contains(addr)
+    }
+
+    /// Failure injection: deterministically drop every `n`th push message
+    /// (0 disables loss).
+    pub fn drop_every_nth_push(&self, n: u64) {
+        self.state.drop_every_nth_push.store(n, Ordering::SeqCst);
+    }
+
+    /// Attaches `wallet` at `addr` and returns the host handle.
+    pub fn add_host(&self, addr: impl Into<WalletAddr>, wallet: Wallet) -> WalletHost {
+        let addr = addr.into();
+        let host = WalletHost {
+            addr: addr.clone(),
+            wallet,
+            subscribers: Arc::new(Mutex::new(HashMap::new())),
+            seen_events: Arc::new(Mutex::new(HashSet::new())),
+        };
+        self.state.hosts.write().insert(addr, host.clone());
+        host
+    }
+
+    /// The host at `addr`, if any.
+    pub fn host(&self, addr: &WalletAddr) -> Option<WalletHost> {
+        self.state.hosts.read().get(addr).cloned()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> SimClock {
+        self.state.clock.clone()
+    }
+
+    /// Sends a synchronous request; the clock advances one latency each
+    /// way and both messages are counted.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownHost`] if nothing is registered at `to`.
+    pub fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
+        let host = self
+            .host(to)
+            .ok_or_else(|| NetError::UnknownHost(to.clone()))?;
+        if self.is_down(to) {
+            // The attempt still costs a (lost) message and a timeout's
+            // worth of waiting.
+            self.state.stats.lock().total_messages += 1;
+            self.state.clock.advance(self.state.latency);
+            return Err(NetError::HostDown(to.clone()));
+        }
+        {
+            let mut stats = self.state.stats.lock();
+            stats.total_messages += 2;
+            stats.total_bytes += req.encoded_len() as u64;
+            *stats.requests_by_kind.entry(req.kind()).or_insert(0) += 1;
+        }
+        self.state.clock.advance(self.state.latency);
+        let reply = host.handle(self, req);
+        self.state.clock.advance(self.state.latency);
+        self.state.stats.lock().total_bytes += reply.encoded_len() as u64;
+        Ok(reply)
+    }
+
+    /// Enqueues a one-way push for delivery after one latency.
+    pub fn send(&self, to: &WalletAddr, msg: OneWay) {
+        let deliver_at = self.state.clock.now().after(self.state.latency);
+        let seq = self.state.seq.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut stats = self.state.stats.lock();
+            stats.total_messages += 1;
+            stats.push_messages += 1;
+            stats.total_bytes += 48; // delegation id + reason + header
+        }
+        self.state.queue.lock().push(Envelope {
+            deliver_at,
+            seq,
+            to: to.clone(),
+            msg,
+        });
+    }
+
+    /// Delivers queued pushes in timestamp order (advancing the clock to
+    /// each delivery time) until the queue is empty. Returns the number of
+    /// messages delivered.
+    pub fn run_until_idle(&self) -> usize {
+        let mut delivered = 0;
+        loop {
+            let envelope = match self.state.queue.lock().pop() {
+                Some(e) => e,
+                None => return delivered,
+            };
+            self.state.clock.advance_to(envelope.deliver_at);
+            if self.is_down(&envelope.to) {
+                continue; // lost: host is down
+            }
+            let n = self.state.drop_every_nth_push.load(Ordering::SeqCst);
+            if n > 0 {
+                let count = self.state.push_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                if count.is_multiple_of(n) {
+                    continue; // injected message loss
+                }
+            }
+            delivered += 1;
+            let Some(host) = self.host(&envelope.to) else {
+                continue; // host vanished; drop the message
+            };
+            match envelope.msg {
+                OneWay::Invalidate(event) => host.apply_push(self, event),
+            }
+        }
+    }
+
+    /// A snapshot of the message counters.
+    pub fn stats(&self) -> NetStats {
+        self.state.stats.lock().clone()
+    }
+
+    /// Resets the message counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        *self.state.stats.lock() = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{LocalEntity, Node, Proof, ProofStep, SignedRevocation};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fx {
+        clock: SimClock,
+        net: SimNet,
+        a: LocalEntity,
+        m: LocalEntity,
+    }
+
+    fn fx() -> Fx {
+        let mut rng = StdRng::seed_from_u64(81);
+        let g = SchnorrGroup::test_256();
+        let clock = SimClock::new();
+        Fx {
+            net: SimNet::new(clock.clone(), Ticks(1)),
+            clock,
+            a: LocalEntity::generate("A", g.clone(), &mut rng),
+            m: LocalEntity::generate("M", g, &mut rng),
+        }
+    }
+
+    fn wallet(f: &Fx, addr: &str) -> WalletHost {
+        f.net.add_host(addr, Wallet::new(addr, f.clock.clone()))
+    }
+
+    #[test]
+    fn request_to_unknown_host_fails() {
+        let f = fx();
+        let err = f
+            .net
+            .request(&"nowhere".into(), crate::proto::Request::FetchDeclarations);
+        assert!(matches!(err, Err(NetError::UnknownHost(_))));
+    }
+
+    #[test]
+    fn publish_and_query_via_network() {
+        let f = fx();
+        wallet(&f, "w1");
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let reply = f
+            .net
+            .request(
+                &"w1".into(),
+                Request::Publish {
+                    cert: Arc::new(cert),
+                    supports: vec![],
+                },
+            )
+            .unwrap();
+        assert!(matches!(reply, Reply::Published(_)));
+
+        let reply = f
+            .net
+            .request(
+                &"w1".into(),
+                Request::DirectQuery {
+                    subject: Node::entity(&f.m),
+                    object: Node::role(f.a.role("r")),
+                    constraints: vec![],
+                },
+            )
+            .unwrap();
+        match reply {
+            Reply::Proofs(proofs) => assert_eq!(proofs.len(), 1),
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        let stats = f.net.stats();
+        assert_eq!(stats.total_messages, 4);
+        assert_eq!(stats.requests("publish"), 1);
+        assert_eq!(stats.requests("direct-query"), 1);
+        // Each request advanced the clock twice.
+        assert_eq!(f.clock.now(), Timestamp(4));
+    }
+
+    #[test]
+    fn revocation_pushes_to_remote_subscribers() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache = wallet(&f, "cache");
+
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        // Cache absorbs a copy and subscribes at the home wallet.
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        cache.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        let monitor = cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+        f.net
+            .request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache".into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(home.subscribers_of(cert.id()).len(), 1);
+
+        // Issuer revokes at the home wallet.
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        let reply = f
+            .net
+            .request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        assert!(matches!(reply, Reply::Revoked(_)));
+
+        // Push is queued, not yet delivered.
+        assert!(monitor.is_valid());
+        let delivered = f.net.run_until_idle();
+        assert_eq!(delivered, 1);
+        assert!(!monitor.is_valid(), "push invalidated the cached proof");
+        assert_eq!(f.net.stats().push_messages, 1);
+    }
+
+    #[test]
+    fn cascaded_pushes_follow_subscription_chains() {
+        // home -> cache1 -> cache2 subscription chain: a revocation at home
+        // reaches cache2 through cache1.
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache1 = wallet(&f, "cache1");
+        let cache2 = wallet(&f, "cache2");
+
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        cache1.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        cache2.wallet().absorb_proof(&proof, cache1.addr()).unwrap();
+
+        f.net
+            .request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache1".into(),
+                },
+            )
+            .unwrap();
+        f.net
+            .request(
+                &"cache1".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache2".into(),
+                },
+            )
+            .unwrap();
+
+        let m2 = cache2
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.net
+            .request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        let delivered = f.net.run_until_idle();
+        assert_eq!(delivered, 2, "home->cache1, cache1->cache2");
+        assert!(!m2.is_valid());
+    }
+
+    #[test]
+    fn push_cycles_are_broken_by_seen_set() {
+        // Mutually subscribed hosts must not ping-pong forever.
+        let f = fx();
+        let w1 = wallet(&f, "w1");
+        let w2 = wallet(&f, "w2");
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        w1.wallet().publish(cert.clone(), vec![]).unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        w2.wallet().absorb_proof(&proof, w1.addr()).unwrap();
+        f.net
+            .request(
+                &"w1".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "w2".into(),
+                },
+            )
+            .unwrap();
+        f.net
+            .request(
+                &"w2".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "w1".into(),
+                },
+            )
+            .unwrap();
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.net
+            .request(&"w1".into(), Request::Revoke(revocation))
+            .unwrap();
+        let delivered = f.net.run_until_idle();
+        assert!(
+            delivered <= 2,
+            "delivered {delivered}, expected no ping-pong"
+        );
+    }
+
+    #[test]
+    fn expiry_pushes_like_revocation() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache = wallet(&f, "cache");
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .expires(Timestamp(5))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        cache.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        f.net
+            .request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache".into(),
+                },
+            )
+            .unwrap();
+        let monitor = cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+
+        f.clock.advance(Ticks(10));
+        assert_eq!(home.process_expiries(&f.net), 1);
+        f.net.run_until_idle();
+        assert!(!monitor.is_valid());
+    }
+
+    #[test]
+    fn ttl_refresh_revalidates_and_drops() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache = wallet(&f, "cache");
+        let tag = drbac_core::DiscoveryTag::new("home").with_ttl(Ticks(10));
+        let keep =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("keep")))
+                .subject_tag(tag.clone())
+                .sign(&f.a)
+                .unwrap();
+        let lose =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("lose")))
+                .subject_tag(tag)
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(keep.clone(), vec![]).unwrap();
+        home.wallet().publish(lose.clone(), vec![]).unwrap();
+        for cert in [&keep, &lose] {
+            let proof = Proof::from_steps(vec![ProofStep::new((*cert).clone())]).unwrap();
+            cache.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        }
+
+        // The home wallet revokes `lose`.
+        let revocation = SignedRevocation::revoke(&lose, &f.a, f.clock.now()).unwrap();
+        home.wallet().revoke(&revocation).unwrap();
+
+        // TTL lapses; refresh keeps `keep`, drops `lose`.
+        f.clock.advance(Ticks(11));
+        assert_eq!(cache.wallet().stale_entries().len(), 2);
+        let (refreshed, dropped) = cache.refresh_stale(&f.net);
+        assert_eq!((refreshed, dropped), (1, 1));
+        assert!(cache.wallet().stale_entries().is_empty());
+        assert!(cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("keep")), &[])
+            .is_some());
+        assert!(cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("lose")), &[])
+            .is_none());
+    }
+
+    #[test]
+    fn downed_host_rejects_requests_and_loses_pushes() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache = wallet(&f, "cache");
+        let tag = drbac_core::DiscoveryTag::new("home").with_ttl(Ticks(10));
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .subject_tag(tag)
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        cache.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        f.net
+            .request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache".into(),
+                },
+            )
+            .unwrap();
+        let monitor = cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+
+        // Cache goes down; the revocation push is lost.
+        f.net.fail_host(&"cache".into());
+        assert!(matches!(
+            f.net.request(&"cache".into(), Request::FetchDeclarations),
+            Err(NetError::HostDown(_))
+        ));
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.net
+            .request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        assert_eq!(f.net.run_until_idle(), 0, "push dropped while host down");
+        assert!(
+            monitor.is_valid(),
+            "cache is stale — exactly why TTLs exist"
+        );
+
+        // Host recovers; TTL refresh discovers the revocation.
+        f.net.restore_host(&"cache".into());
+        f.clock.advance(Ticks(1_000));
+        let (_, dropped) = cache.refresh_stale(&f.net);
+        assert_eq!(dropped, 1);
+        assert!(!monitor.is_valid(), "refresh caught up with the revocation");
+    }
+
+    #[test]
+    fn deterministic_push_loss() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let caches: Vec<WalletHost> = (0..4).map(|i| wallet(&f, &format!("c{i}"))).collect();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        for c in &caches {
+            let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+            c.wallet().absorb_proof(&proof, home.addr()).unwrap();
+            f.net
+                .request(
+                    &"home".into(),
+                    Request::Subscribe {
+                        delegation: cert.id(),
+                        subscriber: c.addr().clone(),
+                    },
+                )
+                .unwrap();
+        }
+        f.net.drop_every_nth_push(2); // lose half the pushes
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.net
+            .request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        let delivered = f.net.run_until_idle();
+        assert_eq!(delivered, 2, "2 of 4 pushes delivered");
+        let revoked_count = caches
+            .iter()
+            .filter(|c| c.wallet().with_graph(|g| g.is_revoked(cert.id())))
+            .count();
+        assert_eq!(revoked_count, 2);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_payload_sizes() {
+        let f = fx();
+        wallet(&f, "w1");
+        assert_eq!(f.net.stats().total_bytes, 0);
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let cert_len = cert.to_bytes().len() as u64;
+        f.net
+            .request(
+                &"w1".into(),
+                Request::Publish {
+                    cert: Arc::new(cert),
+                    supports: vec![],
+                },
+            )
+            .unwrap();
+        let after_publish = f.net.stats().total_bytes;
+        assert!(
+            after_publish >= cert_len,
+            "publish carries the credential bytes"
+        );
+
+        // A query reply carrying a proof adds more than a subscribe ack.
+        f.net
+            .request(
+                &"w1".into(),
+                Request::DirectQuery {
+                    subject: Node::entity(&f.m),
+                    object: Node::role(f.a.role("r")),
+                    constraints: vec![],
+                },
+            )
+            .unwrap();
+        let after_query = f.net.stats().total_bytes;
+        assert!(
+            after_query > after_publish + cert_len / 2,
+            "reply carried the proof"
+        );
+    }
+
+    #[test]
+    fn declarations_travel_over_the_wire() {
+        let f = fx();
+        wallet(&f, "w1");
+        let bw = f.a.attr("BW", drbac_core::AttrOp::Min);
+        let decl = drbac_core::SignedAttrDeclaration::sign(
+            drbac_core::AttrDeclaration::new(bw, 200.0).unwrap(),
+            &f.a,
+        )
+        .unwrap();
+        let reply = f
+            .net
+            .request(&"w1".into(), Request::PublishDeclaration(decl.clone()))
+            .unwrap();
+        assert!(matches!(reply, Reply::DeclarationPublished));
+        let reply = f
+            .net
+            .request(&"w1".into(), Request::FetchDeclarations)
+            .unwrap();
+        match reply {
+            Reply::Declarations(ds) => assert_eq!(ds, vec![decl]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

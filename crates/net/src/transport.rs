@@ -1,0 +1,130 @@
+//! The transport abstraction discovery runs over.
+//!
+//! [`DiscoveryAgent`](crate::DiscoveryAgent) only needs request/reply
+//! delivery to named wallets. [`crate::SimNet`] provides it
+//! deterministically for tests and experiments; [`ServiceRegistry`]
+//! provides it over real [`crate::WalletService`] threads — same
+//! algorithm, two deployment shapes.
+
+use std::collections::HashMap;
+
+use drbac_core::WalletAddr;
+use parking_lot::RwLock;
+
+use crate::proto::{Reply, Request};
+use crate::service::WalletClient;
+use crate::sim::{NetError, SimNet};
+
+/// Request/reply delivery to named wallet hosts.
+pub trait Transport: Send + Sync {
+    /// Sends `req` to the wallet at `to` and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the host is unknown or unreachable.
+    fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError>;
+}
+
+impl Transport for SimNet {
+    fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
+        SimNet::request(self, to, req)
+    }
+}
+
+/// A directory of threaded wallet services, addressable like a network.
+#[derive(Debug, Default)]
+pub struct ServiceRegistry {
+    services: RwLock<HashMap<WalletAddr, WalletClient>>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service client under an address.
+    pub fn register(&self, addr: impl Into<WalletAddr>, client: WalletClient) {
+        self.services.write().insert(addr.into(), client);
+    }
+
+    /// Removes a service.
+    pub fn deregister(&self, addr: &WalletAddr) {
+        self.services.write().remove(addr);
+    }
+}
+
+impl Transport for ServiceRegistry {
+    fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
+        let client = self
+            .services
+            .read()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownHost(to.clone()))?;
+        client.call(req).map_err(|_| NetError::HostDown(to.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::WalletService;
+    use drbac_core::{LocalEntity, Node, SimClock};
+    use drbac_crypto::SchnorrGroup;
+    use drbac_wallet::Wallet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn registry_routes_to_services() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = SchnorrGroup::test_256();
+        let a = LocalEntity::generate("A", g.clone(), &mut rng);
+        let m = LocalEntity::generate("M", g, &mut rng);
+        let service = WalletService::spawn(Wallet::new("w1", SimClock::new()));
+        let registry = ServiceRegistry::new();
+        registry.register("w1", service.client());
+
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let reply = registry
+            .request(
+                &"w1".into(),
+                Request::Publish {
+                    cert: Arc::new(cert),
+                    supports: vec![],
+                },
+            )
+            .unwrap();
+        assert!(!reply.is_error());
+
+        assert!(matches!(
+            registry.request(&"nowhere".into(), Request::FetchDeclarations),
+            Err(NetError::UnknownHost(_))
+        ));
+
+        registry.deregister(&"w1".into());
+        assert!(matches!(
+            registry.request(&"w1".into(), Request::FetchDeclarations),
+            Err(NetError::UnknownHost(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn dead_service_reports_host_down() {
+        let registry = ServiceRegistry::new();
+        let service = WalletService::spawn(Wallet::new("w1", SimClock::new()));
+        registry.register("w1", service.client());
+        service.shutdown();
+        // Channel is closed but the registry entry remains.
+        assert!(matches!(
+            registry.request(&"w1".into(), Request::FetchDeclarations),
+            Err(NetError::HostDown(_))
+        ));
+    }
+}

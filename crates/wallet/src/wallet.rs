@@ -1,0 +1,1559 @@
+//! The wallet itself.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use drbac_core::{
+    AttrConstraint, DelegationId, Node, Proof, ProofValidator, SignedAttrDeclaration,
+    SignedDelegation, SignedRevocation, SimClock, Ticks, Timestamp, ValidationContext,
+    ValidationError, WalletAddr,
+};
+use drbac_graph::{DelegationGraph, SearchOptions, SearchStats};
+use parking_lot::{Mutex, RwLock};
+
+use crate::events::{DelegationEvent, InvalidationReason, SubscriptionId};
+use crate::monitor::{MonitorCore, ProofMonitor};
+
+/// Errors returned by wallet operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalletError {
+    /// The credential (or a support proof) failed validation.
+    Validation(ValidationError),
+    /// A third-party delegation was published without the support proofs
+    /// its issuer is required to provide.
+    SupportNotProvided {
+        /// Description of the missing right.
+        needed: String,
+    },
+    /// No proof satisfying the query exists in this wallet.
+    NoProof,
+    /// A revocation arrived for a delegation this wallet does not hold.
+    UnknownDelegation(DelegationId),
+}
+
+impl fmt::Display for WalletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalletError::Validation(e) => write!(f, "credential rejected: {e}"),
+            WalletError::SupportNotProvided { needed } => {
+                write!(
+                    f,
+                    "third-party publication must provide support for {needed}"
+                )
+            }
+            WalletError::NoProof => f.write_str("no satisfying proof found"),
+            WalletError::UnknownDelegation(id) => write!(f, "unknown delegation #{id}"),
+        }
+    }
+}
+
+impl std::error::Error for WalletError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalletError::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for WalletError {
+    fn from(e: ValidationError) -> Self {
+        WalletError::Validation(e)
+    }
+}
+
+/// Coherence metadata for a cached remote credential (paper §4.2.2,
+/// "coherent caching of delegations").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The wallet the credential was fetched from.
+    pub source: WalletAddr,
+    /// When it was validated.
+    pub fetched_at: Timestamp,
+    /// Discovery-tag TTL; zero means "no monitoring required".
+    pub ttl: Ticks,
+}
+
+impl CacheEntry {
+    /// `true` once the TTL has lapsed and the copy needs revalidation.
+    pub fn is_stale(&self, now: Timestamp) -> bool {
+        self.ttl.0 > 0 && now > self.fetched_at.after(self.ttl)
+    }
+}
+
+type SubCallback = Arc<dyn Fn(DelegationEvent) + Send + Sync>;
+type WatchCallback = Box<dyn Fn(ProofMonitor) + Send + Sync>;
+
+struct ProofWatch {
+    subject: Node,
+    object: Node,
+    constraints: Vec<AttrConstraint>,
+    callback: WatchCallback,
+}
+
+struct WalletState {
+    addr: WalletAddr,
+    clock: SimClock,
+    graph: RwLock<DelegationGraph>,
+    subscriptions: Mutex<HashMap<DelegationId, Vec<(SubscriptionId, SubCallback)>>>,
+    monitors: Mutex<HashMap<DelegationId, Vec<Weak<MonitorCore>>>>,
+    watches: Mutex<Vec<ProofWatch>>,
+    cache_meta: Mutex<HashMap<DelegationId, CacheEntry>>,
+    signed_declarations: Mutex<Vec<SignedAttrDeclaration>>,
+    next_subscription: AtomicU64,
+    /// Bumped by every mutation that can change query answers; cached
+    /// answers from older generations are discarded.
+    generation: AtomicU64,
+    query_cache: Mutex<HashMap<QueryKey, CachedAnswer>>,
+    cache_enabled: std::sync::atomic::AtomicBool,
+}
+
+/// Cache key for a direct query: endpoints plus constraints (operand
+/// bit-patterns keep `f64` hashable without loss).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueryKey {
+    subject: Node,
+    object: Node,
+    constraints: Vec<(drbac_core::AttrRef, u64)>,
+}
+
+impl QueryKey {
+    fn new(subject: &Node, object: &Node, constraints: &[AttrConstraint]) -> Self {
+        QueryKey {
+            subject: subject.clone(),
+            object: object.clone(),
+            constraints: constraints
+                .iter()
+                .map(|c| (c.attr.clone(), c.at_least.to_bits()))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedAnswer {
+    generation: u64,
+    /// Logical time the answer was computed at (expiry depends on it).
+    at: Timestamp,
+    /// `None` caches a negative answer.
+    found: Option<(Proof, drbac_core::AttrSummary)>,
+}
+
+/// A dRBAC wallet (paper Figure 1). Cheap to clone; clones share state.
+///
+/// # Example
+///
+/// The single-wallet flow: publish, query, monitor, revoke.
+///
+/// ```
+/// use drbac_core::{LocalEntity, Node, SignedRevocation, SimClock, Timestamp};
+/// use drbac_crypto::SchnorrGroup;
+/// use drbac_wallet::Wallet;
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+/// # let g = SchnorrGroup::test_256();
+/// let a = LocalEntity::generate("A", g.clone(), &mut rng);
+/// let m = LocalEntity::generate("M", g, &mut rng);
+/// let clock = SimClock::new();
+/// let wallet = Wallet::new("wallet.a.example", clock.clone());
+///
+/// let cert = a.delegate(Node::entity(&m), Node::role(a.role("r"))).sign(&a)?;
+/// wallet.publish(cert.clone(), vec![])?;
+///
+/// let monitor = wallet
+///     .query_direct(&Node::entity(&m), &Node::role(a.role("r")), &[])
+///     .expect("proof exists");
+/// assert!(monitor.is_valid());
+///
+/// let revocation = SignedRevocation::revoke(&cert, &a, clock.now())?;
+/// wallet.revoke(&revocation)?;
+/// assert!(!monitor.is_valid());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct Wallet {
+    state: Arc<WalletState>,
+}
+
+impl fmt::Debug for Wallet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wallet")
+            .field("addr", &self.state.addr)
+            .field("delegations", &self.state.graph.read().len())
+            .finish()
+    }
+}
+
+impl Wallet {
+    /// Creates an empty wallet at `addr` sharing `clock`.
+    pub fn new(addr: impl Into<WalletAddr>, clock: SimClock) -> Self {
+        Wallet {
+            state: Arc::new(WalletState {
+                addr: addr.into(),
+                clock,
+                graph: RwLock::new(DelegationGraph::new()),
+                subscriptions: Mutex::new(HashMap::new()),
+                monitors: Mutex::new(HashMap::new()),
+                watches: Mutex::new(Vec::new()),
+                cache_meta: Mutex::new(HashMap::new()),
+                signed_declarations: Mutex::new(Vec::new()),
+                next_subscription: AtomicU64::new(0),
+                generation: AtomicU64::new(0),
+                query_cache: Mutex::new(HashMap::new()),
+                cache_enabled: std::sync::atomic::AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// Enables or disables the direct-query answer cache (enabled by
+    /// default; disable for measurement).
+    pub fn set_query_cache(&self, enabled: bool) {
+        self.state.cache_enabled.store(enabled, Ordering::SeqCst);
+        if !enabled {
+            self.state.query_cache.lock().clear();
+        }
+    }
+
+    /// Invalidates cached query answers; called by every mutation.
+    fn bump_generation(&self) {
+        self.state.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// This wallet's address.
+    pub fn addr(&self) -> &WalletAddr {
+        &self.state.addr
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.state.clock
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Timestamp {
+        self.state.clock.now()
+    }
+
+    /// Number of stored delegations.
+    pub fn len(&self) -> usize {
+        self.state.graph.read().len()
+    }
+
+    /// `true` if no delegations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.state.graph.read().is_empty()
+    }
+
+    /// `true` if the wallet holds delegation `id`.
+    pub fn contains(&self, id: DelegationId) -> bool {
+        self.state.graph.read().contains(id)
+    }
+
+    /// Fetches a stored delegation.
+    pub fn get(&self, id: DelegationId) -> Option<Arc<SignedDelegation>> {
+        self.state.graph.read().get(id).cloned()
+    }
+
+    /// Publishes a credential with its issuer-provided support proofs.
+    ///
+    /// Verifies the credential and each support proof cryptographically,
+    /// and enforces the paper's publication rule: a third-party delegation
+    /// (or one carrying foreign attribute clauses) must come with support
+    /// proofs for every right its issuer exercises — either in this call
+    /// or already present in the wallet.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Validation`] or [`WalletError::SupportNotProvided`].
+    pub fn publish(
+        &self,
+        cert: impl Into<Arc<SignedDelegation>>,
+        supports: Vec<Proof>,
+    ) -> Result<DelegationId, WalletError> {
+        let cert: Arc<SignedDelegation> = cert.into();
+        let now = self.now();
+        cert.verify(now)?;
+
+        // Validate each provided support proof in isolation.
+        {
+            let graph = self.state.graph.read();
+            let ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+            let validator = ProofValidator::new(ctx);
+            for support in &supports {
+                validator
+                    .validate(support)
+                    .map_err(WalletError::Validation)?;
+            }
+        }
+
+        let mut graph = self.state.graph.write();
+        for support in supports {
+            for c in support.all_certs() {
+                graph.insert(c);
+            }
+            graph.provide_support(support);
+        }
+
+        // Enforce provided-support rule for every right the issuer needs.
+        let delegation = cert.delegation();
+        let issuer = delegation.issuer();
+        let mut needed: Vec<Node> = Vec::new();
+        if let Some(right) = delegation.required_support() {
+            needed.push(right);
+        }
+        for clause in delegation.foreign_clauses() {
+            let admin = Node::attr_admin(clause.attr().clone());
+            if !needed.contains(&admin) {
+                needed.push(admin);
+            }
+        }
+        for right in &needed {
+            let provided = graph.provided_support(issuer, right).is_some();
+            let derivable = provided || {
+                let (p, _) =
+                    graph.direct_query(&Node::Entity(issuer), right, &SearchOptions::at(now));
+                p.is_some()
+            };
+            if !derivable {
+                return Err(WalletError::SupportNotProvided {
+                    needed: right.to_string(),
+                });
+            }
+        }
+
+        let id = graph.insert(Arc::clone(&cert));
+        drop(graph);
+        self.bump_generation();
+        self.run_watches();
+        Ok(id)
+    }
+
+    /// Publishes a signed attribute declaration (base value) after
+    /// verifying it.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Validation`] if the declaration fails verification.
+    pub fn publish_declaration(&self, decl: &SignedAttrDeclaration) -> Result<(), WalletError> {
+        decl.verify(self.now())?;
+        self.state
+            .graph
+            .write()
+            .insert_declaration(decl.declaration());
+        self.bump_generation();
+        let mut signed = self.state.signed_declarations.lock();
+        if !signed.contains(decl) {
+            signed.push(decl.clone());
+        }
+        Ok(())
+    }
+
+    /// Every signed attribute declaration this wallet can re-serve to
+    /// peers (the network layer forwards these alongside proofs so remote
+    /// verifiers learn base values).
+    pub fn signed_declarations(&self) -> Vec<SignedAttrDeclaration> {
+        self.state.signed_declarations.lock().clone()
+    }
+
+    /// Absorbs a validated remote proof into the local cache: verifies the
+    /// whole proof, then inserts every credential with coherence metadata
+    /// (`source`, TTL from the relevant discovery tags).
+    ///
+    /// This is paper §5 step 5: "Delegations from this proof are inserted
+    /// into the local wallet, which is trusted to verify signatures and
+    /// establish its own validation subscriptions."
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Validation`] if the proof fails validation.
+    pub fn absorb_proof(&self, proof: &Proof, source: &WalletAddr) -> Result<(), WalletError> {
+        let now = self.now();
+        {
+            let graph = self.state.graph.read();
+            let ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+            ProofValidator::new(ctx)
+                .validate(proof)
+                .map_err(WalletError::Validation)?;
+        }
+        let mut graph = self.state.graph.write();
+        let mut cache = self.state.cache_meta.lock();
+        for cert in proof.all_certs() {
+            let ttl = cert
+                .delegation()
+                .subject_tag()
+                .or(cert.delegation().object_tag())
+                .map(|t| t.ttl())
+                .unwrap_or(Ticks(0));
+            let id = graph.insert(Arc::clone(&cert));
+            cache.entry(id).or_insert(CacheEntry {
+                source: source.clone(),
+                fetched_at: now,
+                ttl,
+            });
+        }
+        // Register the sub-proofs so future third-party steps revalidate.
+        register_supports(&mut graph, proof);
+        drop(cache);
+        drop(graph);
+        self.bump_generation();
+        self.run_watches();
+        Ok(())
+    }
+
+    /// Coherence metadata for a cached delegation, if it was absorbed from
+    /// a remote wallet.
+    pub fn cache_entry(&self, id: DelegationId) -> Option<CacheEntry> {
+        self.state.cache_meta.lock().get(&id).cloned()
+    }
+
+    /// Records a successful revalidation of a cached credential: its TTL
+    /// window restarts now. Returns `false` for unknown cache entries.
+    pub fn mark_refreshed(&self, id: DelegationId) -> bool {
+        let now = self.now();
+        match self.state.cache_meta.lock().get_mut(&id) {
+            Some(entry) => {
+                entry.fetched_at = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of cached entries whose TTL has lapsed.
+    pub fn stale_entries(&self) -> Vec<DelegationId> {
+        let now = self.now();
+        self.state
+            .cache_meta
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.is_stale(now))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Direct query (§4.1): find, validate, and monitor a proof
+    /// `subject ⇒ object` under `constraints`.
+    ///
+    /// Returns `None` when no valid satisfying proof exists.
+    pub fn query_direct(
+        &self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+    ) -> Option<ProofMonitor> {
+        self.query_direct_with_stats(subject, object, constraints).0
+    }
+
+    /// As [`Wallet::query_direct`], also returning search work counters.
+    pub fn query_direct_with_stats(
+        &self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+    ) -> (Option<ProofMonitor>, SearchStats) {
+        let now = self.now();
+        let generation = self.state.generation.load(Ordering::SeqCst);
+        let cache_enabled = self.state.cache_enabled.load(Ordering::SeqCst);
+        let key = QueryKey::new(subject, object, constraints);
+        if cache_enabled {
+            let cache = self.state.query_cache.lock();
+            if let Some(entry) = cache.get(&key) {
+                if entry.generation == generation && entry.at == now {
+                    return match &entry.found {
+                        Some((proof, summary)) => (
+                            Some(self.monitor_proof(proof.clone(), summary.clone())),
+                            SearchStats::default(),
+                        ),
+                        None => (None, SearchStats::default()),
+                    };
+                }
+            }
+        }
+
+        let graph = self.state.graph.read();
+        let mut opts = SearchOptions::at(now);
+        opts.constraints = constraints.to_vec();
+        let (proof, stats) = graph.direct_query(subject, object, &opts);
+        let answer = proof.and_then(|proof| {
+            let mut ctx =
+                ValidationContext::at(now).with_declarations(graph.declarations().clone());
+            for id in graph.revoked().iter() {
+                ctx = ctx.with_revoked(*id);
+            }
+            ProofValidator::new(ctx)
+                .validate_query(&proof, subject, object, constraints)
+                .ok()
+                .map(|summary| (proof, summary))
+        });
+        drop(graph);
+        if cache_enabled {
+            self.state.query_cache.lock().insert(
+                key,
+                CachedAnswer {
+                    generation,
+                    at: now,
+                    found: answer.clone(),
+                },
+            );
+        }
+        match answer {
+            Some((proof, summary)) => (Some(self.monitor_proof(proof, summary)), stats),
+            None => (None, stats),
+        }
+    }
+
+    /// As [`Wallet::query_direct`] but returning the bare validated proof
+    /// without registering a monitor — the form used when answering
+    /// remote queries, where monitoring happens at the requester's wallet.
+    pub fn find_proof(
+        &self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+    ) -> Option<Proof> {
+        let now = self.now();
+        let graph = self.state.graph.read();
+        let mut opts = SearchOptions::at(now);
+        opts.constraints = constraints.to_vec();
+        let (proof, _) = graph.direct_query(subject, object, &opts);
+        let proof = proof?;
+        let mut ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+        for id in graph.revoked().iter() {
+            ctx = ctx.with_revoked(*id);
+        }
+        ProofValidator::new(ctx)
+            .validate_query(&proof, subject, object, constraints)
+            .ok()
+            .map(|_| proof)
+    }
+
+    /// Subject query (§4.1): all proofs `subject ⇒ *` not violating
+    /// `constraints`.
+    pub fn query_subject(&self, subject: &Node, constraints: &[AttrConstraint]) -> Vec<Proof> {
+        let graph = self.state.graph.read();
+        let mut opts = SearchOptions::at(self.now());
+        opts.constraints = constraints.to_vec();
+        graph.subject_query(subject, &opts).0
+    }
+
+    /// Object query (§4.1): all proofs `* ⇒ object` not violating
+    /// `constraints`.
+    pub fn query_object(&self, object: &Node, constraints: &[AttrConstraint]) -> Vec<Proof> {
+        let graph = self.state.graph.read();
+        let mut opts = SearchOptions::at(self.now());
+        opts.constraints = constraints.to_vec();
+        graph.object_query(object, &opts).0
+    }
+
+    /// Registers a freshly discovered support proof after validating it
+    /// (paper §4.2.1: "it may become necessary at some point to discover
+    /// new supporting delegations").
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Validation`] if the proof fails validation here.
+    pub fn provide_support(&self, support: Proof) -> Result<(), WalletError> {
+        let now = self.now();
+        {
+            let graph = self.state.graph.read();
+            let mut ctx =
+                ValidationContext::at(now).with_declarations(graph.declarations().clone());
+            for id in graph.revoked().iter() {
+                ctx = ctx.with_revoked(*id);
+            }
+            ProofValidator::new(ctx).validate(&support)?;
+        }
+        let mut graph = self.state.graph.write();
+        for cert in support.all_certs() {
+            graph.insert(cert);
+        }
+        graph.provide_support(support);
+        drop(graph);
+        self.bump_generation();
+        self.run_watches();
+        Ok(())
+    }
+
+    /// Third-party delegations in this wallet whose issuer's authority
+    /// can no longer be proven locally (support missing, revoked, or
+    /// expired). Each entry is `(issuer, needed right, acting-as hints)` —
+    /// the inputs for remote support re-discovery.
+    pub fn unsupported_third_party(&self) -> Vec<(drbac_core::EntityId, Node, Vec<Node>)> {
+        let now = self.now();
+        let graph = self.state.graph.read();
+        let mut ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+        for id in graph.revoked().iter() {
+            ctx = ctx.with_revoked(*id);
+        }
+        let validator = ProofValidator::new(ctx);
+        let mut out = Vec::new();
+        for cert in graph.iter() {
+            if graph.is_revoked(cert.id()) || cert.delegation().is_expired(now) {
+                continue;
+            }
+            let d = cert.delegation();
+            let mut needed: Vec<Node> = Vec::new();
+            if let Some(right) = d.required_support() {
+                needed.push(right);
+            }
+            for clause in d.foreign_clauses() {
+                let admin = Node::attr_admin(clause.attr().clone());
+                if !needed.contains(&admin) {
+                    needed.push(admin);
+                }
+            }
+            for right in needed {
+                let provided_ok = graph
+                    .provided_support(d.issuer(), &right)
+                    .is_some_and(|p| validator.validate(p).is_ok());
+                if provided_ok {
+                    continue;
+                }
+                // Maybe derivable from local credentials anyway.
+                let (derived, _) =
+                    graph.direct_query(&Node::Entity(d.issuer()), &right, &SearchOptions::at(now));
+                if derived.is_some_and(|p| validator.validate(&p).is_ok()) {
+                    continue;
+                }
+                out.push((d.issuer(), right, d.acting_as().to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Wraps an externally obtained proof in a monitor after validating
+    /// it against this wallet's context.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Validation`] if the proof does not validate here.
+    pub fn monitor_external_proof(&self, proof: Proof) -> Result<ProofMonitor, WalletError> {
+        let now = self.now();
+        let graph = self.state.graph.read();
+        let mut ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+        for id in graph.revoked().iter() {
+            ctx = ctx.with_revoked(*id);
+        }
+        let summary = ProofValidator::new(ctx).validate(&proof)?;
+        drop(graph);
+        Ok(self.monitor_proof(proof, summary))
+    }
+
+    fn monitor_proof(&self, proof: Proof, summary: drbac_core::AttrSummary) -> ProofMonitor {
+        let core = MonitorCore::new(proof, summary);
+        let mut monitors = self.state.monitors.lock();
+        for id in core.watched() {
+            let slot = monitors.entry(*id).or_default();
+            // Garbage-collect registrations whose monitors were dropped,
+            // so long-lived wallets don't accumulate dead weak refs.
+            slot.retain(|weak| weak.strong_count() > 0);
+            slot.push(Arc::downgrade(&core));
+        }
+        ProofMonitor { core }
+    }
+
+    /// Number of live monitor registrations (diagnostics).
+    pub fn live_monitor_registrations(&self) -> usize {
+        self.state
+            .monitors
+            .lock()
+            .values()
+            .map(|v| v.iter().filter(|w| w.strong_count() > 0).count())
+            .sum()
+    }
+
+    /// Registers a delegation subscription: `callback` fires when `id` is
+    /// invalidated (push model, §4.2.2).
+    pub fn subscribe(
+        &self,
+        id: DelegationId,
+        callback: impl Fn(DelegationEvent) + Send + Sync + 'static,
+    ) -> SubscriptionId {
+        let sub = SubscriptionId(self.state.next_subscription.fetch_add(1, Ordering::SeqCst));
+        self.state
+            .subscriptions
+            .lock()
+            .entry(id)
+            .or_default()
+            .push((sub, Arc::new(callback)));
+        sub
+    }
+
+    /// Removes a subscription. Returns `true` if it existed.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let mut subs = self.state.subscriptions.lock();
+        let mut found = false;
+        for list in subs.values_mut() {
+            let before = list.len();
+            list.retain(|(s, _)| *s != id);
+            found |= list.len() != before;
+        }
+        found
+    }
+
+    /// Registers a *pending-proof watch* (§4.2.2): if the wallet cannot
+    /// currently provide a proof for the relationship, the callback fires
+    /// as soon as a publication makes one available. If a proof already
+    /// exists the callback fires immediately.
+    pub fn watch_for_proof(
+        &self,
+        subject: Node,
+        object: Node,
+        constraints: Vec<AttrConstraint>,
+        callback: impl Fn(ProofMonitor) + Send + Sync + 'static,
+    ) {
+        if let Some(monitor) = self.query_direct(&subject, &object, &constraints) {
+            callback(monitor);
+            return;
+        }
+        self.state.watches.lock().push(ProofWatch {
+            subject,
+            object,
+            constraints,
+            callback: Box::new(callback),
+        });
+    }
+
+    fn run_watches(&self) {
+        let mut pending = std::mem::take(&mut *self.state.watches.lock());
+        let mut still_waiting = Vec::new();
+        for watch in pending.drain(..) {
+            match self.query_direct(&watch.subject, &watch.object, &watch.constraints) {
+                Some(monitor) => (watch.callback)(monitor),
+                None => still_waiting.push(watch),
+            }
+        }
+        self.state.watches.lock().extend(still_waiting);
+    }
+
+    /// Honors a signed revocation: verifies it against the stored
+    /// credential, marks it revoked, and pushes events to subscribers and
+    /// proof monitors. Returns the number of notifications delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::UnknownDelegation`] if the delegation is not stored;
+    /// [`WalletError::Validation`] if the notice fails verification.
+    pub fn revoke(&self, revocation: &SignedRevocation) -> Result<usize, WalletError> {
+        let id = revocation.delegation_id();
+        let cert = self.get(id).ok_or(WalletError::UnknownDelegation(id))?;
+        revocation.verify_against(&cert)?;
+        self.state.graph.write().revoke(id);
+        self.bump_generation();
+        Ok(self.push_event(DelegationEvent {
+            delegation: id,
+            reason: InvalidationReason::Revoked,
+        }))
+    }
+
+    /// Drops expired delegations, notifying their subscribers and
+    /// monitors. Returns `(expired_count, notifications)`. Drive this
+    /// after advancing the clock.
+    pub fn process_expiries(&self) -> (usize, usize) {
+        let now = self.now();
+        let expired: Vec<DelegationId> = {
+            let graph = self.state.graph.read();
+            graph
+                .iter()
+                .filter(|c| c.delegation().is_expired(now))
+                .map(|c| c.id())
+                .collect()
+        };
+        let mut notifications = 0;
+        {
+            let mut graph = self.state.graph.write();
+            for id in &expired {
+                graph.remove(*id);
+            }
+        }
+        self.bump_generation();
+        for id in &expired {
+            notifications += self.push_event(DelegationEvent {
+                delegation: *id,
+                reason: InvalidationReason::Expired,
+            });
+        }
+        (expired.len(), notifications)
+    }
+
+    /// Delivers an event to local subscribers and proof monitors. Used
+    /// directly by the network layer when a remote wallet pushes an
+    /// invalidation for a cached credential.
+    pub fn push_event(&self, event: DelegationEvent) -> usize {
+        // Mirror the invalidation into the local graph FIRST, so that
+        // callbacks re-entering the wallet (e.g. a resilient session
+        // immediately re-authorizing) never see the dead credential.
+        if event.reason == InvalidationReason::Revoked {
+            self.state.graph.write().revoke(event.delegation);
+        } else {
+            self.state.graph.write().remove(event.delegation);
+        }
+        self.state.cache_meta.lock().remove(&event.delegation);
+        self.bump_generation();
+
+        let mut delivered = 0;
+        // Snapshot subscriber callbacks and fire them without holding the
+        // lock (callbacks may re-enter the wallet).
+        let callbacks: Vec<SubCallback> = self
+            .state
+            .subscriptions
+            .lock()
+            .get(&event.delegation)
+            .map(|subs| subs.iter().map(|(_, cb)| Arc::clone(cb)).collect())
+            .unwrap_or_default();
+        for cb in callbacks {
+            cb(event);
+            delivered += 1;
+        }
+        // Collect live monitors and deliver with the lock released:
+        // monitor callbacks may also call back into this wallet.
+        let cores: Vec<Arc<MonitorCore>> = {
+            let mut monitors = self.state.monitors.lock();
+            match monitors.get_mut(&event.delegation) {
+                Some(list) => {
+                    let cores: Vec<_> = list.iter().filter_map(Weak::upgrade).collect();
+                    list.retain(|weak| weak.strong_count() > 0);
+                    cores
+                }
+                None => Vec::new(),
+            }
+        };
+        for core in cores {
+            core.deliver(event);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Read access to the underlying graph for diagnostics and
+    /// experiments. Holds a read lock for the closure's duration.
+    pub fn with_graph<T>(&self, f: impl FnOnce(&DelegationGraph) -> T) -> T {
+        f(&self.state.graph.read())
+    }
+
+    /// Serializes the wallet's durable contents — credentials, provided
+    /// support proofs, signed declarations, and the revocation set — into
+    /// the canonical wire format, for persistence across restarts.
+    ///
+    /// Volatile state (subscriptions, monitors, watches, cache TTLs) is
+    /// deliberately not persisted: monitors belong to live sessions, and
+    /// cached entries must be revalidated after a restart anyway.
+    pub fn export_bytes(&self) -> Vec<u8> {
+        use drbac_core::{Encode, Writer};
+        let graph = self.state.graph.read();
+        let mut w = Writer::tagged(b"drbac-wallet-v1");
+
+        let certs: Vec<Arc<SignedDelegation>> = graph.iter().cloned().collect();
+        w.u64(certs.len() as u64);
+        for cert in &certs {
+            cert.as_ref().encode(&mut w);
+        }
+
+        let supports = graph.all_supports();
+        w.u64(supports.len() as u64);
+        for support in &supports {
+            support.encode(&mut w);
+        }
+
+        let declarations = self.state.signed_declarations.lock();
+        w.u64(declarations.len() as u64);
+        for decl in declarations.iter() {
+            w.bytes(&decl.to_bytes());
+        }
+
+        let revoked: Vec<DelegationId> = graph.revoked().iter().copied().collect();
+        w.u64(revoked.len() as u64);
+        for id in revoked {
+            w.bytes(&id.0);
+        }
+        w.finish()
+    }
+
+    /// Restores contents exported by [`Wallet::export_bytes`] into this
+    /// wallet. Every credential and declaration is re-verified; entries
+    /// that no longer verify (e.g. expired since export) are skipped and
+    /// counted in [`ImportReport::rejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Validation`] wrapping a decode failure for
+    /// structurally malformed input.
+    pub fn import_bytes(&self, bytes: &[u8]) -> Result<ImportReport, WalletError> {
+        use drbac_core::{Decode, Proof, Reader};
+        let malformed = |e: drbac_core::DecodeError| {
+            WalletError::Validation(drbac_core::ValidationError::Model(
+                drbac_core::ModelError::InvalidName(format!("wallet image: {e}")),
+            ))
+        };
+        let mut r = Reader::tagged(bytes, b"drbac-wallet-v1").map_err(malformed)?;
+        let now = self.now();
+        let mut report = ImportReport::default();
+
+        let n = r.u64().map_err(malformed)?;
+        let mut certs = Vec::new();
+        for _ in 0..n {
+            certs.push(Arc::new(
+                SignedDelegation::decode(&mut r).map_err(malformed)?,
+            ));
+        }
+        let n = r.u64().map_err(malformed)?;
+        let mut supports = Vec::new();
+        for _ in 0..n {
+            supports.push(Proof::decode(&mut r).map_err(malformed)?);
+        }
+        let n = r.u64().map_err(malformed)?;
+        let mut declarations = Vec::new();
+        for _ in 0..n {
+            let blob = r.bytes().map_err(malformed)?;
+            declarations
+                .push(drbac_core::SignedAttrDeclaration::from_bytes(blob).map_err(malformed)?);
+        }
+        let n = r.u64().map_err(malformed)?;
+        let mut revoked = Vec::new();
+        for _ in 0..n {
+            let id: [u8; 32] = r
+                .bytes()
+                .map_err(malformed)?
+                .try_into()
+                .map_err(|_| malformed(drbac_core::DecodeError::UnexpectedEof))?;
+            revoked.push(DelegationId(id));
+        }
+        r.finish().map_err(malformed)?;
+
+        // Declarations first (constraint bases), then supports, then
+        // credentials, then revocations.
+        for decl in declarations {
+            match self.publish_declaration(&decl) {
+                Ok(()) => report.declarations += 1,
+                Err(_) => report.rejected += 1,
+            }
+        }
+        {
+            let mut graph = self.state.graph.write();
+            for support in supports {
+                graph.provide_support(support);
+            }
+        }
+        for cert in certs {
+            if cert.verify(now).is_err() {
+                report.rejected += 1;
+                continue;
+            }
+            self.state.graph.write().insert(cert);
+            report.credentials += 1;
+        }
+        for id in revoked {
+            self.state.graph.write().revoke(id);
+            report.revocations += 1;
+        }
+        self.bump_generation();
+        self.run_watches();
+        Ok(report)
+    }
+}
+
+/// Counts from a [`Wallet::import_bytes`] restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Credentials restored (re-verified).
+    pub credentials: usize,
+    /// Signed declarations restored.
+    pub declarations: usize,
+    /// Revocation marks restored.
+    pub revocations: usize,
+    /// Entries skipped because they no longer verify.
+    pub rejected: usize,
+}
+
+/// Recursively registers every support proof found in `proof`.
+fn register_supports(graph: &mut DelegationGraph, proof: &Proof) {
+    for step in proof.steps() {
+        for support in step.supports() {
+            graph.provide_support(support.clone());
+            register_supports(graph, support);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{AttrDeclaration, AttrOp, LocalEntity, ProofStep};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Fx {
+        a: LocalEntity,
+        b: LocalEntity,
+        m: LocalEntity,
+        clock: SimClock,
+        wallet: Wallet,
+    }
+
+    fn fx() -> Fx {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = SchnorrGroup::test_256();
+        let clock = SimClock::new();
+        Fx {
+            a: LocalEntity::generate("A", g.clone(), &mut rng),
+            b: LocalEntity::generate("B", g.clone(), &mut rng),
+            m: LocalEntity::generate("M", g, &mut rng),
+            wallet: Wallet::new("w.example", clock.clone()),
+            clock,
+        }
+    }
+
+    #[test]
+    fn publish_and_query_direct() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        assert_eq!(f.wallet.len(), 1);
+        let monitor = f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .expect("proof");
+        assert!(monitor.is_valid());
+        assert_eq!(monitor.proof().chain_len(), 1);
+    }
+
+    #[test]
+    fn publish_rejects_bad_credential() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .expires(Timestamp(0))
+                .sign(&f.a)
+                .unwrap();
+        f.clock.advance(Ticks(10));
+        assert!(matches!(
+            f.wallet.publish(cert, vec![]),
+            Err(WalletError::Validation(ValidationError::Expired { .. }))
+        ));
+    }
+
+    #[test]
+    fn third_party_publication_requires_support() {
+        let f = fx();
+        let member = f.a.role("member");
+        let cert =
+            f.b.delegate(Node::entity(&f.m), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap();
+        // No support provided and none derivable: rejected.
+        assert!(matches!(
+            f.wallet.publish(cert.clone(), vec![]),
+            Err(WalletError::SupportNotProvided { .. })
+        ));
+        // With the issuer-provided support proof: accepted.
+        let grant =
+            f.a.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .sign(&f.a)
+                .unwrap();
+        let support = Proof::from_steps(vec![ProofStep::new(grant)]).unwrap();
+        f.wallet.publish(cert, vec![support]).unwrap();
+        let monitor = f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(member), &[]);
+        assert!(monitor.is_some());
+    }
+
+    #[test]
+    fn invalid_support_proof_rejected_at_publication() {
+        let f = fx();
+        let member = f.a.role("member");
+        let cert =
+            f.b.delegate(Node::entity(&f.m), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap();
+        // Support proof signed by the wrong party (m, not a) fails.
+        let bogus_grant =
+            f.b.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .sign(&f.b)
+                .unwrap();
+        let bogus = Proof::from_steps(vec![ProofStep::new(bogus_grant)]).unwrap();
+        assert!(matches!(
+            f.wallet.publish(cert, vec![bogus]),
+            Err(WalletError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn revocation_notifies_monitor_and_subscriber() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let id = f.wallet.publish(cert.clone(), vec![]).unwrap();
+
+        let monitor = f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+        let events = Arc::new(AtomicUsize::new(0));
+        let events2 = Arc::clone(&events);
+        f.wallet.subscribe(id, move |e| {
+            assert_eq!(e.reason, InvalidationReason::Revoked);
+            events2.fetch_add(1, Ordering::SeqCst);
+        });
+
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        let delivered = f.wallet.revoke(&revocation).unwrap();
+        assert_eq!(delivered, 2, "one subscription + one monitor");
+        assert_eq!(events.load(Ordering::SeqCst), 1);
+        assert!(!monitor.is_valid());
+
+        // Revoked delegation no longer answers queries.
+        assert!(f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .is_none());
+    }
+
+    #[test]
+    fn revocation_of_unknown_delegation_errors() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let revocation = SignedRevocation::revoke(&cert, &f.a, Timestamp(0)).unwrap();
+        assert!(matches!(
+            f.wallet.revoke(&revocation),
+            Err(WalletError::UnknownDelegation(_))
+        ));
+    }
+
+    #[test]
+    fn expiry_processing_notifies_and_purges() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .expires(Timestamp(10))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        let monitor = f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+
+        f.clock.advance(Ticks(11));
+        let (expired, notified) = f.wallet.process_expiries();
+        assert_eq!(expired, 1);
+        assert_eq!(notified, 1);
+        assert!(!monitor.is_valid());
+        assert!(f.wallet.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_stops_events() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let id = f.wallet.publish(cert.clone(), vec![]).unwrap();
+        let events = Arc::new(AtomicUsize::new(0));
+        let events2 = Arc::clone(&events);
+        let sub = f.wallet.subscribe(id, move |_| {
+            events2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(f.wallet.unsubscribe(sub));
+        assert!(!f.wallet.unsubscribe(sub));
+        let revocation = SignedRevocation::revoke(&cert, &f.a, Timestamp(0)).unwrap();
+        f.wallet.revoke(&revocation).unwrap();
+        assert_eq!(events.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn constraint_queries_respect_declarations() {
+        let f = fx();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        let decl = drbac_core::SignedAttrDeclaration::sign(
+            AttrDeclaration::new(bw.clone(), 200.0).unwrap(),
+            &f.a,
+        )
+        .unwrap();
+        f.wallet.publish_declaration(&decl).unwrap();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .with_attr(bw.clone(), 100.0)
+                .unwrap()
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+
+        let ok = f.wallet.query_direct(
+            &Node::entity(&f.m),
+            &Node::role(f.a.role("r")),
+            &[AttrConstraint::at_least(bw.clone(), 100.0)],
+        );
+        assert!(ok.is_some());
+        assert_eq!(ok.unwrap().summary().get(&bw), Some(100.0));
+        let too_much = f.wallet.query_direct(
+            &Node::entity(&f.m),
+            &Node::role(f.a.role("r")),
+            &[AttrConstraint::at_least(bw, 150.0)],
+        );
+        assert!(too_much.is_none());
+    }
+
+    #[test]
+    fn watch_for_proof_fires_on_publication() {
+        let f = fx();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        f.wallet.watch_for_proof(
+            Node::entity(&f.m),
+            Node::role(f.a.role("r")),
+            vec![],
+            move |monitor| {
+                assert!(monitor.is_valid());
+                fired2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn watch_fires_immediately_if_proof_exists() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        f.wallet.watch_for_proof(
+            Node::entity(&f.m),
+            Node::role(f.a.role("r")),
+            vec![],
+            move |_| {
+                fired2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn absorb_proof_caches_with_ttl_metadata() {
+        let f = fx();
+        let tag = drbac_core::DiscoveryTag::new("home.example").with_ttl(Ticks(30));
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .subject_tag(tag)
+                .sign(&f.a)
+                .unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        let source = WalletAddr::new("remote.example");
+        f.wallet.absorb_proof(&proof, &source).unwrap();
+        assert_eq!(f.wallet.len(), 1);
+        let entry = f.wallet.cache_entry(cert.id()).expect("cache metadata");
+        assert_eq!(entry.source, source);
+        assert_eq!(entry.ttl, Ticks(30));
+        assert!(f.wallet.stale_entries().is_empty());
+        f.clock.advance(Ticks(31));
+        assert_eq!(f.wallet.stale_entries(), vec![cert.id()]);
+    }
+
+    #[test]
+    fn push_event_handles_remote_invalidations() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        f.wallet
+            .absorb_proof(&proof, &WalletAddr::new("remote"))
+            .unwrap();
+        let monitor = f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+        // A remote wallet pushes "revoked" for the cached credential.
+        let n = f.wallet.push_event(DelegationEvent {
+            delegation: cert.id(),
+            reason: InvalidationReason::Revoked,
+        });
+        assert_eq!(n, 1);
+        assert!(!monitor.is_valid());
+        assert!(f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .is_none());
+    }
+
+    #[test]
+    fn dropped_monitors_are_garbage_collected() {
+        let f = fx();
+        let role = Node::role(f.a.role("r"));
+        f.wallet
+            .publish(
+                f.a.delegate(Node::entity(&f.m), role.clone())
+                    .sign(&f.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        f.wallet.set_query_cache(false); // each query builds a fresh monitor
+        for _ in 0..50 {
+            let m = f
+                .wallet
+                .query_direct(&Node::entity(&f.m), &role, &[])
+                .unwrap();
+            drop(m);
+        }
+        // One more query; GC keeps the registration list from growing
+        // without bound (only the newest registration is live).
+        let keep = f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &role, &[])
+            .unwrap();
+        assert_eq!(f.wallet.live_monitor_registrations(), 1);
+        drop(keep);
+    }
+
+    #[test]
+    fn query_cache_hits_and_invalidates() {
+        let f = fx();
+        let role = Node::role(f.a.role("r"));
+        let cert =
+            f.a.delegate(Node::entity(&f.m), role.clone())
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert.clone(), vec![]).unwrap();
+
+        // First query does real work; second hits the cache (zero stats).
+        let (m1, s1) = f
+            .wallet
+            .query_direct_with_stats(&Node::entity(&f.m), &role, &[]);
+        assert!(m1.is_some());
+        assert!(s1.edges_considered > 0);
+        let (m2, s2) = f
+            .wallet
+            .query_direct_with_stats(&Node::entity(&f.m), &role, &[]);
+        assert!(m2.is_some());
+        assert_eq!(s2, SearchStats::default(), "cache hit does no search work");
+        // Cached monitors are still real monitors.
+        let m2 = m2.unwrap();
+        assert!(m2.is_valid());
+
+        // Negative answers cache too.
+        let missing = Node::role(f.a.role("missing"));
+        let (n1, ns1) = f
+            .wallet
+            .query_direct_with_stats(&Node::entity(&f.m), &missing, &[]);
+        assert!(n1.is_none() && ns1.edges_considered > 0);
+        let (n2, ns2) = f
+            .wallet
+            .query_direct_with_stats(&Node::entity(&f.m), &missing, &[]);
+        assert!(n2.is_none());
+        assert_eq!(ns2, SearchStats::default());
+
+        // A revocation invalidates: the cached positive answer disappears
+        // and the monitor from the cached proof is notified.
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.wallet.revoke(&revocation).unwrap();
+        assert!(!m2.is_valid());
+        let (m3, _) = f
+            .wallet
+            .query_direct_with_stats(&Node::entity(&f.m), &role, &[]);
+        assert!(m3.is_none());
+
+        // Publication invalidates negative answers.
+        f.wallet
+            .publish(
+                f.a.delegate(Node::entity(&f.m), missing.clone())
+                    .sign(&f.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        let (n3, _) = f
+            .wallet
+            .query_direct_with_stats(&Node::entity(&f.m), &missing, &[]);
+        assert!(n3.is_some());
+    }
+
+    #[test]
+    fn query_cache_respects_time_and_toggle() {
+        let f = fx();
+        let role = Node::role(f.a.role("r"));
+        let cert =
+            f.a.delegate(Node::entity(&f.m), role.clone())
+                .expires(Timestamp(10))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        assert!(f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &role, &[])
+            .is_some());
+        // Advancing the clock alone (no generation change) must not serve
+        // the stale positive answer once the credential expired.
+        f.clock.advance(drbac_core::Ticks(11));
+        assert!(f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &role, &[])
+            .is_none());
+
+        // Disabling the cache still answers correctly.
+        f.wallet.set_query_cache(false);
+        assert!(f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &role, &[])
+            .is_none());
+    }
+
+    #[test]
+    fn provide_support_validates_before_accepting() {
+        let f = fx();
+        let member = f.a.role("member");
+        // A support proving the wrong thing (expired credential) is
+        // rejected; a valid one is accepted and indexed.
+        let expired_grant =
+            f.a.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .expires(Timestamp(0))
+                .sign(&f.a)
+                .unwrap();
+        f.clock.advance(drbac_core::Ticks(5));
+        let stale = Proof::from_steps(vec![drbac_core::ProofStep::new(expired_grant)]).unwrap();
+        assert!(matches!(
+            f.wallet.provide_support(stale),
+            Err(WalletError::Validation(_))
+        ));
+
+        let fresh_grant =
+            f.a.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .serial(2)
+                .sign(&f.a)
+                .unwrap();
+        let fresh = Proof::from_steps(vec![drbac_core::ProofStep::new(fresh_grant)]).unwrap();
+        f.wallet.provide_support(fresh).unwrap();
+        // The support now authorizes a third-party publication without
+        // resending it.
+        let enrollment =
+            f.b.delegate(Node::entity(&f.m), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap();
+        f.wallet.publish(enrollment, vec![]).unwrap();
+        assert!(f
+            .wallet
+            .query_direct(&Node::entity(&f.m), &Node::role(member), &[])
+            .is_some());
+        assert!(f.wallet.unsupported_third_party().is_empty());
+    }
+
+    #[test]
+    fn export_import_round_trip_restores_answers() {
+        let f = fx();
+        let member = f.a.role("member");
+        // Third-party credential with support, a declaration, and a
+        // revocation — all four durable categories.
+        let bw = f.a.attr("bw", drbac_core::AttrOp::Min);
+        let decl = drbac_core::SignedAttrDeclaration::sign(
+            drbac_core::AttrDeclaration::new(bw.clone(), 100.0).unwrap(),
+            &f.a,
+        )
+        .unwrap();
+        f.wallet.publish_declaration(&decl).unwrap();
+
+        let grant =
+            f.a.delegate(Node::entity(&f.b), Node::role_admin(member.clone()))
+                .sign(&f.a)
+                .unwrap();
+        let support = Proof::from_steps(vec![drbac_core::ProofStep::new(grant)]).unwrap();
+        let enrollment =
+            f.b.delegate(Node::entity(&f.m), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap();
+        f.wallet.publish(enrollment, vec![support]).unwrap();
+
+        let dead =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("dead")))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(dead.clone(), vec![]).unwrap();
+        let revocation = SignedRevocation::revoke(&dead, &f.a, f.clock.now()).unwrap();
+        f.wallet.revoke(&revocation).unwrap();
+
+        let image = f.wallet.export_bytes();
+        let restored = Wallet::new("restored", f.clock.clone());
+        let report = restored.import_bytes(&image).unwrap();
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.declarations, 1);
+        assert!(report.credentials >= 3);
+        assert_eq!(report.revocations, 1);
+
+        // Same answers as the original: member provable, dead role not.
+        assert!(restored
+            .query_direct(&Node::entity(&f.m), &Node::role(member), &[])
+            .is_some());
+        assert!(restored
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("dead")), &[])
+            .is_none());
+        // Declarations restored: constraint uses the declared base.
+        assert_eq!(restored.signed_declarations().len(), 1);
+    }
+
+    #[test]
+    fn import_rejects_expired_and_garbage() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .expires(Timestamp(5))
+                .sign(&f.a)
+                .unwrap();
+        f.wallet.publish(cert, vec![]).unwrap();
+        let image = f.wallet.export_bytes();
+
+        // Time passes beyond the expiry: the restored wallet skips it.
+        f.clock.advance(drbac_core::Ticks(10));
+        let restored = Wallet::new("restored", f.clock.clone());
+        let report = restored.import_bytes(&image).unwrap();
+        assert_eq!(report.credentials, 0);
+        assert_eq!(report.rejected, 1);
+
+        // Garbage fails cleanly.
+        assert!(restored.import_bytes(b"not a wallet image").is_err());
+        let mut truncated = image.clone();
+        truncated.truncate(image.len() / 2);
+        assert!(restored.import_bytes(&truncated).is_err());
+    }
+
+    #[test]
+    fn monitor_external_proof_validates_against_local_revocations() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        assert!(f.wallet.monitor_external_proof(proof.clone()).is_ok());
+        // After learning of a revocation, the same proof is rejected.
+        f.wallet.publish(cert.clone(), vec![]).unwrap();
+        let revocation = SignedRevocation::revoke(&cert, &f.a, Timestamp(0)).unwrap();
+        f.wallet.revoke(&revocation).unwrap();
+        assert!(matches!(
+            f.wallet.monitor_external_proof(proof),
+            Err(WalletError::Validation(ValidationError::Revoked(_)))
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! Valued attributes (§3.2.1): one role, many service levels.
+//!
+//! An ISP sells gold/silver/bronze tiers of the *same* `access` role by
+//! modulating scalar attributes along the delegation chain instead of
+//! minting a role per tier — "to avoid an explosion in the number of
+//! roles".
+//!
+//! ```sh
+//! cargo run --example attribute_modulation
+//! ```
+
+use drbac::core::{
+    AttrConstraint, AttrDeclaration, AttrOp, LocalEntity, Node, SignedAttrDeclaration, SimClock,
+};
+use drbac::crypto::SchnorrGroup;
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let group = SchnorrGroup::test_256();
+    let isp = LocalEntity::generate("ISP", group.clone(), &mut rng);
+    let reseller = LocalEntity::generate("Reseller", group.clone(), &mut rng);
+
+    let clock = SimClock::new();
+    let wallet = Wallet::new("wallet.isp.example", clock);
+
+    // Attributes, each bound to one monotone operator.
+    let bandwidth = isp.attr("bandwidth", AttrOp::Min); //  <=  running minimum
+    let storage = isp.attr("storage", AttrOp::Subtract); //  -=  subtract
+    let priority = isp.attr("priority", AttrOp::Scale); //  *=  scale into [0,1]
+
+    // The ISP declares base values.
+    for (attr, base) in [(&bandwidth, 1000.0), (&storage, 100.0), (&priority, 1.0)] {
+        let decl = SignedAttrDeclaration::sign(AttrDeclaration::new(attr.clone(), base)?, &isp)?;
+        wallet.publish_declaration(&decl)?;
+    }
+
+    // Tier roles modulate access to the single protected role.
+    let access = isp.role("access");
+    let tiers = [
+        ("gold", 1000.0, 0.0, 1.0),
+        ("silver", 300.0, 40.0, 0.7),
+        ("bronze", 50.0, 80.0, 0.25),
+    ];
+    for (name, bw, storage_cut, prio) in tiers {
+        let tier_role = isp.role(name);
+        wallet.publish(
+            isp.delegate(Node::role(tier_role), Node::role(access.clone()))
+                .with_attr(bandwidth.clone(), bw)?
+                .with_attr(storage.clone(), storage_cut)?
+                .with_attr(priority.clone(), prio)?
+                .sign(&isp)?,
+            vec![],
+        )?;
+    }
+
+    // The reseller holds assignment rights and enrolls customers into
+    // tiers (third-party delegation at work).
+    for (name, _, _, _) in tiers {
+        wallet.publish(
+            isp.delegate(Node::entity(&reseller), Node::role_admin(isp.role(name)))
+                .sign(&isp)?,
+            vec![],
+        )?;
+    }
+    let mut customers = Vec::new();
+    for (name, _, _, _) in tiers {
+        let customer = LocalEntity::generate(format!("{name}-customer"), group.clone(), &mut rng);
+        wallet.publish(
+            reseller
+                .delegate(Node::entity(&customer), Node::role(isp.role(name)))
+                .sign(&reseller)?,
+            vec![],
+        )?;
+        customers.push((name, customer));
+    }
+
+    println!("effective access levels (base: bw=1000, storage=100, priority=1.0):");
+    for (tier, customer) in &customers {
+        let monitor = wallet
+            .query_direct(&Node::entity(customer), &Node::role(access.clone()), &[])
+            .expect("enrolled");
+        println!("  {tier:7}: {}", monitor.summary());
+    }
+
+    // Constraint queries: who can stream at >= 200 units of bandwidth?
+    println!("\ncustomers satisfying bandwidth >= 200:");
+    let needs_bw = AttrConstraint::at_least(bandwidth.clone(), 200.0);
+    for (tier, customer) in &customers {
+        let ok = wallet
+            .query_direct(
+                &Node::entity(customer),
+                &Node::role(access.clone()),
+                std::slice::from_ref(&needs_bw),
+            )
+            .is_some();
+        println!("  {tier:7}: {}", if ok { "yes" } else { "no" });
+    }
+
+    // Monotonicity: a sub-reseller can only narrow, never widen.
+    let sub = LocalEntity::generate("SubReseller", group.clone(), &mut rng);
+    wallet.publish(
+        isp.delegate(Node::entity(&sub), Node::role_admin(isp.role("silver")))
+            .sign(&isp)?,
+        vec![],
+    )?;
+    // Setting ISP-namespace attributes from outside requires the
+    // attribute-assignment right (§3.2.1) — without these two grants the
+    // publication below is rejected with SupportNotProvided.
+    for attr in [&bandwidth, &priority] {
+        wallet.publish(
+            isp.delegate(Node::entity(&sub), Node::attr_admin(attr.clone()))
+                .sign(&isp)?,
+            vec![],
+        )?;
+    }
+    let end_user = LocalEntity::generate("EndUser", group, &mut rng);
+    wallet.publish(
+        sub.delegate(Node::entity(&end_user), Node::role(isp.role("silver")))
+            .with_attr(bandwidth, 150.0)? // narrower than silver's 300
+            .with_attr(priority, 0.5)? // halves again
+            .sign(&sub)?,
+        vec![],
+    )?;
+    let monitor = wallet
+        .query_direct(&Node::entity(&end_user), &Node::role(access), &[])
+        .expect("enrolled");
+    println!(
+        "\nend user via sub-reseller (narrowed silver): {}",
+        monitor.summary()
+    );
+    Ok(())
+}

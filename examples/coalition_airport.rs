@@ -1,0 +1,78 @@
+//! The paper's extended example (§1.1, §5, Figure 2): Maria, a BigISP
+//! member, obtains wireless Internet access through AirNet's airport
+//! network on the strength of the BigISP–AirNet coalition.
+//!
+//! ```sh
+//! cargo run --example coalition_airport
+//! ```
+
+use drbac::core::Node;
+use drbac::disco::CoalitionScenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let scenario = CoalitionScenario::build(&mut rng);
+
+    println!("== Initial state (Figure 2a) ==");
+    println!(
+        "server wallet        : {} delegations",
+        scenario.server.wallet().len()
+    );
+    println!(
+        "BigISP home wallet   : {} delegations",
+        scenario.bigisp_home.wallet().len()
+    );
+    println!(
+        "AirNet home wallet   : {} delegations",
+        scenario.airnet_home.wallet().len()
+    );
+    println!(
+        "\npartnership delegation (Table 2 example (4)):\n  {}",
+        scenario.partnership_cert.delegation()
+    );
+
+    println!("\n== Step 1: Maria presents her BigISP membership ==");
+    let presented = scenario.present_credentials();
+    println!("presented: {}", presented.steps()[0].cert().delegation());
+
+    println!("\n== Steps 2-6: discovery, validation, monitoring ==");
+    let mut agent = scenario.server_agent(&presented);
+    let outcome = agent.discover(
+        &Node::entity(&scenario.maria),
+        &Node::role(scenario.access_role()),
+        &[],
+    );
+    for (i, step) in outcome.trace.iter().enumerate() {
+        println!("  step {}: {step}", i + 1);
+    }
+    println!(
+        "wallets contacted: {:?}",
+        outcome
+            .wallets_contacted
+            .iter()
+            .map(|w| w.as_str())
+            .collect::<Vec<_>>()
+    );
+    println!("network stats    : {:?}", scenario.net.stats());
+
+    let monitor = outcome.monitor.expect("access authorized");
+    println!("\naccess granted to Maria with:");
+    for (attr, value) in &monitor.summary().values {
+        println!("  {attr} = {value}");
+    }
+    // Paper §5 step 5: BW 100 (<=200), storage 30 (=50-20), hours 18 (=60*0.3).
+    for (attr, expected) in scenario.expected_grants() {
+        let got = monitor.summary().get(&attr).expect("granted");
+        assert!((got - expected).abs() < 1e-9, "{attr}: {got} != {expected}");
+    }
+    println!("matches the paper's numbers: BW=100, storage=30, hours=18");
+
+    println!("\n== The partnership ends: Sheila revokes delegation (2) ==");
+    monitor.on_invalidate(|status| println!("  server notified: {status}"));
+    let pushed = scenario.revoke_partnership();
+    println!("push messages delivered: {pushed}");
+    println!("Maria's session active : {}", monitor.is_valid());
+    assert!(!monitor.is_valid());
+}

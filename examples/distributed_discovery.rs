@@ -1,0 +1,125 @@
+//! Tag-directed discovery across a chain of organizations (§4.2.1).
+//!
+//! Four organizations each run their own wallet; a credential chain
+//! crosses all of them. The querying server starts with nothing but the
+//! user's first credential and the discovery tags on it, and stitches the
+//! full proof together wallet by wallet.
+//!
+//! ```sh
+//! cargo run --example distributed_discovery
+//! ```
+
+use drbac::core::{
+    DiscoveryTag, LocalEntity, Node, Proof, ProofStep, SimClock, SubjectFlag, Ticks,
+};
+use drbac::crypto::SchnorrGroup;
+use drbac::net::{Directory, DiscoveryAgent, SimNet};
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let net = SimNet::new(clock.clone(), Ticks(5)); // 5-tick link latency
+
+    // Four orgs, each with a home wallet; a user known only to org 0.
+    let orgs: Vec<LocalEntity> = (0..4)
+        .map(|i| LocalEntity::generate(format!("Org{i}"), group.clone(), &mut rng))
+        .collect();
+    let user = LocalEntity::generate("Wanda", group, &mut rng);
+    let hosts: Vec<_> = orgs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let addr = format!("wallet.org{i}.example");
+            net.add_host(addr.as_str(), Wallet::new(addr.as_str(), clock.clone()))
+        })
+        .collect();
+    let server = net.add_host("server.local", Wallet::new("server.local", clock.clone()));
+
+    let tag = |i: usize| {
+        DiscoveryTag::new(format!("wallet.org{i}.example").as_str())
+            .with_ttl(Ticks(60))
+            .with_subject_flag(SubjectFlag::Search)
+    };
+
+    // The chain: Wanda -> Org0.partner -> Org1.partner -> Org2.partner ->
+    // Org3.resource, each hop stored in its subject's home wallet, each
+    // carrying tags pointing at the next hop's home.
+    let user_cert = Arc::new(
+        orgs[0]
+            .delegate(Node::entity(&user), Node::role(orgs[0].role("partner")))
+            .object_tag(tag(0))
+            .sign(&orgs[0])?,
+    );
+    hosts[0].wallet().publish(Arc::clone(&user_cert), vec![])?;
+    for i in 0..3 {
+        // [Org_i.partner -> Org_{i+1}.partner] Org_{i+1}: self-certified in
+        // the *object's* namespace, stored at the subject's home wallet.
+        let object = if i == 2 {
+            orgs[3].role("resource")
+        } else {
+            orgs[i + 1].role("partner")
+        };
+        let cert = orgs[i + 1]
+            .delegate(Node::role(orgs[i].role("partner")), Node::role(object))
+            .subject_tag(tag(i))
+            .object_tag(tag(i + 1))
+            .sign(&orgs[i + 1])?;
+        hosts[i].wallet().publish(cert, vec![])?;
+    }
+
+    // Wanda presents her credential to the server.
+    let presented = Proof::from_steps(vec![ProofStep::new(Arc::clone(&user_cert))])?;
+    server
+        .wallet()
+        .absorb_proof(&presented, &"wanda.device".into())?;
+
+    // Discovery: only the presented tag is known up front.
+    let mut directory = Directory::new();
+    directory.learn_from_proof(&presented);
+    let mut agent = DiscoveryAgent::new(net.clone(), server.clone(), directory);
+    let target = Node::role(orgs[3].role("resource"));
+    let outcome = agent.discover(&Node::entity(&user), &target, &[]);
+
+    println!("discovery mode: {:?}\n", outcome.mode);
+    for (i, step) in outcome.trace.iter().enumerate() {
+        println!("step {:2}: {step}", i + 1);
+    }
+    let monitor = outcome.monitor.expect("proof found");
+    println!("\nproof: {}", monitor.proof());
+    println!("chain hops: {}", monitor.proof().chain_len());
+    println!(
+        "wallets contacted: {:?}",
+        outcome
+            .wallets_contacted
+            .iter()
+            .map(|w| w.as_str())
+            .collect::<Vec<_>>()
+    );
+    let stats = net.stats();
+    println!(
+        "network: {} messages total ({} subject queries, {} direct queries, {} subscriptions), clock now t{}",
+        stats.total_messages,
+        stats.requests("subject-query"),
+        stats.requests("direct-query"),
+        stats.requests("subscribe"),
+        clock.now().0,
+    );
+
+    // The server's wallet is now a coherent cache of the whole chain.
+    println!(
+        "\nserver wallet holds {} credentials; stale entries: {}",
+        server.wallet().len(),
+        server.wallet().stale_entries().len()
+    );
+    clock.advance(Ticks(100));
+    println!(
+        "after 100 ticks, stale entries: {}",
+        server.wallet().stale_entries().len()
+    );
+    Ok(())
+}

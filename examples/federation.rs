@@ -1,0 +1,69 @@
+//! The military-coalition scenario (paper §1's "governmental/military"
+//! setting): three nations, a depth-limited intelligence-sharing grant,
+//! clearance caps, and unilateral severance.
+//!
+//! ```sh
+//! cargo run --example federation
+//! ```
+
+use drbac::core::{Node, SignedRevocation};
+use drbac::disco::federation::BRAVO_WALLET;
+use drbac::disco::FederationScenario;
+use drbac::net::proto::Request;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let s = FederationScenario::build(&mut StdRng::seed_from_u64(1944));
+
+    println!("== Joint task force: Alpha shares its intel feed with Bravo ==");
+    println!(
+        "grant: [Bravo.command -> Alpha.intel-feed with Alpha.clearance <= 2 <depth: 2>] Alpha\n"
+    );
+
+    // 1. A Bravo officer is cleared through Bravo's own role hierarchy.
+    let outcome = s.officer_access();
+    let monitor = outcome.monitor.as_ref().expect("officer authorized");
+    println!(
+        "officer access granted via {} hops:",
+        monitor.proof().chain_len()
+    );
+    for step in monitor.proof().steps() {
+        println!("  {}", step.cert().delegation());
+    }
+    println!(
+        "clearance granted: {} (base 3, capped by the grant)\n",
+        monitor.summary().get(&s.clearance).unwrap()
+    );
+
+    // 2. The officer cannot stretch the grant to a recruit: the depth
+    //    limit caps transitive trust.
+    let blocked = s.recruit_extension_blocked();
+    println!("recruit enrollment beyond the depth limit blocked: {blocked}");
+
+    // 3. Charlie, though in the coalition, was never delegated the feed.
+    let mut agent = s.taskforce_agent();
+    let charlie = agent.discover(
+        &Node::entity(&s.charlie_analyst),
+        &Node::role(s.intel_role()),
+        &[],
+    );
+    println!("charlie analyst denied: {}", !charlie.found());
+
+    // 4. Alpha severs Bravo unilaterally — the revocation push kills the
+    //    officer's live session.
+    let grant = monitor
+        .proof()
+        .all_certs()
+        .into_iter()
+        .find(|c| c.delegation().issuer() == s.alpha.id())
+        .expect("the intergovernmental grant");
+    let revocation = SignedRevocation::revoke(&grant, &s.alpha, s.clock.now()).unwrap();
+    s.net
+        .request(&BRAVO_WALLET.into(), Request::Revoke(revocation))
+        .unwrap();
+    let pushed = s.net.run_until_idle();
+    println!("\nAlpha revokes the grant: {pushed} push message(s) delivered");
+    println!("officer session still active: {}", monitor.is_valid());
+    assert!(!monitor.is_valid());
+}

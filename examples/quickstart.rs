@@ -1,0 +1,74 @@
+//! Quickstart: identities, delegations, proofs, monitoring, revocation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use drbac::core::{LocalEntity, Node, SignedRevocation, SimClock};
+use drbac::crypto::SchnorrGroup;
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let group = SchnorrGroup::test_256();
+
+    // 1. Entities are PKI identities; each key defines a namespace.
+    let university = LocalEntity::generate("University", group.clone(), &mut rng);
+    let registrar = LocalEntity::generate("Registrar", group.clone(), &mut rng);
+    let alice = LocalEntity::generate("Alice", group, &mut rng);
+    println!("entities:");
+    for e in [&university, &registrar, &alice] {
+        println!("  {e}");
+    }
+
+    // 2. The university creates roles and delegates assignment authority:
+    //    [Registrar -> University.student'] University
+    let student = university.role("student");
+    let grant_assignment = university
+        .delegate(Node::entity(&registrar), Node::role_admin(student.clone()))
+        .sign(&university)?;
+    println!(
+        "\nassignment delegation:\n  {}",
+        grant_assignment.delegation()
+    );
+
+    // 3. The registrar (a third party!) enrolls Alice:
+    //    [Alice -> University.student] Registrar
+    let enrollment = registrar
+        .delegate(Node::entity(&alice), Node::role(student.clone()))
+        .sign(&registrar)?;
+    println!("third-party delegation:\n  {}", enrollment.delegation());
+
+    // 4. A wallet stores credentials and answers queries.
+    let clock = SimClock::new();
+    let wallet = Wallet::new("wallet.university.example", clock.clone());
+    wallet.publish(grant_assignment, vec![])?;
+    wallet.publish(enrollment.clone(), vec![])?;
+
+    let monitor = wallet
+        .query_direct(&Node::entity(&alice), &Node::role(student.clone()), &[])
+        .expect("proof exists");
+    println!(
+        "\nproof found: {} (chain of {}, {} delegations monitored)",
+        monitor.proof(),
+        monitor.proof().chain_len(),
+        monitor.watched().len()
+    );
+    assert!(monitor.is_valid());
+
+    // 5. Continuous monitoring: revocation invalidates the live proof.
+    monitor.on_invalidate(|status| println!("monitor callback fired: {status}"));
+    let revocation = SignedRevocation::revoke(&enrollment, &registrar, clock.now())?;
+    wallet.revoke(&revocation)?;
+    assert!(!monitor.is_valid());
+    println!("after revocation, proof is valid: {}", monitor.is_valid());
+
+    // 6. Queries now refuse Alice.
+    assert!(wallet
+        .query_direct(&Node::entity(&alice), &Node::role(student), &[])
+        .is_none());
+    println!("re-query after revocation: denied");
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Discovery over real threads: each organization's wallet runs as a
+//! `WalletService` on its own thread; the discovery agent talks to them
+//! through a `ServiceRegistry` — the same tag-directed algorithm the
+//! deterministic simulator runs, on a production-shaped deployment.
+//!
+//! ```sh
+//! cargo run --example threaded_services
+//! ```
+
+use drbac::core::syntax::{render_proof, SyntaxContext};
+use drbac::core::{DiscoveryTag, LocalEntity, Node, SimClock, SubjectFlag, Ticks};
+use drbac::crypto::SchnorrGroup;
+use drbac::net::{Directory, DiscoveryAgent, ServiceRegistry, WalletService};
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(33);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+
+    let supplier = LocalEntity::generate("Supplier", group.clone(), &mut rng);
+    let logistics = LocalEntity::generate("Logistics", group.clone(), &mut rng);
+    let retailer = LocalEntity::generate("Retailer", group.clone(), &mut rng);
+    let clerk = LocalEntity::generate("Clerk", group, &mut rng);
+
+    // One wallet service thread per organization.
+    let registry = ServiceRegistry::new();
+    let mut services = Vec::new();
+    for (i, org) in ["supplier", "logistics", "retailer"].iter().enumerate() {
+        let addr = format!("svc.{org}");
+        let service = WalletService::spawn(Wallet::new(addr.as_str(), clock.clone()));
+        registry.register(addr.as_str(), service.client());
+        println!("spawned wallet service {i}: {addr}");
+        services.push(service);
+    }
+
+    let tag = |org: &str| {
+        DiscoveryTag::new(format!("svc.{org}").as_str())
+            .with_ttl(Ticks(60))
+            .with_subject_flag(SubjectFlag::Search)
+    };
+
+    // Supply-chain trust: Clerk -> Retailer.staff -> Logistics.partner ->
+    // Supplier.orders, each hop stored at its subject's home service.
+    services[2].wallet().publish(
+        retailer
+            .delegate(Node::entity(&clerk), Node::role(retailer.role("staff")))
+            .object_tag(tag("retailer"))
+            .sign(&retailer)?,
+        vec![],
+    )?;
+    services[2].wallet().publish(
+        logistics
+            .delegate(
+                Node::role(retailer.role("staff")),
+                Node::role(logistics.role("partner")),
+            )
+            .subject_tag(tag("retailer"))
+            .object_tag(tag("logistics"))
+            .sign(&logistics)?,
+        vec![],
+    )?;
+    services[1].wallet().publish(
+        supplier
+            .delegate(
+                Node::role(logistics.role("partner")),
+                Node::role(supplier.role("orders")),
+            )
+            .subject_tag(tag("logistics"))
+            .object_tag(tag("supplier"))
+            .sign(&supplier)?,
+        vec![],
+    )?;
+
+    // The ordering server runs discovery over the live services.
+    let local = Wallet::new("server.local", clock);
+    let mut directory = Directory::new();
+    directory.register(Node::entity(&clerk), tag("retailer"));
+    for (org, entity) in [
+        ("supplier", &supplier),
+        ("logistics", &logistics),
+        ("retailer", &retailer),
+    ] {
+        directory.register_entity(entity.id(), tag(org));
+    }
+    let mut agent = DiscoveryAgent::new(registry, local, directory);
+    let outcome = agent.discover(
+        &Node::entity(&clerk),
+        &Node::role(supplier.role("orders")),
+        &[],
+    );
+
+    println!("\ndiscovery over threads:");
+    for step in &outcome.trace {
+        println!("  {step}");
+    }
+    let monitor = outcome.monitor.expect("clerk authorized across three orgs");
+
+    let mut ctx = SyntaxContext::new();
+    for e in [&supplier, &logistics, &retailer, &clerk] {
+        ctx.register_local(e);
+    }
+    println!("\nproof:\n{}", render_proof(monitor.proof(), &ctx));
+
+    let mut served = 0;
+    for service in services {
+        served += service.shutdown();
+    }
+    println!("wallet services answered {served} requests in total");
+    Ok(())
+}

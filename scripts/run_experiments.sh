@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table in EXPERIMENTS.md.
+#
+# Count-based experiment tables are printed on stderr by the bench
+# binaries themselves (deterministic: seeded RNGs, logical clock); this
+# script runs the full suite, captures everything, and extracts the
+# tables into experiments_tables.txt for easy diffing against
+# EXPERIMENTS.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests (paper artifacts assert the Table/Figure reproductions) =="
+cargo test --workspace 2>&1 | tee test_output.txt | grep -E "test result" | tail -30
+
+echo "== benches (timings + experiment tables) =="
+cargo bench --workspace 2>&1 | tee bench_output.txt | grep -E "^(###|\|)" || true
+
+# Extract just the experiment tables.
+grep -E "^(###|\|)" bench_output.txt > experiments_tables.txt || true
+echo "tables written to experiments_tables.txt"

@@ -1,0 +1,478 @@
+//! `drbac` — a file-backed command-line tool over the dRBAC library.
+//!
+//! State lives in a context directory (default `./drbac-home`, override
+//! with `--home DIR` or `DRBAC_HOME`):
+//!
+//! * `keys/<name>.sk` — key pairs (plaintext; protect the directory),
+//! * `entities.bin` — known entities (name → public key),
+//! * `wallet.bin` — the wallet image (credentials, supports,
+//!   declarations, revocations).
+//!
+//! ```text
+//! drbac keygen <Name>                          create an identity
+//! drbac entities                               list known entities
+//! drbac delegate '<[S -> O ...] Issuer>'       sign & publish a delegation
+//! drbac declare <Entity> <attr> <op> <base>    declare an attribute base
+//! drbac list                                   show wallet contents
+//! drbac query <Subject> <Object> [attr min]..  ask "does S have R?"
+//! drbac revoke <id-prefix>                     revoke a delegation
+//! ```
+//!
+//! The delegation argument uses the paper's syntax, e.g.
+//! `drbac delegate '[Maria -> BigISP.member] Mark'`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use drbac::core::syntax::{parse_delegation, parse_node, render_delegation, SyntaxContext};
+use drbac::core::{
+    AttrConstraint, AttrDeclaration, AttrName, AttrOp, AttrRef, Decode, Encode, LocalEntity,
+    Reader, SignedAttrDeclaration, SignedDelegation, SignedRevocation, SimClock, Writer,
+};
+use drbac::crypto::{KeyPair, PublicKey, SchnorrGroup};
+use drbac::wallet::Wallet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<String, String> {
+    let home = extract_home(&mut args)?;
+    let Some(command) = args.first().cloned() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    let mut ctx = Context::load(&home)?;
+    match command.as_str() {
+        "keygen" => ctx.keygen(rest),
+        "entities" => ctx.entities(),
+        "delegate" => ctx.delegate(rest),
+        "declare" => ctx.declare(rest),
+        "list" => ctx.list(),
+        "query" => ctx.query(rest),
+        "revoke" => ctx.revoke(rest),
+        "export-entity" => ctx.export_entity(rest),
+        "import-entity" => ctx.import_entity(rest),
+        "export-cert" => ctx.export_cert(rest),
+        "import-cert" => ctx.import_cert(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: drbac [--home DIR] <command>\n\
+     commands:\n\
+     \x20 keygen <Name>                         create an identity\n\
+     \x20 entities                              list known entities\n\
+     \x20 delegate '<[S -> O ...] Issuer>'      sign & publish a delegation\n\
+     \x20 declare <Entity> <attr> <op> <base>   declare an attribute base (op: -= *= <=)\n\
+     \x20 list                                  show wallet contents\n\
+     \x20 query <Subject> <Object> [attr min].. authorization query\n\
+     \x20 revoke <id-prefix>                    revoke a delegation\n\
+     \x20 export-entity <Name> <file>           write a public identity card\n\
+     \x20 import-entity <file>                  trust another party's identity\n\
+     \x20 export-cert <id-prefix> <file>        write a credential (wire format)\n\
+     \x20 import-cert <file>                    verify & publish a received credential\n"
+        .to_string()
+}
+
+fn extract_home(args: &mut Vec<String>) -> Result<PathBuf, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--home") {
+        if pos + 1 >= args.len() {
+            return Err("--home requires a directory".into());
+        }
+        let dir = args.remove(pos + 1);
+        args.remove(pos);
+        return Ok(PathBuf::from(dir));
+    }
+    if let Ok(dir) = std::env::var("DRBAC_HOME") {
+        return Ok(PathBuf::from(dir));
+    }
+    Ok(PathBuf::from("drbac-home"))
+}
+
+struct Context {
+    home: PathBuf,
+    /// name → public key (everyone we know).
+    entities: BTreeMap<String, PublicKey>,
+    /// name → key pair (identities we control).
+    keys: BTreeMap<String, KeyPair>,
+    wallet: Wallet,
+}
+
+impl Context {
+    fn load(home: &Path) -> Result<Self, String> {
+        fs::create_dir_all(home.join("keys")).map_err(|e| format!("create {home:?}: {e}"))?;
+        let mut keys = BTreeMap::new();
+        for entry in fs::read_dir(home.join("keys")).map_err(|e| e.to_string())? {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("sk") {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("bad key filename {path:?}"))?
+                .to_string();
+            let bytes = fs::read(&path).map_err(|e| e.to_string())?;
+            let pair = KeyPair::import_secret(&bytes)
+                .ok_or_else(|| format!("corrupt key file {path:?}"))?;
+            keys.insert(name, pair);
+        }
+
+        let mut entities = BTreeMap::new();
+        let entities_path = home.join("entities.bin");
+        if entities_path.exists() {
+            let bytes = fs::read(&entities_path).map_err(|e| e.to_string())?;
+            let mut r = Reader::tagged(&bytes, b"drbac-entities-v1")
+                .map_err(|e| format!("corrupt entities.bin: {e}"))?;
+            let n = r.u64().map_err(|e| e.to_string())?;
+            for _ in 0..n {
+                let name = r.str().map_err(|e| e.to_string())?.to_string();
+                let key = PublicKey::decode(&mut r).map_err(|e| e.to_string())?;
+                entities.insert(name, key);
+            }
+        }
+
+        let wallet = Wallet::new("drbac-cli", SimClock::new());
+        let wallet_path = home.join("wallet.bin");
+        if wallet_path.exists() {
+            let bytes = fs::read(&wallet_path).map_err(|e| e.to_string())?;
+            wallet
+                .import_bytes(&bytes)
+                .map_err(|e| format!("corrupt wallet.bin: {e}"))?;
+        }
+
+        Ok(Context {
+            home: home.to_path_buf(),
+            entities,
+            keys,
+            wallet,
+        })
+    }
+
+    fn save(&self) -> Result<(), String> {
+        let mut w = Writer::tagged(b"drbac-entities-v1");
+        w.u64(self.entities.len() as u64);
+        for (name, key) in &self.entities {
+            w.str(name);
+            key.encode(&mut w);
+        }
+        fs::write(self.home.join("entities.bin"), w.finish()).map_err(|e| e.to_string())?;
+        fs::write(self.home.join("wallet.bin"), self.wallet.export_bytes())
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn syntax(&self) -> SyntaxContext {
+        let mut ctx = SyntaxContext::new();
+        for (name, key) in &self.entities {
+            ctx.register(name.clone(), drbac::core::EntityId(key.fingerprint()));
+        }
+        ctx
+    }
+
+    fn signer_for(&self, issuer: drbac::core::EntityId) -> Result<LocalEntity, String> {
+        for (name, pair) in &self.keys {
+            if drbac::core::EntityId(pair.fingerprint()) == issuer {
+                return Ok(LocalEntity::from_keypair(name.clone(), pair.clone()));
+            }
+        }
+        Err("no local key for the issuer; run `drbac keygen` first".into())
+    }
+
+    fn keygen(&mut self, args: &[String]) -> Result<String, String> {
+        let [name] = args else {
+            return Err("usage: keygen <Name>".into());
+        };
+        if self.entities.contains_key(name) {
+            return Err(format!("entity {name:?} already exists"));
+        }
+        let pair = KeyPair::generate(SchnorrGroup::test_256(), &mut rand::thread_rng());
+        fs::write(
+            self.home.join("keys").join(format!("{name}.sk")),
+            pair.export_secret(),
+        )
+        .map_err(|e| e.to_string())?;
+        let fingerprint = pair.fingerprint();
+        self.entities
+            .insert(name.clone(), pair.public_key().clone());
+        self.keys.insert(name.clone(), pair);
+        self.save()?;
+        Ok(format!("created {name} <{fingerprint}>\n"))
+    }
+
+    fn entities(&self) -> Result<String, String> {
+        let mut out = String::new();
+        for (name, key) in &self.entities {
+            let local = if self.keys.contains_key(name) {
+                " (local key)"
+            } else {
+                ""
+            };
+            writeln!(out, "{name} <{}>{local}", key.fingerprint()).unwrap();
+        }
+        if out.is_empty() {
+            out.push_str("(no entities; run `drbac keygen <Name>`)\n");
+        }
+        Ok(out)
+    }
+
+    fn delegate(&mut self, args: &[String]) -> Result<String, String> {
+        let [text] = args else {
+            return Err("usage: delegate '<[Subject -> Object ...] Issuer>'".into());
+        };
+        let ctx = self.syntax();
+        let delegation = parse_delegation(text, &ctx).map_err(|e| e.to_string())?;
+        let issuer = self.signer_for(delegation.issuer())?;
+        let cert = SignedDelegation::sign(delegation, &issuer).map_err(|e| e.to_string())?;
+        let id = cert.id();
+        self.wallet
+            .publish(cert, vec![])
+            .map_err(|e| e.to_string())?;
+        self.save()?;
+        Ok(format!("published #{id}\n"))
+    }
+
+    fn declare(&mut self, args: &[String]) -> Result<String, String> {
+        let [entity, attr, op, base] = args else {
+            return Err("usage: declare <Entity> <attr> <op: -=|*=|<=> <base>".into());
+        };
+        let key = self
+            .entities
+            .get(entity)
+            .ok_or_else(|| format!("unknown entity {entity:?}"))?;
+        let op = match op.as_str() {
+            "-=" => AttrOp::Subtract,
+            "*=" => AttrOp::Scale,
+            "<=" => AttrOp::Min,
+            other => return Err(format!("unknown operator {other:?} (want -=, *= or <=)")),
+        };
+        let base: f64 = base
+            .parse()
+            .map_err(|_| "base must be a number".to_string())?;
+        let owner_id = drbac::core::EntityId(key.fingerprint());
+        let owner = self.signer_for(owner_id)?;
+        let attr = AttrRef::new(
+            owner_id,
+            AttrName::new(attr.as_str()).map_err(|e| e.to_string())?,
+            op,
+        );
+        let declaration = AttrDeclaration::new(attr, base).map_err(|e| e.to_string())?;
+        let signed = SignedAttrDeclaration::sign(declaration, &owner).map_err(|e| e.to_string())?;
+        self.wallet
+            .publish_declaration(&signed)
+            .map_err(|e| e.to_string())?;
+        self.save()?;
+        Ok(format!(
+            "declared {entity}.{} ({op}, base {base})\n",
+            args[1]
+        ))
+    }
+
+    fn list(&self) -> Result<String, String> {
+        let ctx = self.syntax();
+        let mut out = String::new();
+        self.wallet.with_graph(|g| {
+            for cert in g.iter() {
+                let revoked = if g.is_revoked(cert.id()) {
+                    " [revoked]"
+                } else {
+                    ""
+                };
+                writeln!(
+                    out,
+                    "#{} {}{revoked}",
+                    cert.id(),
+                    render_delegation(cert.delegation(), &ctx)
+                )
+                .unwrap();
+            }
+        });
+        if out.is_empty() {
+            out.push_str("(wallet is empty)\n");
+        } else {
+            let metrics = self.wallet.with_graph(|g| g.metrics());
+            out.push_str(&format!("-- {metrics}\n"));
+        }
+        Ok(out)
+    }
+
+    fn query(&self, args: &[String]) -> Result<String, String> {
+        if args.len() < 2 || !(args.len() - 2).is_multiple_of(2) {
+            return Err("usage: query <Subject> <Object> [<Entity.attr> <min>]...".into());
+        }
+        let ctx = self.syntax();
+        let subject = parse_node(&args[0], &ctx).map_err(|e| e.to_string())?;
+        let object = parse_node(&args[1], &ctx).map_err(|e| e.to_string())?;
+        let mut constraints = Vec::new();
+        for pair in args[2..].chunks(2) {
+            // Constraint attr written as Entity.attr with the operator
+            // taken from the wallet's declarations (or Min by default).
+            let (entity_name, attr_name) = pair[0]
+                .split_once('.')
+                .ok_or_else(|| format!("constraint {:?} must be Entity.attr", pair[0]))?;
+            let key = self
+                .entities
+                .get(entity_name)
+                .ok_or_else(|| format!("unknown entity {entity_name:?}"))?;
+            let owner = drbac::core::EntityId(key.fingerprint());
+            let min: f64 = pair[1]
+                .parse()
+                .map_err(|_| "minimum must be a number".to_string())?;
+            let name = AttrName::new(attr_name).map_err(|e| e.to_string())?;
+            // Try each operator binding the wallet might know.
+            let attr = [AttrOp::Min, AttrOp::Subtract, AttrOp::Scale]
+                .into_iter()
+                .map(|op| AttrRef::new(owner, name.clone(), op))
+                .find(|a| {
+                    self.wallet
+                        .with_graph(|g| g.declarations().base(a).is_some())
+                })
+                .unwrap_or_else(|| AttrRef::new(owner, name.clone(), AttrOp::Min));
+            constraints.push(AttrConstraint::at_least(attr, min));
+        }
+        match self.wallet.query_direct(&subject, &object, &constraints) {
+            Some(monitor) => {
+                let mut out = String::new();
+                writeln!(
+                    out,
+                    "GRANTED via {} delegation(s):",
+                    monitor.proof().chain_len()
+                )
+                .unwrap();
+                out.push_str(&drbac::core::syntax::render_proof(monitor.proof(), &ctx));
+                writeln!(out, "grants: {}", monitor.summary()).unwrap();
+                Ok(out)
+            }
+            None => Ok("DENIED: no satisfying proof\n".to_string()),
+        }
+    }
+
+    /// Writes `<name>`'s public identity card (name + public key) so
+    /// another party's context can trust it.
+    fn export_entity(&self, args: &[String]) -> Result<String, String> {
+        let [name, file] = args else {
+            return Err("usage: export-entity <Name> <file>".into());
+        };
+        let key = self
+            .entities
+            .get(name)
+            .ok_or_else(|| format!("unknown entity {name:?}"))?;
+        let mut w = Writer::tagged(b"drbac-entity-card-v1");
+        w.str(name);
+        key.encode(&mut w);
+        fs::write(file, w.finish()).map_err(|e| e.to_string())?;
+        Ok(format!("wrote identity card for {name} to {file}\n"))
+    }
+
+    /// Imports an identity card written by `export-entity`.
+    fn import_entity(&mut self, args: &[String]) -> Result<String, String> {
+        let [file] = args else {
+            return Err("usage: import-entity <file>".into());
+        };
+        let bytes = fs::read(file).map_err(|e| e.to_string())?;
+        let mut r = Reader::tagged(&bytes, b"drbac-entity-card-v1")
+            .map_err(|e| format!("not an identity card: {e}"))?;
+        let name = r.str().map_err(|e| e.to_string())?.to_string();
+        let key = PublicKey::decode(&mut r).map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        if let Some(existing) = self.entities.get(&name) {
+            if existing != &key {
+                return Err(format!(
+                    "entity {name:?} already known with a DIFFERENT key — refusing to overwrite"
+                ));
+            }
+        }
+        let fingerprint = key.fingerprint();
+        self.entities.insert(name.clone(), key);
+        self.save()?;
+        Ok(format!("imported {name} <{fingerprint}>\n"))
+    }
+
+    /// Writes a stored credential in canonical wire format.
+    fn export_cert(&self, args: &[String]) -> Result<String, String> {
+        let [prefix, file] = args else {
+            return Err("usage: export-cert <id-prefix> <file>".into());
+        };
+        let matches: Vec<_> = self.wallet.with_graph(|g| {
+            g.iter()
+                .filter(|c| c.id().to_string().starts_with(prefix.as_str()))
+                .cloned()
+                .collect()
+        });
+        let cert = match matches.as_slice() {
+            [] => return Err(format!("no delegation matches #{prefix}")),
+            [one] => one.clone(),
+            many => {
+                return Err(format!(
+                    "ambiguous prefix #{prefix} ({} matches)",
+                    many.len()
+                ))
+            }
+        };
+        fs::write(file, cert.to_bytes()).map_err(|e| e.to_string())?;
+        Ok(format!("wrote #{} to {file}\n", cert.id()))
+    }
+
+    /// Verifies and publishes a credential received from another party.
+    fn import_cert(&mut self, args: &[String]) -> Result<String, String> {
+        let [file] = args else {
+            return Err("usage: import-cert <file>".into());
+        };
+        let bytes = fs::read(file).map_err(|e| e.to_string())?;
+        let cert = SignedDelegation::from_bytes(&bytes).map_err(|e| format!("malformed: {e}"))?;
+        let id = cert.id();
+        self.wallet
+            .publish(cert, vec![])
+            .map_err(|e| e.to_string())?;
+        self.save()?;
+        Ok(format!("verified and published #{id}\n"))
+    }
+
+    fn revoke(&mut self, args: &[String]) -> Result<String, String> {
+        let [prefix] = args else {
+            return Err("usage: revoke <id-prefix> (see `drbac list`)".into());
+        };
+        let matches: Vec<_> = self.wallet.with_graph(|g| {
+            g.iter()
+                .filter(|c| c.id().to_string().starts_with(prefix.as_str()))
+                .cloned()
+                .collect()
+        });
+        let cert = match matches.as_slice() {
+            [] => return Err(format!("no delegation matches #{prefix}")),
+            [one] => one.clone(),
+            many => {
+                return Err(format!(
+                    "ambiguous prefix #{prefix} ({} matches)",
+                    many.len()
+                ))
+            }
+        };
+        let issuer = self.signer_for(cert.delegation().issuer())?;
+        let revocation = SignedRevocation::revoke(&cert, &issuer, self.wallet.now())
+            .map_err(|e| e.to_string())?;
+        let notified = self.wallet.revoke(&revocation).map_err(|e| e.to_string())?;
+        self.save()?;
+        Ok(format!(
+            "revoked #{} ({notified} local notifications)\n",
+            cert.id()
+        ))
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end tests of the `drbac` CLI binary: a full coalition workflow
+//! driven through the command-line interface with on-disk persistence.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn drbac(home: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_drbac"))
+        .arg("--home")
+        .arg(home)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn ok(home: &Path, args: &[&str]) -> String {
+    let out = drbac(home, args);
+    assert!(
+        out.status.success(),
+        "command {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+fn fails(home: &Path, args: &[&str]) -> String {
+    let out = drbac(home, args);
+    assert!(
+        !out.status.success(),
+        "command {args:?} unexpectedly succeeded"
+    );
+    String::from_utf8(out.stderr).expect("utf8 stderr")
+}
+
+fn temp_home(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("drbac-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_workflow_through_the_cli() {
+    let home = temp_home("workflow");
+
+    // Identities.
+    for name in ["BigISP", "Mark", "Maria"] {
+        let out = ok(&home, &["keygen", name]);
+        assert!(out.contains(name), "{out}");
+    }
+    let listing = ok(&home, &["entities"]);
+    assert!(listing.contains("BigISP") && listing.contains("(local key)"));
+
+    // Table 1 delegations through the syntax frontend.
+    ok(
+        &home,
+        &["delegate", "[Mark -> BigISP.memberServices] BigISP"],
+    );
+    ok(
+        &home,
+        &[
+            "delegate",
+            "[BigISP.memberServices -> BigISP.member'] BigISP",
+        ],
+    );
+    ok(&home, &["delegate", "[Maria -> BigISP.member] Mark"]);
+
+    // Query — state persisted across invocations.
+    let answer = ok(&home, &["query", "Maria", "BigISP.member"]);
+    assert!(answer.starts_with("GRANTED"), "{answer}");
+    assert!(answer.contains("[Maria -> BigISP.member] Mark"), "{answer}");
+
+    // List shows three credentials with ids, plus a metrics summary.
+    let listing = ok(&home, &["list"]);
+    assert_eq!(
+        listing.lines().filter(|l| l.starts_with('#')).count(),
+        3,
+        "{listing}"
+    );
+    assert!(listing.contains("3 delegations"), "{listing}");
+
+    // Revoke Maria's enrollment by id prefix and re-query.
+    let line = listing
+        .lines()
+        .find(|l| l.contains("[Maria ->"))
+        .expect("in list");
+    let id_prefix = &line[1..9];
+    let out = ok(&home, &["revoke", id_prefix]);
+    assert!(out.contains("revoked"), "{out}");
+    let answer = ok(&home, &["query", "Maria", "BigISP.member"]);
+    assert!(answer.starts_with("DENIED"), "{answer}");
+
+    let _ = std::fs::remove_dir_all(&home);
+}
+
+#[test]
+fn attributes_and_constraints_through_the_cli() {
+    let home = temp_home("attrs");
+    ok(&home, &["keygen", "AirNet"]);
+    ok(&home, &["keygen", "Maria"]);
+    ok(&home, &["declare", "AirNet", "BW", "<=", "200"]);
+    ok(
+        &home,
+        &[
+            "delegate",
+            "[Maria -> AirNet.access with AirNet.BW <= 100] AirNet",
+        ],
+    );
+
+    let granted = ok(
+        &home,
+        &["query", "Maria", "AirNet.access", "AirNet.BW", "100"],
+    );
+    assert!(granted.starts_with("GRANTED"), "{granted}");
+    assert!(granted.contains("BW=100"), "{granted}");
+    let denied = ok(
+        &home,
+        &["query", "Maria", "AirNet.access", "AirNet.BW", "150"],
+    );
+    assert!(denied.starts_with("DENIED"), "{denied}");
+
+    let _ = std::fs::remove_dir_all(&home);
+}
+
+/// Two fully separate context directories (two administrative domains)
+/// exchanging identities and credentials through files — decentralization
+/// with no shared state at all.
+#[test]
+fn two_homes_exchange_credentials_through_files() {
+    let isp_home = temp_home("isp");
+    let airport_home = temp_home("airport");
+    let exchange = temp_home("exchange");
+    std::fs::create_dir_all(&exchange).unwrap();
+    let card = exchange.join("maria.entity");
+    let cert_file = exchange.join("membership.cert");
+
+    // The ISP domain: creates Maria and her membership credential.
+    ok(&isp_home, &["keygen", "BigISP"]);
+    ok(&isp_home, &["keygen", "Maria"]);
+    ok(&isp_home, &["delegate", "[Maria -> BigISP.member] BigISP"]);
+    ok(
+        &isp_home,
+        &["export-entity", "Maria", card.to_str().unwrap()],
+    );
+    ok(
+        &isp_home,
+        &[
+            "export-entity",
+            "BigISP",
+            exchange.join("bigisp.entity").to_str().unwrap(),
+        ],
+    );
+    let listing = ok(&isp_home, &["list"]);
+    let id_prefix = &listing.lines().next().unwrap()[1..9];
+    ok(
+        &isp_home,
+        &["export-cert", id_prefix, cert_file.to_str().unwrap()],
+    );
+
+    // The airport domain: knows nothing of the ISP until the files arrive.
+    ok(&airport_home, &["keygen", "AirNet"]);
+    assert!(fails(&airport_home, &["query", "Maria", "BigISP.member"]).contains("unknown entity"));
+    ok(&airport_home, &["import-entity", card.to_str().unwrap()]);
+    ok(
+        &airport_home,
+        &[
+            "import-entity",
+            exchange.join("bigisp.entity").to_str().unwrap(),
+        ],
+    );
+    let out = ok(&airport_home, &["import-cert", cert_file.to_str().unwrap()]);
+    assert!(out.contains("verified and published"), "{out}");
+
+    // The signature carried across: the airport can now answer.
+    let answer = ok(&airport_home, &["query", "Maria", "BigISP.member"]);
+    assert!(answer.starts_with("GRANTED"), "{answer}");
+
+    // A tampered credential file is rejected.
+    let mut bytes = std::fs::read(&cert_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&cert_file, bytes).unwrap();
+    let err = fails(&airport_home, &["import-cert", cert_file.to_str().unwrap()]);
+    assert!(
+        err.contains("malformed") || err.contains("rejected"),
+        "{err}"
+    );
+
+    // Name-collision defense: a *different* key arriving under an
+    // already-known name is refused (two homes each mint their own
+    // "Maria"; the airport keeps the one it trusted first).
+    let second_isp = temp_home("isp2");
+    ok(&second_isp, &["keygen", "Maria"]);
+    ok(
+        &second_isp,
+        &["export-entity", "Maria", card.to_str().unwrap()],
+    );
+    let err = fails(&airport_home, &["import-entity", card.to_str().unwrap()]);
+    assert!(err.contains("DIFFERENT key"), "{err}");
+    let _ = std::fs::remove_dir_all(&second_isp);
+    for dir in [&isp_home, &airport_home, &exchange] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn cli_error_paths() {
+    let home = temp_home("errors");
+    // Unknown command and missing args.
+    assert!(fails(&home, &["frobnicate"]).contains("unknown command"));
+    assert!(fails(&home, &["keygen"]).contains("usage"));
+    // Unknown issuer entity in a delegation.
+    ok(&home, &["keygen", "A"]);
+    assert!(fails(&home, &["delegate", "[A -> Nobody.r] A"]).contains("unknown entity"));
+    // Delegating for an entity we hold no key for.
+    let err = fails(&home, &["delegate", "[A -> A.r] A0"]);
+    assert!(
+        err.contains("unknown entity") || err.contains("no local key"),
+        "{err}"
+    );
+    // Duplicate keygen.
+    assert!(fails(&home, &["keygen", "A"]).contains("already exists"));
+    // Ambiguous / missing revoke prefix.
+    assert!(fails(&home, &["revoke", "ffff"]).contains("no delegation matches"));
+
+    let _ = std::fs::remove_dir_all(&home);
+}

@@ -1,0 +1,165 @@
+//! Concurrency stress: a single shared wallet hammered from many threads
+//! (publishers, queriers, revokers, monitors) must stay consistent and
+//! deadlock-free — wallets are the shared substrate every host component
+//! touches.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use drbac::core::{LocalEntity, Node, SignedDelegation, SignedRevocation, SimClock};
+use drbac::crypto::SchnorrGroup;
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn wallet_survives_concurrent_publish_query_revoke() {
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let g = SchnorrGroup::test_256();
+    let owner = Arc::new(LocalEntity::generate("Owner", g.clone(), &mut rng));
+    let users: Vec<Arc<LocalEntity>> = (0..4)
+        .map(|i| Arc::new(LocalEntity::generate(format!("U{i}"), g.clone(), &mut rng)))
+        .collect();
+    let wallet = Wallet::new("stress", SimClock::new());
+
+    // Pre-sign all credentials on the main thread (signing needs &mut rng
+    // determinism, the stress is on the wallet, not the signer).
+    let per_user = 20usize;
+    let mut certs: Vec<Vec<SignedDelegation>> = Vec::new();
+    for user in &users {
+        let mut list = Vec::new();
+        for serial in 0..per_user {
+            list.push(
+                owner
+                    .delegate(
+                        Node::entity(user.as_ref()),
+                        Node::role(owner.role("shared")),
+                    )
+                    .serial(serial as u64)
+                    .sign(&owner)
+                    .unwrap(),
+            );
+        }
+        certs.push(list);
+    }
+
+    let granted = Arc::new(AtomicUsize::new(0));
+    let denied = Arc::new(AtomicUsize::new(0));
+    let invalidations = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        // Publishers: each thread publishes one user's credentials, then
+        // revokes half of them.
+        for (user_idx, list) in certs.iter().enumerate() {
+            let wallet = wallet.clone();
+            let owner = Arc::clone(&owner);
+            scope.spawn(move || {
+                for (i, cert) in list.iter().enumerate() {
+                    wallet.publish(cert.clone(), vec![]).unwrap();
+                    if i % 2 == user_idx % 2 {
+                        let revocation =
+                            SignedRevocation::revoke(cert, &owner, wallet.now()).unwrap();
+                        wallet.revoke(&revocation).unwrap();
+                    }
+                }
+            });
+        }
+        // Queriers: race the publishers; count outcomes and attach
+        // monitors with callbacks (exercises the reentrancy-safe paths).
+        for user in &users {
+            let wallet = wallet.clone();
+            let owner = Arc::clone(&owner);
+            let user = Arc::clone(user);
+            let granted = Arc::clone(&granted);
+            let denied = Arc::clone(&denied);
+            let invalidations = Arc::clone(&invalidations);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    match wallet.query_direct(
+                        &Node::entity(user.as_ref()),
+                        &Node::role(owner.role("shared")),
+                        &[],
+                    ) {
+                        Some(monitor) => {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                            let invalidations = Arc::clone(&invalidations);
+                            monitor.on_invalidate(move |_| {
+                                invalidations.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                        None => {
+                            denied.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Post-conditions: half of each user's credentials remain valid, so
+    // every user is still authorized; the survivors answer queries.
+    for user in &users {
+        assert!(
+            wallet
+                .query_direct(
+                    &Node::entity(user.as_ref()),
+                    &Node::role(owner.role("shared")),
+                    &[]
+                )
+                .is_some(),
+            "{} still holds an unrevoked grant",
+            user.name()
+        );
+    }
+    assert_eq!(wallet.len(), users.len() * per_user);
+    // The queriers ran: every query either granted or denied.
+    assert_eq!(
+        granted.load(Ordering::Relaxed) + denied.load(Ordering::Relaxed),
+        4 * 200
+    );
+
+    // Export under no contention still works and re-imports.
+    let image = wallet.export_bytes();
+    let restored = Wallet::new("restored", SimClock::new());
+    let report = restored.import_bytes(&image).unwrap();
+    assert_eq!(report.credentials, users.len() * per_user);
+}
+
+#[test]
+fn shared_clock_and_wallet_clones_are_coherent() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    let g = SchnorrGroup::test_256();
+    let owner = LocalEntity::generate("Owner", g.clone(), &mut rng);
+    let user = LocalEntity::generate("User", g, &mut rng);
+    let clock = SimClock::new();
+    let wallet = Wallet::new("clones", clock.clone());
+
+    // Writers advance time while publishing expiring credentials; a
+    // reader clone processes expiries concurrently.
+    let cert = owner
+        .delegate(Node::entity(&user), Node::role(owner.role("r")))
+        .expires(drbac::core::Timestamp(50))
+        .sign(&owner)
+        .unwrap();
+    wallet.publish(cert, vec![]).unwrap();
+
+    std::thread::scope(|scope| {
+        let w1 = wallet.clone();
+        let c1 = clock.clone();
+        scope.spawn(move || {
+            for _ in 0..100 {
+                c1.advance(drbac::core::Ticks(1));
+                w1.process_expiries();
+            }
+        });
+        let w2 = wallet.clone();
+        scope.spawn(move || {
+            for _ in 0..100 {
+                let _ = w2.query_direct(&Node::entity(&user), &Node::role(owner.role("r")), &[]);
+            }
+        });
+    });
+
+    // Time passed 100 ticks: the credential expired and is gone.
+    assert!(wallet.is_empty());
+}

@@ -1,0 +1,404 @@
+//! Randomized distributed soak test: a network of per-organization
+//! wallets must answer exactly like a single centralized oracle graph —
+//! before and after random revocations — and constrained discovery must
+//! never return an invalid proof.
+//!
+//! Setup mirrors the paper's storage discipline: every delegation is
+//! stored at its *subject's* home wallet and every node carries an
+//! `S` (search-from-subject) tag, which is the condition under which the
+//! §4.2.1 forward search is complete.
+
+use std::sync::Arc;
+
+use drbac::core::{
+    AttrConstraint, AttrOp, DiscoveryTag, LocalEntity, Node, ProofValidator, SignedDelegation,
+    SignedRevocation, SimClock, SubjectFlag, Ticks, Timestamp, ValidationContext,
+};
+use drbac::crypto::SchnorrGroup;
+use drbac::graph::{DelegationGraph, SearchOptions};
+use drbac::net::{proto::Request, Directory, DiscoveryAgent, SimNet, WalletHost};
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ORGS: usize = 4;
+const USERS: usize = 5;
+const ROLES_PER_ORG: usize = 4;
+const DELEGATIONS: usize = 60;
+
+struct World {
+    net: SimNet,
+    clock: SimClock,
+    orgs: Vec<LocalEntity>,
+    users: Vec<LocalEntity>,
+    /// Kept alive so the hosts stay registered on the network.
+    _hosts: Vec<WalletHost>,
+    oracle: DelegationGraph,
+    certs: Vec<Arc<SignedDelegation>>,
+    bw: drbac::core::AttrRef,
+}
+
+fn org_wallet_addr(i: usize) -> String {
+    format!("wallet.org{i}")
+}
+
+/// The wallet that stores delegations whose subject is `node`.
+fn subject_home(world_orgs: &[LocalEntity], users: &[LocalEntity], node: &Node) -> usize {
+    match node {
+        Node::Entity(id) => {
+            // Users are assigned a home org by index; orgs host themselves.
+            if let Some(u) = users.iter().position(|u| u.id() == *id) {
+                u % ORGS
+            } else {
+                world_orgs.iter().position(|o| o.id() == *id).unwrap_or(0)
+            }
+        }
+        _ => world_orgs
+            .iter()
+            .position(|o| o.id() == node.namespace())
+            .expect("roles belong to orgs"),
+    }
+}
+
+fn build(seed: u64) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let net = SimNet::new(clock.clone(), Ticks(1));
+
+    let orgs: Vec<LocalEntity> = (0..ORGS)
+        .map(|i| LocalEntity::generate(format!("Org{i}"), g.clone(), &mut rng))
+        .collect();
+    let users: Vec<LocalEntity> = (0..USERS)
+        .map(|i| LocalEntity::generate(format!("U{i}"), g.clone(), &mut rng))
+        .collect();
+    let hosts: Vec<WalletHost> = (0..ORGS)
+        .map(|i| {
+            let addr = org_wallet_addr(i);
+            net.add_host(addr.as_str(), Wallet::new(addr.as_str(), clock.clone()))
+        })
+        .collect();
+
+    let bw = orgs[0].attr("bw", AttrOp::Min);
+    let tag = |i: usize| {
+        DiscoveryTag::new(org_wallet_addr(i).as_str())
+            .with_ttl(Ticks(1000))
+            .with_subject_flag(SubjectFlag::Search)
+    };
+
+    // Node universe: user entities + org roles.
+    let mut nodes: Vec<Node> = users.iter().map(Node::entity).collect();
+    for org in &orgs {
+        for r in 0..ROLES_PER_ORG {
+            nodes.push(Node::role(org.role(&format!("r{r}"))));
+        }
+    }
+
+    let mut oracle = DelegationGraph::new();
+    let mut certs = Vec::new();
+    for serial in 0..DELEGATIONS {
+        let subject = nodes[rng.gen_range(0..nodes.len())].clone();
+        // Objects are roles; the issuing org is the object's owner
+        // (self-certified, so the soak isolates search/distribution).
+        let org_idx = rng.gen_range(0..ORGS);
+        let object =
+            Node::role(orgs[org_idx].role(&format!("r{}", rng.gen_range(0..ROLES_PER_ORG))));
+        if subject == object {
+            continue;
+        }
+        let mut builder = orgs[org_idx]
+            .delegate(subject.clone(), object.clone())
+            .serial(serial as u64)
+            .subject_tag(tag(subject_home(&orgs, &users, &subject)))
+            .object_tag(tag(org_idx));
+        // Attribute clauses only on Org0's own delegations (self-owned
+        // attribute namespace; foreign clauses would need attr-admin
+        // supports, which this soak deliberately leaves out of scope).
+        if org_idx == 0 && rng.gen_bool(0.5) {
+            builder = builder
+                .with_attr(bw.clone(), rng.gen_range(1.0..100.0))
+                .unwrap();
+        }
+        let cert: Arc<SignedDelegation> = Arc::new(builder.sign(&orgs[org_idx]).unwrap());
+
+        let home = subject_home(&orgs, &users, &subject);
+        hosts[home]
+            .wallet()
+            .publish(Arc::clone(&cert), vec![])
+            .unwrap();
+        oracle.insert(Arc::clone(&cert));
+        certs.push(cert);
+    }
+
+    World {
+        net,
+        clock,
+        orgs,
+        users,
+        _hosts: hosts,
+        oracle,
+        certs,
+        bw,
+    }
+}
+
+fn fresh_agent(w: &World, n: usize) -> DiscoveryAgent {
+    let addr = format!("server{n}");
+    let server = w
+        .net
+        .add_host(addr.as_str(), Wallet::new(addr.as_str(), w.clock.clone()));
+    let mut dir = Directory::new();
+    let tag = |i: usize| {
+        DiscoveryTag::new(org_wallet_addr(i).as_str())
+            .with_ttl(Ticks(1000))
+            .with_subject_flag(SubjectFlag::Search)
+    };
+    for (i, org) in w.orgs.iter().enumerate() {
+        dir.register_entity(org.id(), tag(i));
+    }
+    for (i, user) in w.users.iter().enumerate() {
+        dir.register(Node::entity(user), tag(i % ORGS));
+    }
+    DiscoveryAgent::new(w.net.clone(), server, dir)
+}
+
+#[test]
+fn distributed_discovery_matches_centralized_oracle() {
+    let w = build(0x50a1);
+    let opts = SearchOptions::at(Timestamp(0));
+    let mut server_counter = 0;
+    for user in &w.users {
+        for org in &w.orgs {
+            for r in 0..ROLES_PER_ORG {
+                let target = Node::role(org.role(&format!("r{r}")));
+                let (oracle_proof, _) = w.oracle.direct_query(&Node::entity(user), &target, &opts);
+                server_counter += 1;
+                let mut agent = fresh_agent(&w, server_counter);
+                let outcome = agent.discover(&Node::entity(user), &target, &[]);
+                assert_eq!(
+                    outcome.found(),
+                    oracle_proof.is_some(),
+                    "disagreement for {} => {target} (trace: {:?})",
+                    user.name(),
+                    outcome.trace
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn revocations_propagate_and_answers_stay_consistent() {
+    let w = build(0x50a2);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut oracle = w.oracle.clone();
+
+    // Revoke ~25% of delegations at their home wallets.
+    for cert in &w.certs {
+        if !rng.gen_bool(0.25) {
+            continue;
+        }
+        let issuer = w
+            .orgs
+            .iter()
+            .find(|o| o.id() == cert.delegation().issuer())
+            .unwrap();
+        let revocation = SignedRevocation::revoke(cert, issuer, w.clock.now()).unwrap();
+        // The revocation goes to the wallet that stores the credential.
+        let home = subject_home(&w.orgs, &w.users, cert.delegation().subject());
+        let reply = w
+            .net
+            .request(
+                &org_wallet_addr(home).as_str().into(),
+                Request::Revoke(revocation),
+            )
+            .unwrap();
+        assert!(!reply.is_error(), "{reply:?}");
+        oracle.revoke(cert.id());
+    }
+    w.net.run_until_idle();
+
+    let opts = SearchOptions::at(w.clock.now());
+    let mut server_counter = 1000;
+    for user in &w.users {
+        for org in &w.orgs {
+            let target = Node::role(org.role("r0"));
+            let (oracle_proof, _) = w.oracle.direct_query(&Node::entity(user), &target, &opts);
+            let (revoked_oracle_proof, _) =
+                oracle.direct_query(&Node::entity(user), &target, &opts);
+            // Sanity: revocation can only remove access.
+            if revoked_oracle_proof.is_some() {
+                assert!(oracle_proof.is_some());
+            }
+            server_counter += 1;
+            let mut agent = fresh_agent(&w, server_counter);
+            let outcome = agent.discover(&Node::entity(user), &target, &[]);
+            assert_eq!(
+                outcome.found(),
+                revoked_oracle_proof.is_some(),
+                "post-revocation disagreement for {} => {target}",
+                user.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn constrained_discovery_is_sound() {
+    // Distributed constrained discovery may legitimately miss a
+    // satisfying path (segment selection is greedy), but everything it
+    // returns must validate and satisfy the constraint.
+    let w = build(0x50a3);
+    let mut server_counter = 2000;
+    for threshold in [10.0, 50.0, 90.0] {
+        let constraint = AttrConstraint::at_least(w.bw.clone(), threshold);
+        for user in &w.users {
+            for org in &w.orgs {
+                let target = Node::role(org.role("r1"));
+                server_counter += 1;
+                let mut agent = fresh_agent(&w, server_counter);
+                let outcome = agent.discover(
+                    &Node::entity(user),
+                    &target,
+                    std::slice::from_ref(&constraint),
+                );
+                if let Some(monitor) = outcome.monitor {
+                    let proof = monitor.proof();
+                    let v = ProofValidator::new(ValidationContext::at(w.clock.now()));
+                    v.validate(proof).expect("discovered proof validates");
+                    assert!(
+                        proof
+                            .accumulate()
+                            .satisfies(std::slice::from_ref(&constraint), w.oracle.declarations()),
+                        "constraint violated by discovered proof"
+                    );
+                }
+            }
+        }
+    }
+}
+
+mod completeness_property {
+    //! The §4.2.1 completeness condition as a property: in any world
+    //! where every node is tagged `S` and every delegation is stored at
+    //! its subject's home wallet, tag-directed discovery finds a proof
+    //! exactly when the union graph has one.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A compact world description proptest can shrink.
+    #[derive(Debug, Clone)]
+    struct SmallWorld {
+        /// Edges as (subject index, object role index) over a universe of
+        /// 2 users + 4 roles (2 per org); subjects index the whole
+        /// universe, objects only roles.
+        edges: Vec<(usize, usize)>,
+    }
+
+    fn arb_world() -> impl Strategy<Value = SmallWorld> {
+        prop::collection::vec((0usize..6, 0usize..4), 1..12).prop_map(|edges| SmallWorld { edges })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn discovery_complete_under_s_tags(world in arb_world(), query_user in 0usize..2, query_role in 0usize..4) {
+            let mut rng = StdRng::seed_from_u64(4242);
+            let g = SchnorrGroup::test_256();
+            let clock = SimClock::new();
+            let net = SimNet::new(clock.clone(), Ticks(1));
+            let orgs: Vec<LocalEntity> =
+                (0..2).map(|i| LocalEntity::generate(format!("O{i}"), g.clone(), &mut rng)).collect();
+            let users: Vec<LocalEntity> =
+                (0..2).map(|i| LocalEntity::generate(format!("U{i}"), g.clone(), &mut rng)).collect();
+            let hosts: Vec<WalletHost> = (0..2)
+                .map(|i| {
+                    let addr = format!("w{i}");
+                    net.add_host(addr.as_str(), Wallet::new(addr.as_str(), clock.clone()))
+                })
+                .collect();
+            let tag = |i: usize| {
+                DiscoveryTag::new(format!("w{i}").as_str())
+                    .with_ttl(Ticks(100))
+                    .with_subject_flag(SubjectFlag::Search)
+            };
+            // Universe: users 0-1, then roles (org 0: r0 r1, org 1: r0 r1).
+            let node = |i: usize| -> Node {
+                if i < 2 {
+                    Node::entity(&users[i])
+                } else {
+                    let org = (i - 2) / 2;
+                    Node::role(orgs[org].role(&format!("r{}", (i - 2) % 2)))
+                }
+            };
+            let home_of = |n: &Node| -> usize {
+                match n {
+                    Node::Entity(id) => users.iter().position(|u| u.id() == *id).unwrap_or(0) % 2,
+                    other => orgs.iter().position(|o| o.id() == other.namespace()).unwrap(),
+                }
+            };
+
+            let mut oracle = DelegationGraph::new();
+            for (serial, (s, o)) in world.edges.iter().enumerate() {
+                let subject = node(*s);
+                let object = node(o + 2);
+                if subject == object {
+                    continue;
+                }
+                let org = orgs.iter().find(|org| org.id() == object.namespace()).unwrap();
+                let cert: Arc<SignedDelegation> = Arc::new(
+                    org.delegate(subject.clone(), object.clone())
+                        .serial(serial as u64)
+                        .subject_tag(tag(home_of(&subject)))
+                        .object_tag(tag(home_of(&object)))
+                        .sign(org)
+                        .unwrap(),
+                );
+                hosts[home_of(&subject)].wallet().publish(Arc::clone(&cert), vec![]).unwrap();
+                oracle.insert(cert);
+            }
+
+            let server = net.add_host("server", Wallet::new("server", clock.clone()));
+            let mut dir = Directory::new();
+            for (i, org) in orgs.iter().enumerate() {
+                dir.register_entity(org.id(), tag(i));
+            }
+            for (i, user) in users.iter().enumerate() {
+                dir.register(Node::entity(user), tag(i % 2));
+            }
+            let mut agent = DiscoveryAgent::new(net.clone(), server, dir);
+
+            let subject = node(query_user);
+            let object = node(query_role + 2);
+            let outcome = agent.discover(&subject, &object, &[]);
+            let (oracle_proof, _) =
+                oracle.direct_query(&subject, &object, &SearchOptions::at(clock.now()));
+            prop_assert_eq!(
+                outcome.found(),
+                oracle_proof.is_some(),
+                "world {:?}: discovery {} vs oracle {} for {} => {} (trace {:?})",
+                world,
+                outcome.found(),
+                oracle_proof.is_some(),
+                subject,
+                object,
+                outcome.trace
+            );
+        }
+    }
+}
+
+#[test]
+fn storage_discipline_passes_the_registry_audit() {
+    let w = build(0x50a4);
+    let hosts: Vec<drbac::core::WalletAddr> = (0..ORGS)
+        .map(|i| org_wallet_addr(i).as_str().into())
+        .collect();
+    let violations = drbac::net::audit_store_compliance(&w.net, &hosts);
+    assert!(
+        violations.is_empty(),
+        "soak world is registry-compliant: {violations:?}"
+    );
+}
