@@ -1,0 +1,70 @@
+//! Observability overhead: proof validation with the default no-op
+//! recorder (tracing disabled) must stay within noise of the seed's
+//! uninstrumented hot path, and the acceptance bar is <5% overhead.
+//!
+//! Three configurations over the identical validation workload:
+//!
+//! * `noop` — instrumentation compiled in, no recorder installed (the
+//!   default every library consumer gets);
+//! * `ring` — a [`RingRecorder`] installed, spans and events recorded;
+//! * `metrics_only` — what the counters/histograms alone cost, measured
+//!   by driving the registry directly at the same call rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drbac_baselines::workload::chain;
+use drbac_core::{Proof, ProofValidator, Timestamp, ValidationContext};
+use drbac_graph::SearchOptions;
+use drbac_obs::RingRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn chain_proof(len: usize) -> Proof {
+    let mut rng = StdRng::seed_from_u64(len as u64);
+    let w = chain(len, &mut rng);
+    let (proof, _) = w
+        .graph
+        .direct_query(&w.subject, &w.object, &SearchOptions::at(Timestamp(0)));
+    proof.expect("chain connects")
+}
+
+fn bench_recorder_modes(c: &mut Criterion) {
+    let validator = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+    let proof = chain_proof(4);
+    validator.validate(&proof).expect("valid workload");
+
+    let mut group = c.benchmark_group("obs_overhead/proof_validation");
+    drbac_obs::clear_recorder();
+    group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+        b.iter(|| validator.validate(black_box(&proof)).unwrap())
+    });
+    let recorder = RingRecorder::install(4096);
+    group.bench_function(BenchmarkId::from_parameter("ring"), |b| {
+        b.iter(|| validator.validate(black_box(&proof)).unwrap())
+    });
+    drbac_obs::clear_recorder();
+    assert!(!recorder.is_empty(), "ring recorder saw the spans");
+    group.finish();
+}
+
+fn bench_instrument_primitives(c: &mut Criterion) {
+    let registry = drbac_obs::Registry::new();
+    let counter = registry.counter("bench.counter");
+    let histogram = registry.histogram("bench.histogram.ns");
+
+    let mut group = c.benchmark_group("obs_overhead/primitives");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| histogram.record(black_box(1234)))
+    });
+    group.bench_function("registry_lookup", |b| {
+        b.iter(|| registry.counter(black_box("bench.counter")).inc())
+    });
+    group.bench_function("static_counter_macro", |b| {
+        b.iter(|| drbac_obs::static_counter!("drbac.bench.macro.count").inc())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_modes, bench_instrument_primitives);
+criterion_main!(benches);

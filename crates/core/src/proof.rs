@@ -387,12 +387,36 @@ impl ValidationContext {
 #[derive(Debug, Clone, Default)]
 pub struct ProofValidator {
     ctx: ValidationContext,
+    /// Digests of proofs already validated by this validator (shared
+    /// across clones). Feeds `drbac.core.proof.validate.revalidation.count`
+    /// — each hit is work a validation cache would have saved.
+    seen: Arc<std::sync::Mutex<std::collections::HashSet<u64>>>,
 }
 
 impl ProofValidator {
     /// Creates a validator.
     pub fn new(ctx: ValidationContext) -> Self {
-        ProofValidator { ctx }
+        ProofValidator {
+            ctx,
+            seen: Arc::default(),
+        }
+    }
+
+    /// Records `proof` as validated; true iff it was seen before (a
+    /// cache-able revalidation).
+    fn note_revalidation(&self, proof: &Proof) -> bool {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for id in proof.delegation_ids() {
+            id.hash(&mut hasher);
+        }
+        proof.chain_len().hash(&mut hasher);
+        let digest = hasher.finish();
+        let mut seen = self.seen.lock().unwrap_or_else(|e| e.into_inner());
+        if seen.len() >= 8192 {
+            seen.clear();
+        }
+        !seen.insert(digest)
     }
 
     /// The context being validated against.
@@ -411,8 +435,24 @@ impl ProofValidator {
     ///
     /// The first [`ValidationError`] encountered.
     pub fn validate(&self, proof: &Proof) -> Result<AttrSummary, ValidationError> {
+        let _span = drbac_obs::span!(
+            "drbac.core.proof.validate",
+            "chain_len" => proof.chain_len(),
+        );
+        let _timer = drbac_obs::static_histogram!("drbac.core.proof.validate.ns").start_timer();
+        drbac_obs::static_counter!("drbac.core.proof.validate.count").inc();
+        if self.note_revalidation(proof) {
+            drbac_obs::static_counter!("drbac.core.proof.validate.revalidation.count").inc();
+        }
         let mut stack = Vec::new();
-        self.validate_inner(proof, 0, &mut stack)?;
+        if let Err(err) = self.validate_inner(proof, 0, &mut stack) {
+            drbac_obs::static_counter!("drbac.core.proof.validate.error.count").inc();
+            drbac_obs::event!(
+                "drbac.core.proof.validate.rejected",
+                "error" => err.to_string(),
+            );
+            return Err(err);
+        }
         Ok(AttrSummary::build(
             &proof.accumulate(),
             &self.ctx.declarations,
@@ -536,7 +576,18 @@ impl ProofValidator {
                             .iter()
                             .find(|s| s.object() == right && s.subject() == &issuer_node);
                         match support {
-                            Some(s) => self.validate_inner(s, depth + 1, stack)?,
+                            Some(s) => {
+                                let _span = drbac_obs::span!(
+                                    "drbac.core.proof.support.validate",
+                                    "depth" => depth + 1,
+                                    "chain_len" => s.chain_len(),
+                                );
+                                drbac_obs::static_counter!(
+                                    "drbac.core.proof.support.validate.count"
+                                )
+                                .inc();
+                                self.validate_inner(s, depth + 1, stack)?
+                            }
                             None => {
                                 // Distinguish "no support at all" from
                                 // "support proves something else".

@@ -15,7 +15,7 @@
 //! audit query itself: everything the registry knows about a role's
 //! onward delegation.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -38,7 +38,7 @@ pub struct StoreViolation {
 }
 
 /// Which endpoint's flag triggered the requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AuditEndpoint {
     /// The subject's `s`/`S` flag.
     Subject,
@@ -71,8 +71,12 @@ fn requires_object_registry(tag: &DiscoveryTag) -> bool {
 /// Sweeps every host on the network and reports store-flag violations.
 ///
 /// `hosts` names the wallets to sweep (the auditor's view of the world).
+/// Each `(delegation, endpoint)` pair is reported at most once, at the
+/// first host (in sweep order) where the auditor observed it — a
+/// credential cached at many wallets is still one covert re-delegation.
 pub fn audit_store_compliance(net: &SimNet, hosts: &[WalletAddr]) -> Vec<StoreViolation> {
     let mut violations = Vec::new();
+    let mut seen: HashSet<(drbac_core::DelegationId, AuditEndpoint)> = HashSet::new();
     for addr in hosts {
         let Some(host) = net.host(addr) else { continue };
         let certs: Vec<Arc<SignedDelegation>> =
@@ -80,7 +84,8 @@ pub fn audit_store_compliance(net: &SimNet, hosts: &[WalletAddr]) -> Vec<StoreVi
         for cert in certs {
             let d = cert.delegation();
             if let Some(tag) = d.subject_tag() {
-                if requires_subject_registry(tag) {
+                if requires_subject_registry(tag) && seen.insert((cert.id(), AuditEndpoint::Subject))
+                {
                     let home = tag.home().clone();
                     if !wallet_holds(net, &home, &cert) {
                         violations.push(StoreViolation {
@@ -93,7 +98,7 @@ pub fn audit_store_compliance(net: &SimNet, hosts: &[WalletAddr]) -> Vec<StoreVi
                 }
             }
             if let Some(tag) = d.object_tag() {
-                if requires_object_registry(tag) {
+                if requires_object_registry(tag) && seen.insert((cert.id(), AuditEndpoint::Object)) {
                     let home = tag.home().clone();
                     if !wallet_holds(net, &home, &cert) {
                         violations.push(StoreViolation {
@@ -107,6 +112,8 @@ pub fn audit_store_compliance(net: &SimNet, hosts: &[WalletAddr]) -> Vec<StoreVi
             }
         }
     }
+    drbac_obs::static_counter!("drbac.net.audit.sweep.count").inc();
+    drbac_obs::static_counter!("drbac.net.audit.violation.count").add(violations.len() as u64);
     violations
 }
 
@@ -225,6 +232,71 @@ mod tests {
         let violations = audit_store_compliance(&f.net, &["elsewhere".into()]);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].endpoint, AuditEndpoint::Object);
+    }
+
+    #[test]
+    fn violation_reported_once_per_delegation_endpoint_pair() {
+        // Regression: the same escaped credential cached at several
+        // non-home wallets is ONE violation per triggering endpoint, not
+        // one per host it was seen at.
+        let f = fx();
+        f.net.add_host(
+            "elsewhere2",
+            Wallet::new("elsewhere2", f.net.clock().clone()),
+        );
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .subject_tag(store_tag("home"))
+                .object_tag(DiscoveryTag::new("home").with_object_flag(ObjectFlag::Search))
+                .sign(&f.a)
+                .unwrap();
+        for addr in ["elsewhere", "elsewhere2"] {
+            f.net
+                .host(&addr.into())
+                .unwrap()
+                .wallet()
+                .publish(cert.clone(), vec![])
+                .unwrap();
+        }
+        let hosts: Vec<WalletAddr> =
+            vec!["home".into(), "elsewhere".into(), "elsewhere2".into()];
+        let violations = audit_store_compliance(&f.net, &hosts);
+        // Both endpoints' tags fire, each exactly once, attributed to the
+        // first host in sweep order that revealed the credential.
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        let endpoints: Vec<AuditEndpoint> = violations.iter().map(|v| v.endpoint).collect();
+        assert!(endpoints.contains(&AuditEndpoint::Subject));
+        assert!(endpoints.contains(&AuditEndpoint::Object));
+        for v in &violations {
+            assert_eq!(v.observed_at.as_str(), "elsewhere");
+        }
+        // Sweeping twice is idempotent — same set again, no accumulation.
+        assert_eq!(audit_store_compliance(&f.net, &hosts), violations);
+    }
+
+    #[test]
+    fn violation_display_is_stable() {
+        let f = fx();
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .subject_tag(store_tag("home"))
+                .sign(&f.a)
+                .unwrap();
+        f.net
+            .host(&"elsewhere".into())
+            .unwrap()
+            .wallet()
+            .publish(cert.clone(), vec![])
+            .unwrap();
+        let violations = audit_store_compliance(&f.net, &["elsewhere".into()]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            violations[0].to_string(),
+            format!(
+                "{} (seen at elsewhere) must be registered at home per its subject tag",
+                cert.delegation()
+            )
+        );
     }
 
     #[test]

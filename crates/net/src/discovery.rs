@@ -273,6 +273,29 @@ impl DiscoveryAgent {
         constraints: &[AttrConstraint],
         extra_seeds: &[Node],
     ) -> DiscoveryOutcome {
+        let _span = drbac_obs::span!(
+            "drbac.net.discovery.round",
+            "subject" => subject.to_string(),
+            "object" => object.to_string(),
+        );
+        let _timer = drbac_obs::static_histogram!("drbac.net.discovery.round.ns").start_timer();
+        drbac_obs::static_counter!("drbac.net.discovery.round.count").inc();
+        let outcome = self.discover_inner(subject, object, constraints, extra_seeds);
+        if outcome.found() {
+            drbac_obs::static_counter!("drbac.net.discovery.found.count").inc();
+        } else {
+            drbac_obs::static_counter!("drbac.net.discovery.miss.count").inc();
+        }
+        outcome
+    }
+
+    fn discover_inner(
+        &mut self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+        extra_seeds: &[Node],
+    ) -> DiscoveryOutcome {
         let mut trace = Vec::new();
         let mut contacted = BTreeSet::new();
 
@@ -486,6 +509,13 @@ impl DiscoveryAgent {
         if &home == self.local.addr() {
             return None;
         }
+        drbac_obs::static_counter!("drbac.net.discovery.hop.count").inc();
+        drbac_obs::event!(
+            "drbac.net.discovery.hop",
+            "direction" => "forward",
+            "wallet" => home.to_string(),
+            "node" => node.to_string(),
+        );
         self.prepare_wallet(&home, trace, contacted);
 
         // Paper: "a direct query for Sub => Obj directed towards Sub's
@@ -556,6 +586,13 @@ impl DiscoveryAgent {
         if &home == self.local.addr() {
             return None;
         }
+        drbac_obs::static_counter!("drbac.net.discovery.hop.count").inc();
+        drbac_obs::event!(
+            "drbac.net.discovery.hop",
+            "direction" => "reverse",
+            "wallet" => home.to_string(),
+            "node" => node.to_string(),
+        );
         self.prepare_wallet(&home, trace, contacted);
 
         let direct = self.transport.request(
@@ -658,6 +695,8 @@ impl DiscoveryAgent {
             }
         }
         if certs > 0 {
+            drbac_obs::static_counter!("drbac.net.discovery.absorbed.certs.count")
+                .add(certs as u64);
             trace.push(DiscoveryStep::Absorbed { certs });
         }
     }

@@ -63,13 +63,37 @@ impl PushHub {
         let mut all: Vec<Sender<DelegationEvent>> = Vec::new();
         while let Ok(cmd) = rx.recv() {
             match cmd {
-                Command::Subscribe(id, tx) => by_id.entry(id).or_default().push(tx),
-                Command::SubscribeAll(tx) => all.push(tx),
+                Command::Subscribe(id, tx) => {
+                    drbac_obs::static_counter!("drbac.net.push.subscribe.count").inc();
+                    by_id.entry(id).or_default().push(tx);
+                }
+                Command::SubscribeAll(tx) => {
+                    drbac_obs::static_counter!("drbac.net.push.subscribe.count").inc();
+                    all.push(tx);
+                }
                 Command::Publish(event) => {
+                    drbac_obs::static_counter!("drbac.net.push.publish.count").inc();
+                    let mut delivered = 0u64;
                     if let Some(subs) = by_id.get_mut(&event.delegation) {
+                        let before = subs.len();
                         subs.retain(|tx| tx.send(event).is_ok());
+                        delivered += subs.len() as u64;
+                        let pruned = (before - subs.len()) as u64;
+                        if pruned > 0 {
+                            drbac_obs::static_counter!("drbac.net.push.pruned.count").add(pruned);
+                        }
                     }
+                    let before = all.len();
                     all.retain(|tx| tx.send(event).is_ok());
+                    delivered += all.len() as u64;
+                    let pruned = (before - all.len()) as u64;
+                    if pruned > 0 {
+                        drbac_obs::static_counter!("drbac.net.push.pruned.count").add(pruned);
+                    }
+                    if delivered > 0 {
+                        drbac_obs::static_counter!("drbac.net.push.delivered.count")
+                            .add(delivered);
+                    }
                 }
                 Command::Shutdown => break,
             }

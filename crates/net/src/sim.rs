@@ -33,6 +33,10 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 /// Message accounting for the efficiency experiments.
+///
+/// This is a *view* built from the network's metrics registry
+/// ([`SimNet::registry`]) — the counters under `drbac.net.sim.*` are the
+/// single source of truth; nothing is double-booked.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Total messages on the wire (a request/reply pair counts as 2).
@@ -42,13 +46,44 @@ pub struct NetStats {
     /// Approximate payload bytes on the wire (canonical encodings).
     pub total_bytes: u64,
     /// Request counts by kind tag.
-    pub requests_by_kind: BTreeMap<&'static str, u64>,
+    pub requests_by_kind: BTreeMap<String, u64>,
 }
 
 impl NetStats {
     /// Count of requests with the given kind tag.
     pub fn requests(&self, kind: &str) -> u64 {
         self.requests_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Registry counter names backing the [`NetStats`] view.
+    pub const MESSAGES: &'static str = "drbac.net.sim.messages.count";
+    /// See [`NetStats::MESSAGES`].
+    pub const PUSHES: &'static str = "drbac.net.sim.push.count";
+    /// See [`NetStats::MESSAGES`].
+    pub const BYTES: &'static str = "drbac.net.sim.bytes.total";
+    /// Per-kind request counters live at `drbac.net.sim.request.<kind>.count`.
+    pub const REQUEST_PREFIX: &'static str = "drbac.net.sim.request.";
+
+    /// Builds the view from a registry snapshot (only `drbac.net.sim.*`
+    /// counters are consulted).
+    pub fn from_snapshot(snap: &drbac_obs::Snapshot) -> Self {
+        let mut requests_by_kind = BTreeMap::new();
+        for (name, v) in snap.counters_with_prefix(Self::REQUEST_PREFIX) {
+            if v > 0 {
+                if let Some(kind) = name
+                    .strip_prefix(Self::REQUEST_PREFIX)
+                    .and_then(|s| s.strip_suffix(".count"))
+                {
+                    requests_by_kind.insert(kind.to_string(), v);
+                }
+            }
+        }
+        NetStats {
+            total_messages: snap.counters.get(Self::MESSAGES).copied().unwrap_or(0),
+            push_messages: snap.counters.get(Self::PUSHES).copied().unwrap_or(0),
+            total_bytes: snap.counters.get(Self::BYTES).copied().unwrap_or(0),
+            requests_by_kind,
+        }
     }
 }
 
@@ -281,7 +316,13 @@ struct SimState {
     latency: Ticks,
     hosts: RwLock<HashMap<WalletAddr, WalletHost>>,
     queue: Mutex<BinaryHeap<Envelope>>,
-    stats: Mutex<NetStats>,
+    /// Per-network metrics registry: the single accounting path.
+    /// Instances are independent so parallel tests see exact counts.
+    registry: Arc<drbac_obs::Registry>,
+    /// Cached handles for the hot counters.
+    msg_counter: Arc<drbac_obs::Counter>,
+    push_msg_counter: Arc<drbac_obs::Counter>,
+    bytes_counter: Arc<drbac_obs::Counter>,
     seq: AtomicU64,
     /// Failure injection: hosts currently unreachable.
     down: Mutex<HashSet<WalletAddr>>,
@@ -336,13 +377,20 @@ impl fmt::Debug for SimNet {
 impl SimNet {
     /// Creates a network with the given per-message latency.
     pub fn new(clock: SimClock, latency: Ticks) -> Self {
+        let registry = Arc::new(drbac_obs::Registry::new());
+        let msg_counter = registry.counter(NetStats::MESSAGES);
+        let push_msg_counter = registry.counter(NetStats::PUSHES);
+        let bytes_counter = registry.counter(NetStats::BYTES);
         SimNet {
             state: Arc::new(SimState {
                 clock,
                 latency,
                 hosts: RwLock::new(HashMap::new()),
                 queue: Mutex::new(BinaryHeap::new()),
-                stats: Mutex::new(NetStats::default()),
+                registry,
+                msg_counter,
+                push_msg_counter,
+                bytes_counter,
                 seq: AtomicU64::new(0),
                 down: Mutex::new(HashSet::new()),
                 drop_every_nth_push: AtomicU64::new(0),
@@ -410,20 +458,25 @@ impl SimNet {
         if self.is_down(to) {
             // The attempt still costs a (lost) message and a timeout's
             // worth of waiting.
-            self.state.stats.lock().total_messages += 1;
+            self.state.msg_counter.inc();
             self.state.clock.advance(self.state.latency);
             return Err(NetError::HostDown(to.clone()));
         }
-        {
-            let mut stats = self.state.stats.lock();
-            stats.total_messages += 2;
-            stats.total_bytes += req.encoded_len() as u64;
-            *stats.requests_by_kind.entry(req.kind()).or_insert(0) += 1;
-        }
+        self.state.msg_counter.add(2);
+        self.state.bytes_counter.add(req.encoded_len() as u64);
+        self.state
+            .registry
+            .counter(format!("{}{}.count", NetStats::REQUEST_PREFIX, req.kind()))
+            .inc();
+        drbac_obs::event!(
+            "drbac.net.sim.request",
+            "to" => to.to_string(),
+            "kind" => req.kind(),
+        );
         self.state.clock.advance(self.state.latency);
         let reply = host.handle(self, req);
         self.state.clock.advance(self.state.latency);
-        self.state.stats.lock().total_bytes += reply.encoded_len() as u64;
+        self.state.bytes_counter.add(reply.encoded_len() as u64);
         Ok(reply)
     }
 
@@ -431,12 +484,10 @@ impl SimNet {
     pub fn send(&self, to: &WalletAddr, msg: OneWay) {
         let deliver_at = self.state.clock.now().after(self.state.latency);
         let seq = self.state.seq.fetch_add(1, Ordering::SeqCst);
-        {
-            let mut stats = self.state.stats.lock();
-            stats.total_messages += 1;
-            stats.push_messages += 1;
-            stats.total_bytes += 48; // delegation id + reason + header
-        }
+        self.state.msg_counter.inc();
+        self.state.push_msg_counter.inc();
+        self.state.bytes_counter.add(48); // delegation id + reason + header
+        drbac_obs::event!("drbac.net.sim.push", "to" => to.to_string(),);
         self.state.queue.lock().push(Envelope {
             deliver_at,
             seq,
@@ -476,14 +527,23 @@ impl SimNet {
         }
     }
 
-    /// A snapshot of the message counters.
+    /// A snapshot of the message counters — a [`NetStats`] view over the
+    /// network's metrics registry.
     pub fn stats(&self) -> NetStats {
-        self.state.stats.lock().clone()
+        NetStats::from_snapshot(&self.state.registry.snapshot())
     }
 
-    /// Resets the message counters (between experiment phases).
+    /// Resets the message counters (between experiment phases). Counters
+    /// incremented concurrently land in either the pre- or post-reset
+    /// epoch — never both.
     pub fn reset_stats(&self) {
-        *self.state.stats.lock() = NetStats::default();
+        self.state.registry.reset();
+    }
+
+    /// The per-network metrics registry backing [`SimNet::stats`]. Merge
+    /// its snapshot with [`drbac_obs::global`]'s for a full picture.
+    pub fn registry(&self) -> Arc<drbac_obs::Registry> {
+        Arc::clone(&self.state.registry)
     }
 }
 
@@ -914,6 +974,88 @@ mod tests {
             after_query > after_publish + cert_len / 2,
             "reply carried the proof"
         );
+    }
+
+    #[test]
+    fn stats_view_reflects_registry_counters() {
+        let f = fx();
+        wallet(&f, "w1");
+        f.net
+            .request(&"w1".into(), Request::FetchDeclarations)
+            .unwrap();
+        let snap = f.net.registry().snapshot();
+        assert_eq!(snap.counters.get(NetStats::MESSAGES), Some(&2));
+        let stats = f.net.stats();
+        assert_eq!(stats.total_messages, 2);
+        assert_eq!(stats.requests("fetch-declarations"), 1);
+        f.net.reset_stats();
+        assert_eq!(f.net.stats(), NetStats::default());
+        // The registry keeps the (zeroed) instruments; the view hides
+        // never-again-seen kinds just like a fresh NetStats would.
+        assert_eq!(
+            f.net.registry().snapshot().counters.get(NetStats::MESSAGES),
+            Some(&0)
+        );
+    }
+
+    #[test]
+    fn concurrent_senders_survive_reset_without_double_counting() {
+        // Phase 1: four threads hammer requests while the main thread
+        // repeatedly snapshots and resets — must not panic or wedge.
+        let f = fx();
+        wallet(&f, "w1");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let start = Arc::new(std::sync::Barrier::new(5));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let net = f.net.clone();
+                let stop = Arc::clone(&stop);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let mut sent = 0u64;
+                    // Every worker sends at least once, even if the main
+                    // thread races through its reset loop first.
+                    while sent == 0 || !stop.load(Ordering::SeqCst) {
+                        net.request(&"w1".into(), Request::FetchDeclarations)
+                            .unwrap();
+                        sent += 1;
+                    }
+                    sent
+                })
+            })
+            .collect();
+        start.wait();
+        for _ in 0..100 {
+            let _ = f.net.stats();
+            f.net.reset_stats();
+        }
+        stop.store(true, Ordering::SeqCst);
+        let sent: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(sent > 0);
+        // All senders joined: a final reset leaves everything at zero.
+        f.net.reset_stats();
+        assert_eq!(f.net.stats(), NetStats::default());
+
+        // Phase 2: with no resets interleaved, concurrent senders are
+        // counted exactly once each — no double counting.
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let net = f.net.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        net.request(&"w1".into(), Request::FetchDeclarations)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = f.net.stats();
+        assert_eq!(stats.total_messages, 2 * 1000);
+        assert_eq!(stats.requests("fetch-declarations"), 1000);
     }
 
     #[test]

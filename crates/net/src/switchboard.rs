@@ -71,6 +71,10 @@ impl Switchboard {
         now: Timestamp,
         rng: &mut R,
     ) -> Result<Channel, ChannelError> {
+        let _span = drbac_obs::span!("drbac.net.switchboard.connect");
+        let _timer =
+            drbac_obs::static_histogram!("drbac.net.switchboard.connect.ns").start_timer();
+        drbac_obs::static_counter!("drbac.net.switchboard.connect.count").inc();
         let nonce_a: [u8; 32] = rng.gen();
         let nonce_b: [u8; 32] = rng.gen();
         let transcript = handshake_transcript(
@@ -134,13 +138,20 @@ impl Switchboard {
         now: Timestamp,
         rng: &mut R,
     ) -> Result<Channel, ChannelError> {
+        let _span = drbac_obs::span!(
+            "drbac.net.switchboard.connect_role_gated",
+            "role" => required_role.to_string(),
+        );
         let monitor = responder_wallet
             .query_direct(
                 &Node::entity(initiator),
                 &Node::role(required_role.clone()),
                 &[],
             )
-            .ok_or_else(|| ChannelError::RoleNotProven(required_role.to_string()))?;
+            .ok_or_else(|| {
+                drbac_obs::static_counter!("drbac.net.switchboard.role_rejected.count").inc();
+                ChannelError::RoleNotProven(required_role.to_string())
+            })?;
         let mut channel = self.connect(initiator, responder, now, rng)?;
         channel.monitor = Some(monitor);
         Ok(channel)

@@ -1,0 +1,528 @@
+//! Lock-sharded metrics registry.
+//!
+//! Instruments are created (and snapshotted) under a per-shard
+//! `RwLock<HashMap<..>>`, but once a handle is held every update is a
+//! relaxed atomic operation — hot paths never contend on the registry.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time level that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two buckets. Bucket `b` counts values `v` with
+/// `bit_length(v) == b`, i.e. bucket 0 holds 0, bucket 1 holds 1,
+/// bucket 2 holds 2..=3, and so on up to `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// nanoseconds). Recording is two relaxed atomic adds plus one max-CAS.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound (inclusive) of a bucket, used to report quantiles.
+    fn bucket_upper(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Times a closure and records its wall-clock nanoseconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_duration(start.elapsed());
+        out
+    }
+
+    /// A guard that records elapsed nanoseconds when dropped.
+    pub fn start_timer(self: &Arc<Self>) -> HistogramTimer {
+        HistogramTimer {
+            histogram: Arc::clone(self),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return Self::bucket_upper(i);
+                }
+            }
+            Self::bucket_upper(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`]. Quantiles are upper bounds
+/// of the log₂ bucket containing the requested rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+const SHARDS: usize = 16;
+
+/// A named collection of instruments, sharded by name hash so concurrent
+/// handle creation in different subsystems does not contend on one lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [RwLock<HashMap<String, Instrument>>; SHARDS],
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Instrument>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: impl Into<String>) -> Arc<Counter> {
+        let name = name.into();
+        let shard = self.shard(&name);
+        if let Some(Instrument::Counter(c)) = shard.read().get(&name) {
+            return Arc::clone(c);
+        }
+        let mut map = shard.write();
+        match map
+            .entry(name.clone())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: impl Into<String>) -> Arc<Gauge> {
+        let name = name.into();
+        let shard = self.shard(&name);
+        if let Some(Instrument::Gauge(g)) = shard.read().get(&name) {
+            return Arc::clone(g);
+        }
+        let mut map = shard.write();
+        match map
+            .entry(name.clone())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: impl Into<String>) -> Arc<Histogram> {
+        let name = name.into();
+        let shard = self.shard(&name);
+        if let Some(Instrument::Histogram(h)) = shard.read().get(&name) {
+            return Arc::clone(h);
+        }
+        let mut map = shard.write();
+        match map
+            .entry(name.clone())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::default())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Zeroes every instrument. Handles stay valid; concurrent updates are
+    /// neither lost wholesale nor double-counted — each in-flight increment
+    /// lands either before or after the reset.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            for instrument in shard.read().values() {
+                match instrument {
+                    Instrument::Counter(c) => c.reset(),
+                    Instrument::Gauge(g) => g.reset(),
+                    Instrument::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+
+    /// A consistent-enough view of every instrument (each value is read
+    /// atomically; the set is whatever is registered at call time).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for shard in &self.shards {
+            for (name, instrument) in shard.read().iter() {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        snap.counters.insert(name.clone(), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        snap.gauges.insert(name.clone(), g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        snap.histograms.insert(name.clone(), h.snapshot());
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// All instrument values at one point in time, name-sorted.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds another snapshot in (its entries win on name collision).
+    pub fn merge(&mut self, other: Snapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+    }
+
+    /// Counters whose name starts with `prefix`.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// A plain-text table of every instrument, suitable for terminals.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<52} {:>14}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<52} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<52} {:>14}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<52} {v:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<52} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "p50", "p90", "p99"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:<52} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    h.count,
+                    format_scaled(h.mean() as u64),
+                    format_scaled(h.p50),
+                    format_scaled(h.p90),
+                    format_scaled(h.p99),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Renders a nanosecond-scale value with a unit suffix.
+fn format_scaled(v: u64) -> String {
+    if v < 1_000 {
+        format!("{v}ns")
+    } else if v < 1_000_000 {
+        format!("{:.1}us", v as f64 / 1e3)
+    } else if v < 1_000_000_000 {
+        format!("{:.1}ms", v as f64 / 1e6)
+    } else {
+        format!("{:.2}s", v as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("drbac.test.ops.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("drbac.test.level.gauge");
+        g.set(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        // Same name returns the same instrument.
+        assert_eq!(r.counter("drbac.test.ops.count").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("drbac.test.x");
+        r.gauge("drbac.test.x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1107);
+        assert_eq!(s.max, 1000);
+        // Rank 4 of 7 lands in the bucket holding 2..=3.
+        assert_eq!(s.p50, 3);
+        // Rank 7 of 7 (both p90 and p99) is the 1000 observation; the
+        // reported value is its bucket's upper bound.
+        assert!(s.p90 >= 1000 && s.p90 <= 1023);
+        assert!(s.p99 >= 1000 && s.p99 <= 1023);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_prefix_and_merge() {
+        let r = Registry::new();
+        r.counter("drbac.a.x.count").add(1);
+        r.counter("drbac.a.y.count").add(2);
+        r.counter("drbac.b.z.count").add(3);
+        let snap = r.snapshot();
+        let a: Vec<_> = snap.counters_with_prefix("drbac.a.").collect();
+        assert_eq!(a, vec![("drbac.a.x.count", 1), ("drbac.a.y.count", 2)]);
+
+        let other = Registry::new();
+        other.counter("drbac.c.w.count").add(9);
+        let mut merged = snap.clone();
+        merged.merge(other.snapshot());
+        assert_eq!(merged.counters.len(), 4);
+        assert!(merged.render_table().contains("drbac.c.w.count"));
+    }
+
+    #[test]
+    fn reset_under_concurrent_traffic_is_safe() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("drbac.test.traffic.count");
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..100 {
+            r.reset();
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Whatever survived the last reset is bounded by total traffic.
+        assert!(c.get() <= 40_000);
+    }
+
+    #[test]
+    fn timer_records() {
+        let r = Registry::new();
+        let h = r.histogram("drbac.test.op.ns");
+        {
+            let _t = h.start_timer();
+        }
+        h.time(|| ());
+        assert_eq!(h.count(), 2);
+    }
+}
+
+/// Guard returned by [`Histogram::start_timer`].
+pub struct HistogramTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.start.elapsed());
+    }
+}

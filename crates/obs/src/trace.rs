@@ -1,0 +1,532 @@
+//! Span/event tracing facade.
+//!
+//! Instrumented code calls [`crate::span!`] / [`crate::event!`]; both check
+//! one relaxed atomic ([`enabled`]) and are inert until a [`Recorder`] is
+//! installed. Recorders receive [`TraceEvent`]s — span starts, span ends
+//! (with elapsed nanoseconds), and point events — and can buffer
+//! ([`RingRecorder`]), stream, or aggregate them.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+/// A typed field attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        Self::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) => write!(f, "{v}"),
+            Self::Bool(v) => write!(f, "{v}"),
+            Self::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    SpanStart,
+    SpanEnd,
+    Event,
+}
+
+impl TraceKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::SpanStart => "span_start",
+            Self::SpanEnd => "span_end",
+            Self::Event => "event",
+        }
+    }
+}
+
+/// One record delivered to a [`Recorder`].
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Global emission order.
+    pub seq: u64,
+    /// Monotonic nanoseconds since the first trace touch in this process.
+    pub ts_ns: u64,
+    pub kind: TraceKind,
+    pub name: &'static str,
+    /// Id of the span this record belongs to (0 for a root-level event).
+    pub span: u64,
+    /// Id of the enclosing span (0 for none).
+    pub parent: u64,
+    /// Wall time inside the span; only on [`TraceKind::SpanEnd`].
+    pub elapsed_ns: Option<u64>,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Sink for trace records. Implementations must tolerate concurrent calls.
+pub trait Recorder: Send + Sync {
+    fn record(&self, event: &TraceEvent);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+fn recorder_slot() -> &'static RwLock<Option<Arc<dyn Recorder>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Recorder>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Whether a recorder is installed. The only cost instrumentation pays on
+/// hot paths while tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Routes subsequent spans/events to `recorder` (replacing any previous
+/// one) and turns the facade on.
+pub fn install_recorder(recorder: Arc<dyn Recorder>) {
+    *recorder_slot().write() = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns the facade off and drops the recorder.
+pub fn clear_recorder() {
+    ENABLED.store(false, Ordering::Release);
+    *recorder_slot().write() = None;
+}
+
+fn dispatch(event: TraceEvent) {
+    if let Some(recorder) = recorder_slot().read().as_ref() {
+        recorder.record(&event);
+    }
+}
+
+fn current_parent() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Emits a point event under the current span. Prefer [`crate::event!`],
+/// which skips field construction while disabled.
+pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    let parent = current_parent();
+    dispatch(TraceEvent {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        ts_ns: epoch().elapsed().as_nanos() as u64,
+        kind: TraceKind::Event,
+        name,
+        span: parent,
+        parent,
+        elapsed_ns: None,
+        fields,
+    });
+}
+
+/// An RAII span: emits `SpanStart` on enter and `SpanEnd` (with elapsed
+/// wall time) on drop. While active it is the parent of nested spans and
+/// events on the same thread.
+pub struct Span {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A span that records nothing; what [`crate::span!`] returns while
+    /// tracing is off.
+    pub fn disabled() -> Self {
+        Self {
+            id: 0,
+            parent: 0,
+            name: "",
+            start: None,
+        }
+    }
+
+    /// Opens a span. Prefer [`crate::span!`], which skips field
+    /// construction while disabled.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        if !enabled() {
+            return Self::disabled();
+        }
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        let parent = current_parent();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        dispatch(TraceEvent {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            ts_ns: epoch().elapsed().as_nanos() as u64,
+            kind: TraceKind::SpanStart,
+            name,
+            span: id,
+            parent,
+            elapsed_ns: None,
+            fields,
+        });
+        Self {
+            id,
+            parent,
+            name,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.id != 0
+    }
+
+    /// Attaches a point event to this span specifically.
+    pub fn event(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        if self.id == 0 || !enabled() {
+            return;
+        }
+        dispatch(TraceEvent {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            ts_ns: epoch().elapsed().as_nanos() as u64,
+            kind: TraceKind::Event,
+            name,
+            span: self.id,
+            parent: self.id,
+            elapsed_ns: None,
+            fields,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.truncate(pos);
+            }
+        });
+        let elapsed = self
+            .start
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        dispatch(TraceEvent {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            ts_ns: epoch().elapsed().as_nanos() as u64,
+            kind: TraceKind::SpanEnd,
+            name: self.name,
+            span: self.id,
+            parent: self.parent,
+            elapsed_ns: Some(elapsed),
+            fields: Vec::new(),
+        });
+    }
+}
+
+/// A bounded in-memory recorder: keeps the most recent `capacity` records.
+pub struct RingRecorder {
+    capacity: usize,
+    buf: Mutex<std::collections::VecDeque<TraceEvent>>,
+}
+
+impl RingRecorder {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Creates a ring recorder and installs it globally.
+    pub fn install(capacity: usize) -> Arc<Self> {
+        let rec = Arc::new(Self::new(capacity));
+        install_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        rec
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Removes and returns everything buffered, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.buf.lock().drain(..).collect()
+    }
+
+    /// Copies the buffer without draining it.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Renders the buffer as JSON-lines, one record per line, without
+    /// draining. Field order is fixed so traces diff cleanly.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.buf.lock().iter() {
+            append_jsonl(&mut out, event);
+        }
+        out
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: &TraceEvent) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Appends one trace record as a JSON line.
+fn append_jsonl(out: &mut String, event: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"ts_ns\":{},\"kind\":\"{}\",\"name\":\"{}\",\"span\":{},\"parent\":{}",
+        event.seq,
+        event.ts_ns,
+        event.kind.as_str(),
+        escape_json(event.name),
+        event.span,
+        event.parent,
+    );
+    if let Some(elapsed) = event.elapsed_ns {
+        let _ = write!(out, ",\"elapsed_ns\":{elapsed}");
+    }
+    if !event.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape_json(key));
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) if v.is_finite() => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) => {
+                    let _ = write!(out, "\"{v}\"");
+                }
+                FieldValue::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::Str(v) => {
+                    let _ = write!(out, "\"{}\"", escape_json(v));
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder slot is process-global, so every test in this module
+    // runs under one lock to avoid cross-talk.
+    fn serial() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn disabled_facade_is_inert() {
+        let _guard = serial();
+        clear_recorder();
+        assert!(!enabled());
+        let span = Span::enter("drbac.test.noop", Vec::new());
+        assert!(!span.is_active());
+        emit_event("drbac.test.noop.event", Vec::new());
+        // Nothing to observe — the point is that nothing panics and no
+        // recorder is required.
+    }
+
+    #[test]
+    fn spans_nest_and_events_attach() {
+        let _guard = serial();
+        let ring = RingRecorder::install(64);
+        {
+            let _outer = Span::enter("outer", vec![("k", FieldValue::from(1u64))]);
+            {
+                let _inner = Span::enter("inner", Vec::new());
+                emit_event("hop", vec![("wallet", FieldValue::from("w1"))]);
+            }
+        }
+        clear_recorder();
+        let events = ring.drain();
+        let kinds: Vec<_> = events.iter().map(|e| (e.kind, e.name)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TraceKind::SpanStart, "outer"),
+                (TraceKind::SpanStart, "inner"),
+                (TraceKind::Event, "hop"),
+                (TraceKind::SpanEnd, "inner"),
+                (TraceKind::SpanEnd, "outer"),
+            ]
+        );
+        let outer_id = events[0].span;
+        assert_eq!(events[1].parent, outer_id, "inner's parent is outer");
+        assert_eq!(events[2].span, events[1].span, "event attached to inner");
+        assert!(events[3].elapsed_ns.is_some());
+    }
+
+    #[test]
+    fn ring_caps_capacity() {
+        let _guard = serial();
+        let ring = RingRecorder::install(4);
+        for _ in 0..10 {
+            emit_event("e", Vec::new());
+        }
+        clear_recorder();
+        let events = ring.drain();
+        assert_eq!(events.len(), 4);
+        // The survivors are the newest records.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn jsonl_is_valid_and_escaped() {
+        let _guard = serial();
+        let ring = RingRecorder::install(16);
+        emit_event(
+            "quote\"test",
+            vec![
+                ("n", FieldValue::from(7u64)),
+                ("s", FieldValue::from("a\"b\\c\nd")),
+                ("f", FieldValue::from(0.5f64)),
+                ("b", FieldValue::from(true)),
+            ],
+        );
+        clear_recorder();
+        let jsonl = ring.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"event\""));
+        assert!(jsonl.contains("\"name\":\"quote\\\"test\""));
+        assert!(jsonl.contains("\"s\":\"a\\\"b\\\\c\\nd\""));
+        assert!(jsonl.contains("\"f\":0.5"));
+        assert!(jsonl.contains("\"b\":true"));
+        assert!(jsonl.ends_with('\n'));
+        assert_eq!(jsonl.lines().count(), 1);
+    }
+
+    #[test]
+    fn macros_skip_field_eval_when_disabled() {
+        let _guard = serial();
+        clear_recorder();
+        let mut evaluated = false;
+        let _span = crate::span!("drbac.test.macro", "side_effect" => {
+            evaluated = true;
+            1u64
+        });
+        crate::event!("drbac.test.macro.event", "side_effect" => {
+            evaluated = true;
+            2u64
+        });
+        assert!(!evaluated, "fields must not be evaluated while disabled");
+    }
+}

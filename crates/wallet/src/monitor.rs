@@ -83,6 +83,11 @@ impl MonitorCore {
             };
             status.clone()
         };
+        drbac_obs::static_counter!("drbac.wallet.monitor.invalidated.count").inc();
+        drbac_obs::event!(
+            "drbac.wallet.monitor.invalidated",
+            "reason" => event.reason.to_string(),
+        );
         for cb in self.callbacks.lock().iter() {
             cb(&new_status);
         }

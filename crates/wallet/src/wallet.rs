@@ -273,6 +273,12 @@ impl Wallet {
         supports: Vec<Proof>,
     ) -> Result<DelegationId, WalletError> {
         let cert: Arc<SignedDelegation> = cert.into();
+        let _span = drbac_obs::span!(
+            "drbac.wallet.publish",
+            "supports" => supports.len(),
+        );
+        let _timer = drbac_obs::static_histogram!("drbac.wallet.publish.ns").start_timer();
+        drbac_obs::static_counter!("drbac.wallet.publish.count").inc();
         let now = self.now();
         cert.verify(now)?;
 
@@ -337,6 +343,7 @@ impl Wallet {
     ///
     /// [`WalletError::Validation`] if the declaration fails verification.
     pub fn publish_declaration(&self, decl: &SignedAttrDeclaration) -> Result<(), WalletError> {
+        drbac_obs::static_counter!("drbac.wallet.publish_declaration.count").inc();
         decl.verify(self.now())?;
         self.state
             .graph
@@ -369,6 +376,11 @@ impl Wallet {
     ///
     /// [`WalletError::Validation`] if the proof fails validation.
     pub fn absorb_proof(&self, proof: &Proof, source: &WalletAddr) -> Result<(), WalletError> {
+        let _span = drbac_obs::span!(
+            "drbac.wallet.absorb",
+            "chain_len" => proof.chain_len(),
+        );
+        drbac_obs::static_counter!("drbac.wallet.absorb.count").inc();
         let now = self.now();
         {
             let graph = self.state.graph.read();
@@ -386,6 +398,7 @@ impl Wallet {
                 .or(cert.delegation().object_tag())
                 .map(|t| t.ttl())
                 .unwrap_or(Ticks(0));
+            drbac_obs::static_counter!("drbac.wallet.absorb.certs.count").inc();
             let id = graph.insert(Arc::clone(&cert));
             cache.entry(id).or_insert(CacheEntry {
                 source: source.clone(),
@@ -415,6 +428,7 @@ impl Wallet {
         match self.state.cache_meta.lock().get_mut(&id) {
             Some(entry) => {
                 entry.fetched_at = now;
+                drbac_obs::static_counter!("drbac.wallet.cache.refresh.count").inc();
                 true
             }
             None => false,
@@ -453,6 +467,11 @@ impl Wallet {
         object: &Node,
         constraints: &[AttrConstraint],
     ) -> (Option<ProofMonitor>, SearchStats) {
+        let _span = drbac_obs::span!(
+            "drbac.wallet.query",
+            "constraints" => constraints.len(),
+        );
+        let _timer = drbac_obs::static_histogram!("drbac.wallet.query.ns").start_timer();
         let now = self.now();
         let generation = self.state.generation.load(Ordering::SeqCst);
         let cache_enabled = self.state.cache_enabled.load(Ordering::SeqCst);
@@ -461,6 +480,7 @@ impl Wallet {
             let cache = self.state.query_cache.lock();
             if let Some(entry) = cache.get(&key) {
                 if entry.generation == generation && entry.at == now {
+                    drbac_obs::static_counter!("drbac.wallet.query.cache_hit.count").inc();
                     return match &entry.found {
                         Some((proof, summary)) => (
                             Some(self.monitor_proof(proof.clone(), summary.clone())),
@@ -472,6 +492,7 @@ impl Wallet {
             }
         }
 
+        drbac_obs::static_counter!("drbac.wallet.query.cache_miss.count").inc();
         let graph = self.state.graph.read();
         let mut opts = SearchOptions::at(now);
         opts.constraints = constraints.to_vec();
@@ -642,6 +663,7 @@ impl Wallet {
     }
 
     fn monitor_proof(&self, proof: Proof, summary: drbac_core::AttrSummary) -> ProofMonitor {
+        drbac_obs::static_counter!("drbac.wallet.monitor.register.count").inc();
         let core = MonitorCore::new(proof, summary);
         let mut monitors = self.state.monitors.lock();
         for id in core.watched() {
@@ -738,6 +760,8 @@ impl Wallet {
     /// [`WalletError::Validation`] if the notice fails verification.
     pub fn revoke(&self, revocation: &SignedRevocation) -> Result<usize, WalletError> {
         let id = revocation.delegation_id();
+        let _span = drbac_obs::span!("drbac.wallet.revoke");
+        drbac_obs::static_counter!("drbac.wallet.revoke.count").inc();
         let cert = self.get(id).ok_or(WalletError::UnknownDelegation(id))?;
         revocation.verify_against(&cert)?;
         self.state.graph.write().revoke(id);
@@ -775,6 +799,7 @@ impl Wallet {
                 reason: InvalidationReason::Expired,
             });
         }
+        drbac_obs::static_counter!("drbac.wallet.expired.count").add(expired.len() as u64);
         (expired.len(), notifications)
     }
 
@@ -782,6 +807,11 @@ impl Wallet {
     /// directly by the network layer when a remote wallet pushes an
     /// invalidation for a cached credential.
     pub fn push_event(&self, event: DelegationEvent) -> usize {
+        drbac_obs::static_counter!("drbac.wallet.push_event.count").inc();
+        drbac_obs::event!(
+            "drbac.wallet.push_event",
+            "reason" => event.reason.to_string(),
+        );
         // Mirror the invalidation into the local graph FIRST, so that
         // callbacks re-entering the wallet (e.g. a resilient session
         // immediately re-authorizing) never see the dead credential.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline preflight: build, test and lint the whole workspace.
+#
+# Everything runs against the vendored dependency shims in vendor/, so
+# no network access is needed. Used standalone and as the preflight for
+# scripts/run_experiments.sh; CI should run exactly this.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "check.sh: all green"

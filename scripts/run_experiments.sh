@@ -10,6 +10,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== preflight (build + test + clippy) =="
+scripts/check.sh
+
 echo "== tests (paper artifacts assert the Table/Figure reproductions) =="
 cargo test --workspace 2>&1 | tee test_output.txt | grep -E "test result" | tail -30
 

@@ -68,6 +68,8 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
         "import-entity" => ctx.import_entity(rest),
         "export-cert" => ctx.export_cert(rest),
         "import-cert" => ctx.import_cert(rest),
+        "stats" => run_scenario_stats(),
+        "trace" => run_scenario_trace(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -86,8 +88,95 @@ fn usage() -> String {
      \x20 export-entity <Name> <file>           write a public identity card\n\
      \x20 import-entity <file>                  trust another party's identity\n\
      \x20 export-cert <id-prefix> <file>        write a credential (wire format)\n\
-     \x20 import-cert <file>                    verify & publish a received credential\n"
+     \x20 import-cert <file>                    verify & publish a received credential\n\
+     \x20 stats                                 run the BigISP/AirNet scenario; print metrics\n\
+     \x20 trace [file.jsonl]                    as `stats`, also recording a JSONL trace\n"
         .to_string()
+}
+
+/// Runs the paper's BigISP/AirNet coalition walkthrough (discovery,
+/// access, partnership revocation) and renders every metric the
+/// instrumented layers emitted: the scenario network's own registry
+/// merged with the process-global one.
+fn run_scenario_stats() -> Result<String, String> {
+    let (snapshot, outcome_lines) = run_coalition_walkthrough()?;
+    let mut out = outcome_lines;
+    out.push_str("\n== metrics ==\n");
+    out.push_str(&snapshot.render_table());
+    Ok(out)
+}
+
+/// As [`run_scenario_stats`], additionally installing a ring-buffer trace
+/// recorder and dumping the span/event stream as JSON lines — to the
+/// given file, or inline when no file is named.
+fn run_scenario_trace(args: &[String]) -> Result<String, String> {
+    let file = match args {
+        [] => None,
+        [path] => Some(path.clone()),
+        _ => return Err("usage: trace [file.jsonl]".into()),
+    };
+    let recorder = drbac::obs::RingRecorder::install(65536);
+    let result = run_coalition_walkthrough();
+    drbac::obs::clear_recorder();
+    let (snapshot, outcome_lines) = result?;
+    let jsonl = recorder.to_jsonl();
+    let events = recorder.len();
+
+    let mut out = outcome_lines;
+    out.push_str("\n== metrics ==\n");
+    out.push_str(&snapshot.render_table());
+    match file {
+        Some(path) => {
+            fs::write(&path, &jsonl).map_err(|e| format!("write {path}: {e}"))?;
+            writeln!(out, "\nwrote {events} trace events to {path}").unwrap();
+        }
+        None => {
+            writeln!(out, "\n== trace ({events} events) ==").unwrap();
+            out.push_str(&jsonl);
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 2 end to end: build the coalition, establish Maria's access,
+/// then revoke the partnership and watch the push invalidate it. Returns
+/// the merged metrics snapshot and a human summary.
+fn run_coalition_walkthrough() -> Result<(drbac::obs::Snapshot, String), String> {
+    use drbac::disco::CoalitionScenario;
+
+    // Isolate this run's crate-level metrics from anything the process
+    // did earlier (the CLI owns the global registry for its lifetime).
+    drbac::obs::global().reset();
+
+    let mut rng = rand::thread_rng();
+    let scenario = CoalitionScenario::build(&mut rng);
+    let outcome = scenario.establish_access();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "discovery: {} (mode {:?}, {} wallets contacted, {} steps)",
+        if outcome.found() { "GRANTED" } else { "DENIED" },
+        outcome.mode,
+        outcome.wallets_contacted.len(),
+        outcome.trace.len()
+    )
+    .unwrap();
+    let monitor = outcome.monitor.as_ref();
+    let delivered = scenario.revoke_partnership();
+    writeln!(
+        out,
+        "revocation: {delivered} push message(s) delivered; access {}",
+        match monitor {
+            Some(m) if !m.is_valid() => "invalidated",
+            Some(_) => "still valid (unexpected)",
+            None => "was never granted",
+        }
+    )
+    .unwrap();
+
+    let mut snapshot = drbac::obs::global().snapshot();
+    snapshot.merge(scenario.net.registry().snapshot());
+    Ok((snapshot, out))
 }
 
 fn extract_home(args: &mut Vec<String>) -> Result<PathBuf, String> {

@@ -22,6 +22,7 @@
 //! | [`wallet`] | credential repositories: publication, queries, proof monitors, subscriptions, persistence |
 //! | [`net`] | simulated network, tag-directed discovery, switchboard channels, threaded services, registry audit |
 //! | [`disco`] | application layer: protected resources, (resilient) monitored sessions, the paper's scenarios |
+//! | [`obs`] | observability: metrics registry (counters/gauges/histograms), span & event tracing, JSONL export |
 //! | [`crypto`] / [`bignum`] | the from-scratch PKI substrate (SHA-256, HMAC, Schnorr, big integers) |
 //! | [`baselines`] | OCSP / CRL / phantom-role / unidirectional-search comparators for the experiment harness |
 //!
@@ -72,4 +73,5 @@ pub use drbac_crypto as crypto;
 pub use drbac_disco as disco;
 pub use drbac_graph as graph;
 pub use drbac_net as net;
+pub use drbac_obs as obs;
 pub use drbac_wallet as wallet;

@@ -1,0 +1,314 @@
+//! Offline vendored shim providing the subset of the `criterion` API this
+//! workspace's benches use. When invoked by `cargo bench` (cargo passes
+//! `--bench` to the target) each routine is timed for real and a
+//! mean/median/p95 line is printed; under `cargo test` (no `--bench` flag)
+//! every routine runs exactly once as a smoke test, keeping the suite fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: an optional function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        Self {
+            name: Some(name.into()),
+            param: param.to_string(),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self {
+            name: None,
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}/{}", self.param),
+            None => f.write_str(&self.param),
+        }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation; accepted and echoed but not used in summaries.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Timing loop driver handed to bench closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// `cargo bench`: measure for real.
+    Measure,
+    /// `cargo test` / `--test`: run the routine once to prove it works.
+    Smoke,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size the inner loop so one sample costs ~1ms.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1)
+            as u64;
+        let budget = Duration::from_millis(500);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample as u32);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<60} smoke-ok");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+    println!(
+        "{id:<60} mean {:>12} median {:>12} p95 {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(p95),
+        sorted.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        let test_flag = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 100,
+            mode: if bench_mode && !test_flag {
+                Mode::Measure
+            } else {
+                Mode::Smoke
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "criterion requires sample_size >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if self.mode == Mode::Measure {
+            report(&id, &b.samples);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "criterion requires sample_size >= 10");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            samples: Vec::new(),
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+        };
+        f(&mut b);
+        if self.criterion.mode == Mode::Measure {
+            report(&id, &b.samples);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_criterion() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            mode: Mode::Smoke,
+        }
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("sign", "modp").to_string(), "sign/modp");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = smoke_criterion();
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+                b.iter(|| calls += 1)
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+}

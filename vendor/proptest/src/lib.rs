@@ -1,0 +1,641 @@
+//! Offline vendored shim providing the subset of the `proptest` API this
+//! workspace uses: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, range and tuple strategies, `prop::collection`
+//! / `prop::sample` / `prop::option`, the `proptest!` / `prop_assert*` /
+//! `prop_oneof!` macros, and a deterministic [`test_runner`]. No shrinking:
+//! a failing case panics with the generated inputs' `Debug` rendering.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG threaded through all value generation.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type
+    /// (the engine behind `prop_oneof!`).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self(options)
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Types with a canonical strategy, used by [`any`].
+    pub trait Arbitrary: Sized + Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Weight edge values: property tests care about extremes.
+                    match rng.gen_range(0u8..16) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        3 => 1 as $t,
+                        _ => rng.gen::<u64>() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.gen_range(0u8..16) {
+                0 => 0.0,
+                1 => -1.0,
+                2 => f64::MAX,
+                _ => (rng.gen::<f64>() - 0.5) * 2e6,
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.gen_bool(0.9) {
+                rng.gen_range(0x20u32..0x7F) as u8 as char
+            } else {
+                char::from_u32(rng.gen_range(0xA0u32..0x2FFF)).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String patterns act as strategies in proptest (regex-driven there).
+    /// Here only the `.{m,n}` shape used by the workspace's fuzz tests is
+    /// interpreted; anything else falls back to a short random string.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_dot_repeat(self).unwrap_or((0, 64));
+            let len = rng.gen_range(min..=max);
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
+    /// Parses `.{m,n}` into `(m, n)`.
+    fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+        let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+        let (m, n) = body.split_once(',')?;
+        Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Element-count bounds for collection strategies.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            pub min: usize,
+            pub max_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    min: n,
+                    max_inclusive: n,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                Self {
+                    min: r.start,
+                    max_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                Self {
+                    min: *r.start(),
+                    max_inclusive: *r.end(),
+                }
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A strategy for vectors whose elements come from `element` and
+        /// whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+        use std::fmt::Debug;
+
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+
+        /// Uniform choice from a fixed set of values.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // Match proptest's default: Some three times out of four.
+                if rng.gen_bool(0.75) {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `None` or a value from the inner strategy.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    pub use crate::strategy::TestRng;
+
+    /// How a single generated case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property did not hold.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is meaningful in this shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a, so each property gets a stable but distinct stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property: generates and checks cases until `config.cases`
+    /// pass, panicking on the first failure. `body` receives the RNG and
+    /// returns `(debug rendering of inputs, case result)`.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    {
+        let mut rng = TestRng::seed_from_u64(seed_for(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let (inputs, outcome) = body(&mut rng);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < 4096,
+                        "[{name}] gave up: {rejected} inputs rejected ({why})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("[{name}] property failed after {passed} passing case(s): {msg}\n  inputs: {inputs}")
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    let __vals = ($($crate::strategy::Strategy::generate(&($strat), __rng),)+);
+                    let __inputs = format!("{:?}", __vals);
+                    let ($($pat,)+) = __vals;
+                    let mut __case = move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    (__inputs, __case())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts within a `proptest!` body, failing the case (not panicking
+/// directly) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __a,
+            __b
+        );
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) when its
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            n in (1usize..4).prop_flat_map(|n| {
+                (prop::collection::vec(0u32..10, n..=n), Just(n))
+            }).prop_map(|(v, n)| (v, n)),
+            mut acc in 0u32..1,
+        ) {
+            let (v, n) = n;
+            prop_assert_eq!(v.len(), n);
+            for x in v {
+                acc += x;
+            }
+            prop_assert!(acc < 40);
+        }
+
+        #[test]
+        fn oneof_and_select(
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+            word in prop::sample::select(vec!["a", "b"]),
+            opt in prop::option::of(any::<bool>()),
+        ) {
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert!(word == "a" || word == "b");
+            if let Some(b) = opt {
+                prop_assert!(b || !b);
+            }
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+        }
+
+        #[test]
+        fn early_ok_return_works(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_inputs() {
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(8),
+            "always_fails",
+            |_rng| ("()".to_string(), Err(TestCaseError::fail("nope"))),
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline vendored shim for `serde`. The workspace only *derives*
+//! `Serialize`/`Deserialize` (wire encoding is the hand-rolled codec in
+//! `drbac-core`); nothing ever calls a serde serializer. The derives are
+//! inert and the traits exist only so `use serde::{Serialize, Deserialize}`
+//! resolves in both the type and macro namespaces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,17 @@
+//! Offline vendored shim: the workspace derives `Serialize`/`Deserialize`
+//! on wire types but never invokes a serde serializer (the hand-rolled
+//! codec in `drbac-core` does all real encoding), so these derives expand
+//! to nothing. Declaring `attributes(serde)` keeps `#[serde(...)]` helper
+//! attributes inert, exactly as with the real derive.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
