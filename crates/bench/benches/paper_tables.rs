@@ -11,10 +11,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use drbac_bench::{fmt, table_header, table_row};
 use drbac_core::{
-    LocalEntity, Node, Proof, ProofStep, ProofValidator, Timestamp, ValidationContext,
+    LocalEntity, Node, Proof, ProofStep, ProofValidator, Ticks, Timestamp, ValidationContext,
 };
 use drbac_crypto::SchnorrGroup;
 use drbac_disco::CoalitionScenario;
+use drbac_net::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -153,6 +154,50 @@ fn bench_table3_figure2(c: &mut Criterion) {
     c.bench_function("figure2/full_distributed_case_study", |b| {
         b.iter_with_setup(
             || CoalitionScenario::build(&mut StdRng::seed_from_u64(3)),
+            |scenario| {
+                let outcome = scenario.establish_access();
+                assert!(outcome.found());
+                black_box(outcome)
+            },
+        )
+    });
+
+    // Resilience overhead: the same case study with 10% seeded request
+    // loss + 1-tick jitter, so every iteration exercises the bounded
+    // retry path (DESIGN.md §4.3) and still lands the §5 grants.
+    let chaos_plan = || {
+        FaultPlan::seeded(7)
+            .with_request_loss(0.1)
+            .with_latency_jitter(Ticks(1))
+    };
+    let chaotic =
+        CoalitionScenario::build_with_faults(&mut StdRng::seed_from_u64(3), chaos_plan());
+    let chaos_outcome = chaotic.establish_access();
+    assert!(chaos_outcome.found());
+    let chaos_stats = chaotic.net.stats();
+    table_header(
+        "Figure 2 under chaos — 10% loss, seed 7 (vs fault-free)",
+        &["metric", "fault-free", "chaotic"],
+    );
+    table_row(&[
+        "total messages".into(),
+        stats.total_messages.to_string(),
+        chaos_stats.total_messages.to_string(),
+    ]);
+    table_row(&[
+        "request timeouts".into(),
+        stats.timeouts.to_string(),
+        chaos_stats.timeouts.to_string(),
+    ]);
+    table_row(&[
+        "degraded outcome".into(),
+        outcome.degraded.to_string(),
+        chaos_outcome.degraded.to_string(),
+    ]);
+
+    c.bench_function("figure2/case_study_under_10pct_loss", |b| {
+        b.iter_with_setup(
+            || CoalitionScenario::build_with_faults(&mut StdRng::seed_from_u64(3), chaos_plan()),
             |scenario| {
                 let outcome = scenario.establish_access();
                 assert!(outcome.found());

@@ -35,7 +35,10 @@ use drbac_core::{
     SignedAttrDeclaration, SignedDelegation, SignedRevocation, SimClock, SubjectFlag, Ticks,
 };
 use drbac_crypto::SchnorrGroup;
-use drbac_net::{proto::Request, Directory, DiscoveryAgent, DiscoveryOutcome, SimNet, WalletHost};
+use drbac_net::{
+    proto::Request, Directory, DiscoveryAgent, DiscoveryOutcome, FaultPlan, RetryPolicy, SimNet,
+    WalletHost,
+};
 use drbac_wallet::Wallet;
 use rand::Rng;
 
@@ -260,6 +263,17 @@ impl CoalitionScenario {
         }
     }
 
+    /// As [`CoalitionScenario::build`], then installs `plan` on the
+    /// network — the chaos variant of the walkthrough. The world is
+    /// built fault-free (out-of-band provisioning); only the discovery,
+    /// subscription, and revocation traffic that follows runs under
+    /// injected faults.
+    pub fn build_with_faults<R: Rng + ?Sized>(rng: &mut R, plan: FaultPlan) -> Self {
+        let scenario = Self::build(rng);
+        scenario.net.set_fault_plan(Some(plan));
+        scenario
+    }
+
     /// The role AirNet's server protects.
     pub fn access_role(&self) -> Role {
         self.air_net.role("access")
@@ -311,15 +325,18 @@ impl CoalitionScenario {
     }
 
     /// Ends the partnership: Sheila revokes delegation (2) at BigISP's
-    /// home wallet, and the push propagates to every subscriber. Returns
-    /// the number of push messages delivered.
+    /// home wallet, and the push propagates to every subscriber. The
+    /// revocation request is retried under [`RetryPolicy::standard`] so
+    /// injected request loss cannot silently leave the grant alive.
+    /// Returns the number of push messages delivered.
     pub fn revoke_partnership(&self) -> usize {
         let revocation =
             SignedRevocation::revoke(&self.partnership_cert, &self.sheila, self.clock.now())
                 .expect("Sheila issued it");
-        self.net
-            .request(&BIGISP_WALLET.into(), Request::Revoke(revocation))
-            .expect("home wallet reachable");
+        RetryPolicy::standard()
+            .run(&self.net, &BIGISP_WALLET.into(), &Request::Revoke(revocation))
+            .reply
+            .expect("home wallet reachable within the retry budget");
         self.net.run_until_idle()
     }
 }

@@ -314,15 +314,12 @@ impl Engine<'_> {
                 }
 
                 // Dominance check against the node's frontier.
-                let seen = frontier.entry(next_node.clone()).or_default();
-                if seen
-                    .iter()
-                    .any(|prev| dominates(prev, &acc, &self.opts.constraints, self.graph))
-                {
+                if frontier.get(&next_node).is_some_and(|seen| {
+                    seen.iter()
+                        .any(|prev| dominates(prev, &acc, &self.opts.constraints, self.graph))
+                }) {
                     continue;
                 }
-                seen.retain(|prev| !dominates(&acc, prev, &self.opts.constraints, self.graph));
-                seen.push(acc.clone());
 
                 // Resolve supports; an unusable edge is skipped.
                 let Some(step) = self.build_step(&cert, &mut Vec::new(), 0) else {
@@ -351,16 +348,29 @@ impl Engine<'_> {
                     continue;
                 }
 
-                let key = next_node.clone();
-                results.entry(key.clone()).or_insert_with(|| proof.clone());
+                // Only a usable step may join the frontier; an edge whose
+                // support cannot be resolved (or whose chain violates a
+                // depth limit) must not dominance-prune a later viable
+                // path with the same accumulation.
+                let seen = frontier.entry(next_node.clone()).or_default();
+                seen.retain(|prev| !dominates(&acc, prev, &self.opts.constraints, self.graph));
+                seen.push(acc.clone());
 
-                if target == Some(&next_node)
-                    && proof
-                        .accumulate()
-                        .satisfies(&self.opts.constraints, self.graph.declarations())
+                // A proof only counts as an answer if it satisfies the
+                // constraints; accumulation is monotone, so a violating
+                // prefix can never recover (this keeps unpruned searches
+                // in agreement with pruned ones).
+                if proof
+                    .accumulate()
+                    .satisfies(&self.opts.constraints, self.graph.declarations())
                 {
-                    results.insert(next_node, proof);
-                    return results;
+                    results
+                        .entry(next_node.clone())
+                        .or_insert_with(|| proof.clone());
+                    if target == Some(&next_node) {
+                        results.insert(next_node, proof);
+                        return results;
+                    }
                 }
 
                 self.stats.states_enqueued += 1;
@@ -1108,6 +1118,67 @@ mod tests {
         let (proofs, _) = g.object_query(&Node::role(target), &opts());
         assert_eq!(proofs.len(), 1, "only the unextended proof survives");
         assert_eq!(proofs[0].chain_len(), 1);
+    }
+
+    #[test]
+    fn unusable_parallel_edge_does_not_poison_frontier() {
+        // Two parallel edges Maria -> member: the first is an unsupported
+        // third-party delegation (B has no authority over A.member), the
+        // second is A's own, perfectly usable grant. The unusable edge is
+        // examined first; it must not enter the Pareto frontier and
+        // dominance-prune the usable one.
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let member = f.a.role("member");
+        g.insert(
+            f.b.delegate(Node::entity(&f.maria), Node::role(member.clone()))
+                .sign(&f.b)
+                .unwrap(),
+        );
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(member.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(member), &opts());
+        let proof = proof.expect("A's own grant must be found despite B's unusable edge");
+        assert_eq!(proof.chain_len(), 1);
+        let v = ProofValidator::new(ValidationContext::at(Timestamp(0)));
+        assert!(v.validate(&proof).is_ok());
+    }
+
+    #[test]
+    fn pruned_and_unpruned_searches_agree_on_satisfiability() {
+        // The only path violates the constraint (BW 10 < 100). The
+        // unpruned search walks it anyway for measurement, but must not
+        // return a constraint-violating proof as a positive answer.
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        g.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+        let target = f.a.role("target");
+        g.insert(
+            f.a.delegate(Node::entity(&f.maria), Node::role(target.clone()))
+                .with_attr(bw.clone(), 10.0)
+                .unwrap()
+                .sign(&f.a)
+                .unwrap(),
+        );
+        let constraint = AttrConstraint::at_least(bw, 100.0);
+        let pruned_opts = opts().with_constraint(constraint.clone());
+        let unpruned_opts = opts().with_constraint(constraint).without_pruning();
+        let (pruned, _) = g.direct_query(
+            &Node::entity(&f.maria),
+            &Node::role(target.clone()),
+            &pruned_opts,
+        );
+        let (unpruned, _) =
+            g.direct_query(&Node::entity(&f.maria), &Node::role(target), &unpruned_opts);
+        assert!(pruned.is_none(), "pruned search rejects the violating path");
+        assert!(
+            unpruned.is_none(),
+            "unpruned search must agree: a violating proof is not an answer"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use drbac_core::{AttrConstraint, DiscoveryTag, EntityId, Node, Proof, WalletAddr
 use drbac_wallet::{ProofMonitor, Wallet};
 
 use crate::proto::{Reply, Request};
-use crate::transport::Transport;
+use crate::transport::{RetryPolicy, Transport};
 
 /// Resolves nodes to their home wallets via discovery tags.
 ///
@@ -197,6 +197,12 @@ pub struct DiscoveryOutcome {
     pub wallets_contacted: BTreeSet<WalletAddr>,
     /// The search mode the tags selected.
     pub mode: SearchMode,
+    /// `true` when the run did not complete cleanly: some remote hop
+    /// needed retries, or a wallet stayed unreachable and was skipped.
+    /// The answer is still trustworthy (proofs verify locally) but may
+    /// be *incomplete* — a miss under degradation is weaker evidence
+    /// than a fault-free miss.
+    pub degraded: bool,
 }
 
 impl DiscoveryOutcome {
@@ -217,8 +223,15 @@ pub struct DiscoveryAgent {
     /// Establish delegation subscriptions for absorbed credentials
     /// (coherence; Figure 2's dotted lines). Default true.
     pub auto_subscribe: bool,
+    /// Retry posture for every remote hop. Defaults to
+    /// [`RetryPolicy::standard`]; set [`RetryPolicy::none`] to fail
+    /// fast.
+    pub retry: RetryPolicy,
     /// Recursion guard for support repair.
     repairing: bool,
+    /// Set when any hop of the current run retried or failed; copied
+    /// into [`DiscoveryOutcome::degraded`].
+    run_degraded: bool,
 }
 
 impl std::fmt::Debug for DiscoveryAgent {
@@ -242,7 +255,32 @@ impl DiscoveryAgent {
             local: local.into(),
             directory,
             auto_subscribe: true,
+            retry: RetryPolicy::standard(),
             repairing: false,
+            run_degraded: false,
+        }
+    }
+
+    /// Sends one remote request under the agent's retry policy. A hop
+    /// that needed retries — or failed outright, skipping the wallet —
+    /// marks the whole run degraded. Returns `None` when the wallet
+    /// stayed unreachable after the attempt budget.
+    fn rpc(&mut self, to: &WalletAddr, req: Request) -> Option<Reply> {
+        let outcome = self.retry.run(self.transport.as_ref(), to, &req);
+        if outcome.degraded() {
+            self.run_degraded = true;
+        }
+        match outcome.reply {
+            Ok(reply) => Some(reply),
+            Err(err) => {
+                drbac_obs::static_counter!("drbac.net.discovery.skipped_wallet.count").inc();
+                drbac_obs::event!(
+                    "drbac.net.discovery.skipped_wallet",
+                    "wallet" => to.to_string(),
+                    "error" => err.to_string(),
+                );
+                None
+            }
         }
     }
 
@@ -298,6 +336,7 @@ impl DiscoveryAgent {
     ) -> DiscoveryOutcome {
         let mut trace = Vec::new();
         let mut contacted = BTreeSet::new();
+        self.run_degraded = false;
 
         let mut mode = self.pick_mode(subject, object);
         // Searchable seed tags enable forward expansion even when the
@@ -324,6 +363,7 @@ impl DiscoveryAgent {
                 trace,
                 wallets_contacted: contacted,
                 mode,
+                degraded: self.run_degraded,
             };
         }
         trace.push(DiscoveryStep::LocalQuery { found: false });
@@ -333,6 +373,7 @@ impl DiscoveryAgent {
                 trace,
                 wallets_contacted: contacted,
                 mode,
+                degraded: self.run_degraded,
             };
         }
 
@@ -377,6 +418,7 @@ impl DiscoveryAgent {
                         trace,
                         wallets_contacted: contacted,
                         mode,
+                        degraded: self.run_degraded,
                     };
                 }
             }
@@ -396,6 +438,7 @@ impl DiscoveryAgent {
                         trace,
                         wallets_contacted: contacted,
                         mode,
+                        degraded: self.run_degraded,
                     };
                 }
             }
@@ -412,6 +455,7 @@ impl DiscoveryAgent {
                     trace,
                     wallets_contacted: contacted,
                     mode,
+                    degraded: self.run_degraded,
                 };
             }
         }
@@ -421,6 +465,7 @@ impl DiscoveryAgent {
             trace,
             wallets_contacted: contacted,
             mode,
+            degraded: self.run_degraded,
         }
     }
 
@@ -435,8 +480,12 @@ impl DiscoveryAgent {
         self.repairing = true;
         let broken = self.local.unsupported_third_party();
         let mut repaired = false;
+        // The nested runs reset `run_degraded`; fold their verdicts back
+        // into the outer run's flag.
+        let mut degraded = self.run_degraded;
         for (issuer, right, acting_as) in broken {
             let outcome = self.discover_with_seeds(&Node::Entity(issuer), &right, &[], &acting_as);
+            degraded |= outcome.degraded;
             trace.extend(outcome.trace);
             contacted.extend(outcome.wallets_contacted);
             if let Some(monitor) = outcome.monitor {
@@ -445,6 +494,7 @@ impl DiscoveryAgent {
                 }
             }
         }
+        self.run_degraded = degraded;
         self.repairing = false;
         repaired
     }
@@ -520,7 +570,7 @@ impl DiscoveryAgent {
 
         // Paper: "a direct query for Sub => Obj directed towards Sub's
         // home wallet" first, then a subject query.
-        let direct = self.transport.request(
+        let direct = self.rpc(
             &home,
             Request::DirectQuery {
                 subject: node.clone(),
@@ -528,7 +578,7 @@ impl DiscoveryAgent {
                 constraints: constraints.to_vec(),
             },
         );
-        if let Ok(Reply::Proofs(proofs)) = direct {
+        if let Some(Reply::Proofs(proofs)) = direct {
             let found = !proofs.is_empty();
             trace.push(DiscoveryStep::RemoteDirect {
                 wallet: home.clone(),
@@ -543,14 +593,14 @@ impl DiscoveryAgent {
             }
         }
 
-        let reply = self.transport.request(
+        let reply = self.rpc(
             &home,
             Request::SubjectQuery {
                 subject: node.clone(),
                 constraints: constraints.to_vec(),
             },
         );
-        if let Ok(Reply::Proofs(proofs)) = reply {
+        if let Some(Reply::Proofs(proofs)) = reply {
             trace.push(DiscoveryStep::RemoteSubjectQuery {
                 wallet: home.clone(),
                 node: node.to_string(),
@@ -595,7 +645,7 @@ impl DiscoveryAgent {
         );
         self.prepare_wallet(&home, trace, contacted);
 
-        let direct = self.transport.request(
+        let direct = self.rpc(
             &home,
             Request::DirectQuery {
                 subject: subject.clone(),
@@ -603,7 +653,7 @@ impl DiscoveryAgent {
                 constraints: constraints.to_vec(),
             },
         );
-        if let Ok(Reply::Proofs(proofs)) = direct {
+        if let Some(Reply::Proofs(proofs)) = direct {
             let found = !proofs.is_empty();
             trace.push(DiscoveryStep::RemoteDirect {
                 wallet: home.clone(),
@@ -618,14 +668,14 @@ impl DiscoveryAgent {
             }
         }
 
-        let reply = self.transport.request(
+        let reply = self.rpc(
             &home,
             Request::ObjectQuery {
                 object: node.clone(),
                 constraints: constraints.to_vec(),
             },
         );
-        if let Ok(Reply::Proofs(proofs)) = reply {
+        if let Some(Reply::Proofs(proofs)) = reply {
             trace.push(DiscoveryStep::RemoteObjectQuery {
                 wallet: home.clone(),
                 node: node.to_string(),
@@ -660,9 +710,7 @@ impl DiscoveryAgent {
         if !contacted.insert(home.clone()) {
             return;
         }
-        if let Ok(Reply::Declarations(decls)) =
-            self.transport.request(home, Request::FetchDeclarations)
-        {
+        if let Some(Reply::Declarations(decls)) = self.rpc(home, Request::FetchDeclarations) {
             trace.push(DiscoveryStep::FetchedDeclarations {
                 wallet: home.clone(),
                 count: decls.len(),
@@ -683,11 +731,12 @@ impl DiscoveryAgent {
                 for id in proof.delegation_ids() {
                     certs += 1;
                     if self.auto_subscribe {
-                        let _ = self.transport.request(
+                        let subscriber = self.local.addr().clone();
+                        let _ = self.rpc(
                             source,
                             Request::Subscribe {
                                 delegation: id,
-                                subscriber: self.local.addr().clone(),
+                                subscriber,
                             },
                         );
                     }

@@ -20,6 +20,14 @@
 //!   the asynchronous event-push delivery model of delegation
 //!   subscriptions.
 //!
+//! The simulator also injects faults deterministically: a seeded
+//! [`FaultPlan`] adds request loss, latency jitter and timeouts, and the
+//! network supports partitions (with parked, redelivered pushes) and
+//! wallet crash/restart. [`RetryPolicy`] gives discovery and switchboard
+//! lookups bounded retries with exponential backoff, and
+//! [`DiscoveryOutcome::degraded`](DiscoveryOutcome) records when an
+//! answer survived on retries or skipped an unreachable wallet.
+//!
 //! Substitution note (see DESIGN.md): real TCP hosts are replaced by the
 //! deterministic simulator so experiments are reproducible; the message
 //! patterns, validation work, and subscription semantics are preserved.
@@ -37,6 +45,6 @@ pub use audit::{audit_store_compliance, redelegations_of, AuditEndpoint, StoreVi
 pub use discovery::{Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode};
 pub use push::{PushHub, PushPublisher};
 pub use service::{ServiceClosed, WalletClient, WalletService};
-pub use sim::{NetError, NetStats, SimNet, WalletHost};
+pub use sim::{FaultPlan, NetError, NetStats, SimNet, WalletHost};
 pub use switchboard::{Channel, ChannelError, Switchboard};
-pub use transport::{ServiceRegistry, Transport};
+pub use transport::{RetryOutcome, RetryPolicy, ServiceRegistry, Transport};

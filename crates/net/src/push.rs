@@ -240,6 +240,33 @@ mod tests {
     }
 
     #[test]
+    fn resubscription_after_hub_restart_restores_delivery() {
+        // A hub restart (process crash) loses the subscriber table, just
+        // like a WalletHost crash loses its subscriber registry: events
+        // published before anyone re-registers vanish, and delivery only
+        // resumes once subscribers re-subscribe against the new hub.
+        let hub = PushHub::new();
+        let id = DelegationId([7; 32]);
+        let rx = hub.subscribe(id);
+        hub.publish(event(7));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), event(7));
+        hub.shutdown();
+
+        let hub = PushHub::new();
+        hub.publish(event(7)); // nobody re-registered yet: lost
+        let rx2 = hub.subscribe(id); // the recovery step
+        hub.publish(event(7));
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(2)).unwrap(), event(7));
+        assert!(
+            rx2.recv_timeout(Duration::from_millis(50)).is_err(),
+            "the pre-resubscription event was lost, not queued"
+        );
+        // The old channel is dead wood from the previous incarnation.
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        hub.shutdown();
+    }
+
+    #[test]
     fn dropped_subscribers_are_pruned() {
         let hub = PushHub::new();
         let id = DelegationId([4; 32]);

@@ -6,8 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use drbac_core::{DelegationId, SimClock, Ticks, Timestamp, WalletAddr};
-use drbac_wallet::{DelegationEvent, Wallet};
+use drbac_wallet::{DelegationEvent, ImportReport, Wallet};
 use parking_lot::{Mutex, RwLock};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::proto::{OneWay, Reply, Request};
 
@@ -19,6 +20,19 @@ pub enum NetError {
     /// The host is registered but currently unreachable (failure
     /// injection).
     HostDown(WalletAddr),
+    /// The request was sent but no reply arrived within the timeout
+    /// budget — lost in transit or stuck behind a partition. The caller
+    /// cannot tell which, and may retry.
+    Timeout(WalletAddr),
+}
+
+impl NetError {
+    /// `true` for transient failures a bounded retry may recover from
+    /// (timeouts and downed-but-restartable hosts). [`NetError::UnknownHost`]
+    /// is permanent: no amount of retrying materialises a wallet.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, NetError::Timeout(_) | NetError::HostDown(_))
+    }
 }
 
 impl fmt::Display for NetError {
@@ -26,11 +40,83 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownHost(a) => write!(f, "no wallet host at {a}"),
             NetError::HostDown(a) => write!(f, "wallet host at {a} is down"),
+            NetError::Timeout(a) => write!(f, "request to {a} timed out"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// Deterministic fault-injection configuration for a [`SimNet`].
+///
+/// All randomness is drawn from a dedicated RNG seeded with
+/// [`FaultPlan::seeded`], so a given seed always produces the same fault
+/// schedule and chaos runs replay exactly. With no plan installed the
+/// network behaves exactly as the fault-free simulator (no loss, no
+/// jitter) — the knobs are strictly additive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a request is lost in transit; the
+    /// caller burns [`FaultPlan::timeout_budget`] of simulated time and
+    /// observes [`NetError::Timeout`].
+    pub request_loss: f64,
+    /// Maximum extra delivery latency: each request and push draws a
+    /// uniform jitter in `0..=latency_jitter` ticks.
+    pub latency_jitter: Ticks,
+    /// Simulated time a caller waits before concluding a request is
+    /// lost.
+    pub timeout_budget: Ticks,
+}
+
+/// Timeout charged for requests into a partition when no [`FaultPlan`]
+/// is installed.
+const DEFAULT_TIMEOUT_BUDGET: Ticks = Ticks(4);
+
+impl FaultPlan {
+    /// A no-fault plan (loss 0, jitter 0) with the given RNG seed —
+    /// compose with the `with_*` builders.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            request_loss: 0.0,
+            latency_jitter: Ticks(0),
+            timeout_budget: DEFAULT_TIMEOUT_BUDGET,
+        }
+    }
+
+    /// Sets the request loss probability (clamped to `[0, 1]`).
+    pub fn with_request_loss(mut self, p: f64) -> Self {
+        self.request_loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the maximum per-message latency jitter.
+    pub fn with_latency_jitter(mut self, jitter: Ticks) -> Self {
+        self.latency_jitter = jitter;
+        self
+    }
+
+    /// Sets the per-request timeout budget.
+    pub fn with_timeout_budget(mut self, budget: Ticks) -> Self {
+        self.timeout_budget = budget;
+        self
+    }
+}
+
+/// A [`FaultPlan`] plus the RNG that executes it.
+struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector { plan, rng }
+    }
+}
 
 /// Message accounting for the efficiency experiments.
 ///
@@ -45,6 +131,8 @@ pub struct NetStats {
     pub push_messages: u64,
     /// Approximate payload bytes on the wire (canonical encodings).
     pub total_bytes: u64,
+    /// Requests that timed out (lost in transit or partitioned).
+    pub timeouts: u64,
     /// Request counts by kind tag.
     pub requests_by_kind: BTreeMap<String, u64>,
 }
@@ -61,6 +149,8 @@ impl NetStats {
     pub const PUSHES: &'static str = "drbac.net.sim.push.count";
     /// See [`NetStats::MESSAGES`].
     pub const BYTES: &'static str = "drbac.net.sim.bytes.total";
+    /// RPC timeouts from injected loss or partitions.
+    pub const TIMEOUTS: &'static str = "drbac.net.rpc.timeout.count";
     /// Per-kind request counters live at `drbac.net.sim.request.<kind>.count`.
     pub const REQUEST_PREFIX: &'static str = "drbac.net.sim.request.";
 
@@ -82,6 +172,7 @@ impl NetStats {
             total_messages: snap.counters.get(Self::MESSAGES).copied().unwrap_or(0),
             push_messages: snap.counters.get(Self::PUSHES).copied().unwrap_or(0),
             total_bytes: snap.counters.get(Self::BYTES).copied().unwrap_or(0),
+            timeouts: snap.counters.get(Self::TIMEOUTS).copied().unwrap_or(0),
             requests_by_kind,
         }
     }
@@ -243,6 +334,54 @@ impl WalletHost {
         (refreshed, dropped)
     }
 
+    /// Re-registers this host's push subscriptions for every cached
+    /// remote credential at its recorded source wallet, then revalidates
+    /// each entry — the recovery step after a peer wallet restart: the
+    /// peer's subscriber registry is volatile, so its crash silently
+    /// unsubscribed us and any invalidation issued before we re-register
+    /// would be lost. Requests are retried with
+    /// [`crate::RetryPolicy::standard`]; sources that stay unreachable
+    /// leave the entry untouched (TTL refresh remains the backstop).
+    /// Entries a source disowns are invalidated locally and cascaded.
+    /// Returns `(resubscribed, dropped)`.
+    pub fn resubscribe_cached(&self, net: &SimNet) -> (usize, usize) {
+        let retry = crate::transport::RetryPolicy::standard();
+        let mut resubscribed = 0;
+        let mut dropped = 0;
+        for (id, entry) in self.wallet.cache_entries() {
+            let sub = retry.run(
+                net,
+                &entry.source,
+                &Request::Subscribe {
+                    delegation: id,
+                    subscriber: self.addr.clone(),
+                },
+            );
+            if matches!(sub.reply, Ok(Reply::Subscribed)) {
+                resubscribed += 1;
+            }
+            match retry.run(net, &entry.source, &Request::FetchDelegation(id)).reply {
+                Ok(Reply::Delegation(Some(_))) => {
+                    self.wallet.mark_refreshed(id);
+                }
+                Ok(Reply::Delegation(None)) => {
+                    // The source disowned it while we were out of touch:
+                    // invalidate locally and cascade.
+                    let event = DelegationEvent {
+                        delegation: id,
+                        reason: drbac_wallet::InvalidationReason::Expired,
+                    };
+                    self.seen_events.lock().insert(event);
+                    self.wallet.push_event(event);
+                    self.push_to_subscribers(net, event);
+                    dropped += 1;
+                }
+                _ => {} // still unreachable: keep the entry for now
+            }
+        }
+        (resubscribed, dropped)
+    }
+
     /// Fans `event` out to this host's remote subscribers.
     fn push_to_subscribers(&self, net: &SimNet, event: DelegationEvent) {
         let targets = self.subscribers_of(event.delegation);
@@ -323,12 +462,22 @@ struct SimState {
     msg_counter: Arc<drbac_obs::Counter>,
     push_msg_counter: Arc<drbac_obs::Counter>,
     bytes_counter: Arc<drbac_obs::Counter>,
+    timeout_counter: Arc<drbac_obs::Counter>,
     seq: AtomicU64,
     /// Failure injection: hosts currently unreachable.
     down: Mutex<HashSet<WalletAddr>>,
     /// Failure injection: drop every Nth push (0 = no loss).
     drop_every_nth_push: AtomicU64,
     push_counter: AtomicU64,
+    /// Failure injection: seeded loss / jitter / timeout plan
+    /// (`None` = fault-free, the default).
+    faults: Mutex<Option<FaultInjector>>,
+    /// Hosts currently cut off by a network partition. Unlike a downed
+    /// host the host itself is healthy: requests time out and pushes are
+    /// parked for redelivery at heal time rather than dropped.
+    partitioned: Mutex<HashSet<WalletAddr>>,
+    /// Pushes addressed into a partition, waiting for the heal.
+    parked: Mutex<Vec<Envelope>>,
 }
 
 /// A deterministic discrete-event network of wallet hosts.
@@ -381,6 +530,7 @@ impl SimNet {
         let msg_counter = registry.counter(NetStats::MESSAGES);
         let push_msg_counter = registry.counter(NetStats::PUSHES);
         let bytes_counter = registry.counter(NetStats::BYTES);
+        let timeout_counter = registry.counter(NetStats::TIMEOUTS);
         SimNet {
             state: Arc::new(SimState {
                 clock,
@@ -391,12 +541,96 @@ impl SimNet {
                 msg_counter,
                 push_msg_counter,
                 bytes_counter,
+                timeout_counter,
                 seq: AtomicU64::new(0),
                 down: Mutex::new(HashSet::new()),
                 drop_every_nth_push: AtomicU64::new(0),
                 push_counter: AtomicU64::new(0),
+                faults: Mutex::new(None),
+                partitioned: Mutex::new(HashSet::new()),
+                parked: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Installs (or with `None` removes) a seeded fault plan. Replacing
+    /// the plan reseeds the fault RNG, so installing the same plan twice
+    /// replays the same fault schedule.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.state.faults.lock() = plan.map(FaultInjector::new);
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.faults.lock().as_ref().map(|f| f.plan.clone())
+    }
+
+    /// Failure injection: cuts `addr` off behind a network partition.
+    /// Requests into the partition burn the timeout budget and fail with
+    /// [`NetError::Timeout`]; pushes addressed to it are parked and
+    /// redelivered when [`SimNet::heal_partitions`] runs — unlike
+    /// [`SimNet::fail_host`], nothing is lost.
+    pub fn partition_host(&self, addr: &WalletAddr) {
+        self.state.partitioned.lock().insert(addr.clone());
+    }
+
+    /// `true` if the host is currently behind a partition.
+    pub fn is_partitioned(&self, addr: &WalletAddr) -> bool {
+        self.state.partitioned.lock().contains(addr)
+    }
+
+    /// Heals all partitions: parked pushes are re-enqueued for delivery
+    /// one latency from now (drive [`SimNet::run_until_idle`] to deliver
+    /// them). Returns the number of messages released.
+    pub fn heal_partitions(&self) -> usize {
+        self.state.partitioned.lock().clear();
+        let parked: Vec<Envelope> = std::mem::take(&mut *self.state.parked.lock());
+        let released = parked.len();
+        for envelope in parked {
+            // Re-timestamp: the message finally crosses the mended link.
+            let deliver_at = self.state.clock.now().after(self.state.latency);
+            let seq = self.state.seq.fetch_add(1, Ordering::SeqCst);
+            self.state.queue.lock().push(Envelope {
+                deliver_at,
+                seq,
+                to: envelope.to,
+                msg: envelope.msg,
+            });
+        }
+        released
+    }
+
+    /// Failure injection: crashes the host at `addr`. The host becomes
+    /// unreachable and all *volatile* state dies with the process — the
+    /// remote-subscriber registry, the push dedup memory, and the
+    /// wallet's subscriptions, proof monitors, watches and cache-
+    /// coherence metadata. Only the durable wallet image survives; it is
+    /// returned (as [`Wallet::export_bytes`] bytes) for a later
+    /// [`SimNet::restart_host`]. Returns `None` if no host lives at
+    /// `addr`.
+    pub fn crash_host(&self, addr: &WalletAddr) -> Option<Vec<u8>> {
+        let host = self.host(addr)?;
+        let image = host.wallet.export_bytes();
+        self.state.down.lock().insert(addr.clone());
+        host.subscribers.lock().clear();
+        host.seen_events.lock().clear();
+        host.wallet.clear_volatile();
+        drbac_obs::event!("drbac.net.sim.crash", "addr" => addr.to_string(),);
+        Some(image)
+    }
+
+    /// Restarts a crashed host from its durable `image`: the host becomes
+    /// reachable again and the image is re-imported (every credential is
+    /// re-verified; expired ones are rejected). Peers that held push
+    /// subscriptions here must re-register — see
+    /// [`WalletHost::resubscribe_cached`]. Returns `None` if no host
+    /// lives at `addr` or the image fails verification.
+    pub fn restart_host(&self, addr: &WalletAddr, image: &[u8]) -> Option<ImportReport> {
+        let host = self.host(addr)?;
+        let report = host.wallet.import_bytes(image).ok()?;
+        self.state.down.lock().remove(addr);
+        drbac_obs::event!("drbac.net.sim.restart", "addr" => addr.to_string(),);
+        Some(report)
     }
 
     /// Failure injection: marks a host unreachable. Requests to it fail
@@ -445,12 +679,48 @@ impl SimNet {
         self.state.clock.clone()
     }
 
+    /// Draws the fault verdict for one request to `to`: `Some(budget)`
+    /// if the request times out (partition or injected loss), else
+    /// `None`. Partitions time out even without a plan installed.
+    fn timeout_if_faulted(&self, to: &WalletAddr) -> Option<Ticks> {
+        let partitioned = self.is_partitioned(to);
+        let mut faults = self.state.faults.lock();
+        match faults.as_mut() {
+            Some(f) => {
+                if partitioned {
+                    return Some(f.plan.timeout_budget);
+                }
+                if f.plan.request_loss > 0.0 && f.rng.gen_bool(f.plan.request_loss) {
+                    return Some(f.plan.timeout_budget);
+                }
+                None
+            }
+            None if partitioned => Some(DEFAULT_TIMEOUT_BUDGET),
+            None => None,
+        }
+    }
+
+    /// Draws the latency jitter for one message (0 without a plan).
+    fn draw_jitter(&self) -> Ticks {
+        let mut faults = self.state.faults.lock();
+        match faults.as_mut() {
+            Some(f) if f.plan.latency_jitter.0 > 0 => {
+                Ticks(f.rng.gen_range(0..=f.plan.latency_jitter.0))
+            }
+            _ => Ticks(0),
+        }
+    }
+
     /// Sends a synchronous request; the clock advances one latency each
     /// way and both messages are counted.
     ///
     /// # Errors
     ///
-    /// [`NetError::UnknownHost`] if nothing is registered at `to`.
+    /// [`NetError::UnknownHost`] if nothing is registered at `to`;
+    /// [`NetError::HostDown`] if the host has crashed or been failed;
+    /// [`NetError::Timeout`] if the request was lost to the installed
+    /// [`FaultPlan`] or the host is behind a partition — the caller
+    /// burns the plan's timeout budget of simulated time waiting.
     pub fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
         let host = self
             .host(to)
@@ -462,6 +732,18 @@ impl SimNet {
             self.state.clock.advance(self.state.latency);
             return Err(NetError::HostDown(to.clone()));
         }
+        if let Some(budget) = self.timeout_if_faulted(to) {
+            self.state.msg_counter.inc();
+            self.state.timeout_counter.inc();
+            drbac_obs::event!(
+                "drbac.net.rpc.timeout",
+                "to" => to.to_string(),
+                "kind" => req.kind(),
+            );
+            self.state.clock.advance(budget);
+            return Err(NetError::Timeout(to.clone()));
+        }
+        let jitter = self.draw_jitter();
         self.state.msg_counter.add(2);
         self.state.bytes_counter.add(req.encoded_len() as u64);
         self.state
@@ -473,16 +755,22 @@ impl SimNet {
             "to" => to.to_string(),
             "kind" => req.kind(),
         );
-        self.state.clock.advance(self.state.latency);
+        self.state.clock.advance(Ticks(self.state.latency.0 + jitter.0));
         let reply = host.handle(self, req);
         self.state.clock.advance(self.state.latency);
         self.state.bytes_counter.add(reply.encoded_len() as u64);
         Ok(reply)
     }
 
-    /// Enqueues a one-way push for delivery after one latency.
+    /// Enqueues a one-way push for delivery after one latency (plus any
+    /// [`FaultPlan`] jitter).
     pub fn send(&self, to: &WalletAddr, msg: OneWay) {
-        let deliver_at = self.state.clock.now().after(self.state.latency);
+        let jitter = self.draw_jitter();
+        let deliver_at = self
+            .state
+            .clock
+            .now()
+            .after(Ticks(self.state.latency.0 + jitter.0));
         let seq = self.state.seq.fetch_add(1, Ordering::SeqCst);
         self.state.msg_counter.inc();
         self.state.push_msg_counter.inc();
@@ -509,6 +797,11 @@ impl SimNet {
             self.state.clock.advance_to(envelope.deliver_at);
             if self.is_down(&envelope.to) {
                 continue; // lost: host is down
+            }
+            if self.is_partitioned(&envelope.to) {
+                // Undeliverable but not lost: park until the heal.
+                self.state.parked.lock().push(envelope);
+                continue;
             }
             let n = self.state.drop_every_nth_push.load(Ordering::SeqCst);
             if n > 0 {
@@ -1056,6 +1349,181 @@ mod tests {
         let stats = f.net.stats();
         assert_eq!(stats.total_messages, 2 * 1000);
         assert_eq!(stats.requests("fetch-declarations"), 1000);
+    }
+
+    #[test]
+    fn request_loss_is_deterministic_per_seed() {
+        // Two independent networks with the same fault plan observe the
+        // same loss schedule; a different seed observes a different one.
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let f = fx();
+            wallet(&f, "w1");
+            f.net.set_fault_plan(Some(
+                FaultPlan::seeded(seed)
+                    .with_request_loss(0.3)
+                    .with_timeout_budget(Ticks(4)),
+            ));
+            (0..32)
+                .map(|_| {
+                    f.net
+                        .request(&"w1".into(), Request::FetchDeclarations)
+                        .is_ok()
+                })
+                .collect()
+        };
+        let a = outcomes(7);
+        assert_eq!(a, outcomes(7), "same seed, same schedule");
+        assert_ne!(a, outcomes(8), "different seed, different schedule");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !ok),
+            "30% loss over 32 requests should show both outcomes");
+
+        // Timeouts are visible in the stats view and errors are typed.
+        let f = fx();
+        wallet(&f, "w1");
+        f.net
+            .set_fault_plan(Some(FaultPlan::seeded(7).with_request_loss(1.0)));
+        assert!(matches!(
+            f.net.request(&"w1".into(), Request::FetchDeclarations),
+            Err(NetError::Timeout(_))
+        ));
+        assert_eq!(f.net.stats().timeouts, 1);
+        assert_eq!(f.net.stats().total_messages, 1, "the lost request");
+    }
+
+    #[test]
+    fn timeout_budget_costs_simulated_time() {
+        let f = fx();
+        wallet(&f, "w1");
+        f.net.set_fault_plan(Some(
+            FaultPlan::seeded(1)
+                .with_request_loss(1.0)
+                .with_timeout_budget(Ticks(9)),
+        ));
+        let before = f.clock.now();
+        let _ = f.net.request(&"w1".into(), Request::FetchDeclarations);
+        assert_eq!(f.clock.now(), before.after(Ticks(9)));
+    }
+
+    #[test]
+    fn partitioned_host_parks_pushes_until_heal() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache = wallet(&f, "cache");
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        cache.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        f.net
+            .request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache".into(),
+                },
+            )
+            .unwrap();
+        let monitor = cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+
+        // The cache drops behind a partition: requests to it time out
+        // (even with no fault plan installed)...
+        f.net.partition_host(&"cache".into());
+        assert!(f.net.is_partitioned(&"cache".into()));
+        assert!(matches!(
+            f.net.request(&"cache".into(), Request::FetchDeclarations),
+            Err(NetError::Timeout(_))
+        ));
+
+        // ...and the revocation push is parked, not lost.
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.net
+            .request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        assert_eq!(f.net.run_until_idle(), 0, "nothing deliverable yet");
+        assert!(monitor.is_valid(), "stale until the partition heals");
+
+        assert_eq!(f.net.heal_partitions(), 1, "one parked push released");
+        assert_eq!(f.net.run_until_idle(), 1);
+        assert!(!monitor.is_valid(), "parked push delivered after heal");
+    }
+
+    #[test]
+    fn crash_restart_and_resubscribe_recover_missed_revocations() {
+        let f = fx();
+        let home = wallet(&f, "home");
+        let cache = wallet(&f, "cache");
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert.clone(), vec![]).unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        cache.wallet().absorb_proof(&proof, home.addr()).unwrap();
+        f.net
+            .request(
+                &"home".into(),
+                Request::Subscribe {
+                    delegation: cert.id(),
+                    subscriber: "cache".into(),
+                },
+            )
+            .unwrap();
+        let monitor = cache
+            .wallet()
+            .query_direct(&Node::entity(&f.m), &Node::role(f.a.role("r")), &[])
+            .unwrap();
+
+        // The home wallet crashes: unreachable, and its (volatile)
+        // subscriber registry dies with it.
+        let image = f.net.crash_host(&"home".into()).unwrap();
+        assert!(matches!(
+            f.net.request(&"home".into(), Request::FetchDeclarations),
+            Err(NetError::HostDown(_))
+        ));
+
+        // Restart restores the durable credential store but NOT the
+        // subscriber registry — the cache has been silently unsubscribed.
+        let report = f.net.restart_host(&"home".into(), &image).unwrap();
+        assert_eq!(report.rejected, 0);
+        assert!(home.subscribers_of(cert.id()).is_empty());
+        let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
+        f.net
+            .request(&"home".into(), Request::Revoke(revocation))
+            .unwrap();
+        assert_eq!(f.net.run_until_idle(), 0, "push lost: nobody subscribed");
+        assert!(monitor.is_valid(), "cache is dangerously stale");
+
+        // Recovery: re-register subscriptions and revalidate the cache.
+        // The missed revocation is caught by the revalidation fetch.
+        let (resubscribed, dropped) = cache.resubscribe_cached(&f.net);
+        assert_eq!((resubscribed, dropped), (1, 1));
+        assert!(!monitor.is_valid(), "revalidation caught the revocation");
+        assert_eq!(home.subscribers_of(cert.id()).len(), 1, "resubscribed");
+    }
+
+    #[test]
+    fn latency_jitter_is_seed_deterministic() {
+        let elapsed = |seed: u64| {
+            let f = fx();
+            wallet(&f, "w1");
+            f.net.set_fault_plan(Some(
+                FaultPlan::seeded(seed).with_latency_jitter(Ticks(3)),
+            ));
+            for _ in 0..8 {
+                f.net
+                    .request(&"w1".into(), Request::FetchDeclarations)
+                    .unwrap();
+            }
+            f.clock.now()
+        };
+        // 8 fault-free requests cost 16 ticks; jitter only adds.
+        assert!(elapsed(5) >= Timestamp(16));
+        assert_eq!(elapsed(5), elapsed(5), "same seed, same clock");
     }
 
     #[test]

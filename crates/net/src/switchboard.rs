@@ -12,10 +12,13 @@
 
 use std::fmt;
 
-use drbac_core::{EntityId, LocalEntity, Node, Role, Timestamp};
+use drbac_core::{EntityId, LocalEntity, Node, Role, Timestamp, WalletAddr};
 use drbac_crypto::{sha256, PublicKey};
 use drbac_wallet::{ProofMonitor, Wallet};
 use rand::Rng;
+
+use crate::proto::{Reply, Request};
+use crate::transport::{RetryPolicy, Transport};
 
 /// Errors establishing or using a channel.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +32,9 @@ pub enum ChannelError {
     /// A sealed message failed its integrity check (tampered or
     /// truncated).
     IntegrityFailure,
+    /// The responder's wallet stayed unreachable after the retry budget,
+    /// so the role gate could not be evaluated either way.
+    Unreachable(String),
 }
 
 impl fmt::Display for ChannelError {
@@ -38,6 +44,7 @@ impl fmt::Display for ChannelError {
             ChannelError::RoleNotProven(r) => write!(f, "initiator lacks required role {r}"),
             ChannelError::Closed => f.write_str("channel closed (authorizing proof invalidated)"),
             ChannelError::IntegrityFailure => f.write_str("sealed message failed integrity check"),
+            ChannelError::Unreachable(e) => write!(f, "responder wallet unreachable: {e}"),
         }
     }
 }
@@ -152,6 +159,76 @@ impl Switchboard {
                 drbac_obs::static_counter!("drbac.net.switchboard.role_rejected.count").inc();
                 ChannelError::RoleNotProven(required_role.to_string())
             })?;
+        let mut channel = self.connect(initiator, responder, now, rng)?;
+        channel.monitor = Some(monitor);
+        Ok(channel)
+    }
+
+    /// As [`Switchboard::connect_role_gated`], but with the responder's
+    /// wallet reached over a [`Transport`] rather than in-process: the
+    /// role lookup is retried under `retry`, the returned proof is
+    /// re-validated by the local `verifier` wallet (never trusted on the
+    /// remote's word), and a coherence subscription is registered at the
+    /// responder wallet so a later revocation push closes the channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Unreachable`] when the responder wallet cannot be
+    /// reached within the retry budget — distinct from
+    /// [`ChannelError::RoleNotProven`], which is an authoritative "no";
+    /// otherwise as [`Switchboard::connect_role_gated`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_role_gated_remote<R: Rng + ?Sized>(
+        &self,
+        initiator: &LocalEntity,
+        responder: &LocalEntity,
+        transport: &dyn Transport,
+        responder_wallet: &WalletAddr,
+        verifier: &Wallet,
+        required_role: Role,
+        retry: &RetryPolicy,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> Result<Channel, ChannelError> {
+        let _span = drbac_obs::span!(
+            "drbac.net.switchboard.connect_role_gated_remote",
+            "role" => required_role.to_string(),
+            "wallet" => responder_wallet.to_string(),
+        );
+        let outcome = retry.run(
+            transport,
+            responder_wallet,
+            &Request::DirectQuery {
+                subject: Node::entity(initiator),
+                object: Node::role(required_role.clone()),
+                constraints: vec![],
+            },
+        );
+        let proofs = match outcome.reply {
+            Ok(Reply::Proofs(proofs)) => proofs,
+            Ok(other) => return Err(ChannelError::Unreachable(format!("bad reply {other:?}"))),
+            Err(e) => return Err(ChannelError::Unreachable(e.to_string())),
+        };
+        let not_proven = || {
+            drbac_obs::static_counter!("drbac.net.switchboard.role_rejected.count").inc();
+            ChannelError::RoleNotProven(required_role.to_string())
+        };
+        let proof = proofs.into_iter().next().ok_or_else(not_proven)?;
+        let monitor = verifier
+            .monitor_external_proof(proof.clone())
+            .map_err(|_| not_proven())?;
+        // Keep the gate live: subscribe at the responder wallet so its
+        // revocation pushes reach the verifier and close the channel.
+        for id in proof.delegation_ids() {
+            let _ = retry.run(
+                transport,
+                responder_wallet,
+                &Request::Subscribe {
+                    delegation: id,
+                    subscriber: verifier.addr().clone(),
+                },
+            );
+        }
         let mut channel = self.connect(initiator, responder, now, rng)?;
         channel.monitor = Some(monitor);
         Ok(channel)
@@ -425,6 +502,74 @@ mod tests {
         assert!(!channel.is_open());
         assert_eq!(channel.seal(b"x").unwrap_err(), ChannelError::Closed);
         assert_eq!(channel.open(b"x").unwrap_err(), ChannelError::Closed);
+    }
+
+    #[test]
+    fn remote_role_gate_survives_loss_and_closes_on_revocation() {
+        use crate::sim::{FaultPlan, SimNet};
+        use crate::transport::RetryPolicy;
+        use drbac_core::Ticks;
+
+        let (a, b, mut rng) = entities();
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), Ticks(1));
+        let resp = net.add_host("resp.wallet", Wallet::new("resp.wallet", clock.clone()));
+        let verifier = net
+            .add_host("init.wallet", Wallet::new("init.wallet", clock.clone()))
+            .wallet()
+            .clone();
+        let role = b.role("feed-subscriber");
+        let cert = b
+            .delegate(Node::entity(&a), Node::role(role.clone()))
+            .sign(&b)
+            .unwrap();
+        resp.wallet().publish(cert.clone(), vec![]).unwrap();
+
+        // Lossy but not hopeless: the bounded retry rides it out
+        // (seed 3 loses the first lookup attempt).
+        net.set_fault_plan(Some(FaultPlan::seeded(3).with_request_loss(0.4)));
+        let channel = Switchboard::new()
+            .connect_role_gated_remote(
+                &a,
+                &b,
+                &net,
+                &"resp.wallet".into(),
+                &verifier,
+                role.clone(),
+                &RetryPolicy::standard(),
+                clock.now(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(channel.is_open());
+        net.set_fault_plan(None);
+
+        // Revocation at the responder wallet pushes to the verifier's
+        // host and closes the channel through its monitor.
+        let revocation = SignedRevocation::revoke(&cert, &b, clock.now()).unwrap();
+        net.request(
+            &"resp.wallet".into(),
+            crate::proto::Request::Revoke(revocation),
+        )
+        .unwrap();
+        net.run_until_idle();
+        assert!(!channel.is_open(), "revocation push closed the channel");
+
+        // An unreachable responder wallet is a distinct, retriable-later
+        // error — not an authoritative role rejection.
+        net.partition_host(&"resp.wallet".into());
+        let err = Switchboard::new().connect_role_gated_remote(
+            &a,
+            &b,
+            &net,
+            &"resp.wallet".into(),
+            &verifier,
+            role,
+            &RetryPolicy::standard(),
+            clock.now(),
+            &mut rng,
+        );
+        assert!(matches!(err, Err(ChannelError::Unreachable(_))));
     }
 
     #[test]

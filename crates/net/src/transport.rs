@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use drbac_core::WalletAddr;
+use drbac_core::{Ticks, WalletAddr};
 use parking_lot::RwLock;
 
 use crate::proto::{Reply, Request};
@@ -21,13 +21,105 @@ pub trait Transport: Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`NetError`] if the host is unknown or unreachable.
+    /// [`NetError`] if the host is unknown or unreachable, or the
+    /// request timed out in transit.
     fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError>;
+
+    /// Waits out a retry backoff delay. Transports with a notion of
+    /// simulated time advance their clock; the default is a no-op
+    /// (real transports would sleep).
+    fn backoff(&self, delay: Ticks) {
+        let _ = delay;
+    }
 }
 
 impl Transport for SimNet {
     fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
         SimNet::request(self, to, req)
+    }
+
+    fn backoff(&self, delay: Ticks) {
+        self.clock().advance(delay);
+    }
+}
+
+/// Bounded retry with deterministic exponential backoff for transient
+/// transport failures ([`NetError::is_retryable`]). Attempt `n` (1-based)
+/// is preceded by a backoff of `base_backoff << (n - 2)` ticks, spent via
+/// [`Transport::backoff`] — so the schedule is a pure function of the
+/// policy, never of wall-clock randomness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (0 is treated as 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Ticks,
+}
+
+/// What a retried request produced: the final reply (or the last error,
+/// once the policy is exhausted) plus how many attempts it took.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome {
+    /// Reply from the last attempt.
+    pub reply: Result<Reply, NetError>,
+    /// Attempts actually made (1 = clean first try).
+    pub attempts: u32,
+}
+
+impl RetryOutcome {
+    /// `true` when the request did not complete cleanly on the first
+    /// attempt — it needed retries or failed outright. Feeds the
+    /// `degraded` flag on [`crate::DiscoveryOutcome`].
+    pub fn degraded(&self) -> bool {
+        self.attempts > 1 || self.reply.is_err()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: a single attempt, fail fast.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Ticks(0),
+        }
+    }
+
+    /// The default resilience posture: up to 3 attempts (2 retries)
+    /// backing off 1 then 2 ticks.
+    pub const fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Ticks(1),
+        }
+    }
+
+    /// Sends `req`, retrying transient failures up to the policy's
+    /// attempt budget. Each retry increments the global
+    /// `drbac.net.retry.count` counter. Non-retryable errors
+    /// ([`NetError::UnknownHost`]) and successful replies return
+    /// immediately.
+    pub fn run(&self, transport: &dyn Transport, to: &WalletAddr, req: &Request) -> RetryOutcome {
+        let max_attempts = self.max_attempts.max(1);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let reply = transport.request(to, req.clone());
+            match &reply {
+                Ok(_) => return RetryOutcome { reply, attempts },
+                Err(e) if !e.is_retryable() || attempts >= max_attempts => {
+                    return RetryOutcome { reply, attempts };
+                }
+                Err(_) => {
+                    drbac_obs::static_counter!("drbac.net.retry.count").inc();
+                    drbac_obs::event!(
+                        "drbac.net.retry",
+                        "to" => to.to_string(),
+                        "attempt" => attempts.to_string(),
+                    );
+                    transport.backoff(Ticks(self.base_backoff.0 << (attempts - 1)));
+                }
+            }
+        }
     }
 }
 
@@ -113,6 +205,79 @@ mod tests {
             Err(NetError::UnknownHost(_))
         ));
         service.shutdown();
+    }
+
+    /// Fails the first `failures` requests with a retryable error, then
+    /// answers every request with `Reply::Subscribed`.
+    struct Flaky {
+        failures: std::sync::atomic::AtomicU32,
+    }
+
+    impl Transport for Flaky {
+        fn request(&self, to: &WalletAddr, _req: Request) -> Result<Reply, NetError> {
+            use std::sync::atomic::Ordering;
+            let left = self.failures.load(Ordering::SeqCst);
+            if left > 0 {
+                self.failures.store(left - 1, Ordering::SeqCst);
+                return Err(NetError::Timeout(to.clone()));
+            }
+            Ok(Reply::Subscribed)
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_timeouts() {
+        let flaky = Flaky {
+            failures: 2.into(),
+        };
+        let outcome = RetryPolicy::standard().run(&flaky, &"w1".into(), &Request::FetchDeclarations);
+        assert!(matches!(outcome.reply, Ok(Reply::Subscribed)));
+        assert_eq!(outcome.attempts, 3);
+        assert!(outcome.degraded(), "needed retries");
+
+        // A clean first try is not degraded.
+        let outcome = RetryPolicy::standard().run(&flaky, &"w1".into(), &Request::FetchDeclarations);
+        assert_eq!(outcome.attempts, 1);
+        assert!(!outcome.degraded());
+    }
+
+    #[test]
+    fn retry_budget_exhausts_and_reports_failure() {
+        let flaky = Flaky {
+            failures: 100.into(),
+        };
+        let outcome = RetryPolicy::standard().run(&flaky, &"w1".into(), &Request::FetchDeclarations);
+        assert!(matches!(outcome.reply, Err(NetError::Timeout(_))));
+        assert_eq!(outcome.attempts, 3, "policy allows exactly 3 attempts");
+        assert!(outcome.degraded());
+    }
+
+    #[test]
+    fn unknown_host_is_not_retried() {
+        struct NoSuchHost;
+        impl Transport for NoSuchHost {
+            fn request(&self, to: &WalletAddr, _req: Request) -> Result<Reply, NetError> {
+                Err(NetError::UnknownHost(to.clone()))
+            }
+        }
+        let outcome =
+            RetryPolicy::standard().run(&NoSuchHost, &"w1".into(), &Request::FetchDeclarations);
+        assert!(matches!(outcome.reply, Err(NetError::UnknownHost(_))));
+        assert_eq!(outcome.attempts, 1, "permanent errors fail fast");
+    }
+
+    #[test]
+    fn backoff_spends_simulated_time_on_simnet() {
+        use drbac_core::Ticks;
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), Ticks(1));
+        net.add_host("w1", Wallet::new("w1", clock.clone()));
+        net.partition_host(&"w1".into());
+        let outcome = RetryPolicy::standard().run(&net, &"w1".into(), &Request::FetchDeclarations);
+        assert!(matches!(outcome.reply, Err(NetError::Timeout(_))));
+        // 3 attempts × 4-tick default timeout budget + backoffs of 1 and
+        // 2 ticks between them.
+        assert_eq!(clock.now().0, 3 * 4 + 1 + 2);
     }
 
     #[test]

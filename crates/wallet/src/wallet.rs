@@ -435,6 +435,34 @@ impl Wallet {
         }
     }
 
+    /// Coherence metadata for every cached delegation, as
+    /// `(delegation, entry)` pairs in unspecified order. Used to
+    /// re-register push subscriptions at each entry's source wallet
+    /// after the source restarts.
+    pub fn cache_entries(&self) -> Vec<(DelegationId, CacheEntry)> {
+        self.state
+            .cache_meta
+            .lock()
+            .iter()
+            .map(|(id, entry)| (*id, entry.clone()))
+            .collect()
+    }
+
+    /// Drops all volatile state — subscriptions, proof monitors, pending
+    /// proof watches, cache-coherence metadata and cached query answers —
+    /// the way a process crash would. Durable contents (credentials,
+    /// supports, declarations, revocations) are untouched; pair with
+    /// [`Wallet::export_bytes`] / [`Wallet::import_bytes`] to model a
+    /// full crash/restart cycle.
+    pub fn clear_volatile(&self) {
+        self.state.subscriptions.lock().clear();
+        self.state.monitors.lock().clear();
+        self.state.watches.lock().clear();
+        self.state.cache_meta.lock().clear();
+        self.state.query_cache.lock().clear();
+        self.bump_generation();
+    }
+
     /// Ids of cached entries whose TTL has lapsed.
     pub fn stale_entries(&self) -> Vec<DelegationId> {
         let now = self.now();

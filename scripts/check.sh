@@ -14,6 +14,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== chaos suite (seed matrix) =="
+for seed in 1 2 3; do
+    echo "-- DRBAC_CHAOS_SEED=$seed"
+    DRBAC_CHAOS_SEED=$seed cargo test -q --test chaos
+done
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 

@@ -68,7 +68,7 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
         "import-entity" => ctx.import_entity(rest),
         "export-cert" => ctx.export_cert(rest),
         "import-cert" => ctx.import_cert(rest),
-        "stats" => run_scenario_stats(),
+        "stats" => run_scenario_stats(rest),
         "trace" => run_scenario_trace(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
@@ -89,7 +89,8 @@ fn usage() -> String {
      \x20 import-entity <file>                  trust another party's identity\n\
      \x20 export-cert <id-prefix> <file>        write a credential (wire format)\n\
      \x20 import-cert <file>                    verify & publish a received credential\n\
-     \x20 stats                                 run the BigISP/AirNet scenario; print metrics\n\
+     \x20 stats [--chaos [seed]]                run the BigISP/AirNet scenario; print metrics\n\
+     \x20                                       (--chaos injects seeded request loss/jitter)\n\
      \x20 trace [file.jsonl]                    as `stats`, also recording a JSONL trace\n"
         .to_string()
 }
@@ -97,9 +98,20 @@ fn usage() -> String {
 /// Runs the paper's BigISP/AirNet coalition walkthrough (discovery,
 /// access, partnership revocation) and renders every metric the
 /// instrumented layers emitted: the scenario network's own registry
-/// merged with the process-global one.
-fn run_scenario_stats() -> Result<String, String> {
-    let (snapshot, outcome_lines) = run_coalition_walkthrough()?;
+/// merged with the process-global one. With `--chaos [seed]` the
+/// scenario's network traffic runs under a seeded [`drbac::net::FaultPlan`]
+/// (request loss + latency jitter), exercising the retry/timeout path.
+fn run_scenario_stats(args: &[String]) -> Result<String, String> {
+    let chaos = match args {
+        [] => None,
+        [flag] if flag == "--chaos" => Some(2002),
+        [flag, seed] if flag == "--chaos" => Some(
+            seed.parse::<u64>()
+                .map_err(|_| format!("--chaos seed must be an integer, got {seed:?}"))?,
+        ),
+        _ => return Err("usage: stats [--chaos [seed]]".into()),
+    };
+    let (snapshot, outcome_lines) = run_coalition_walkthrough(chaos)?;
     let mut out = outcome_lines;
     out.push_str("\n== metrics ==\n");
     out.push_str(&snapshot.render_table());
@@ -116,7 +128,7 @@ fn run_scenario_trace(args: &[String]) -> Result<String, String> {
         _ => return Err("usage: trace [file.jsonl]".into()),
     };
     let recorder = drbac::obs::RingRecorder::install(65536);
-    let result = run_coalition_walkthrough();
+    let result = run_coalition_walkthrough(None);
     drbac::obs::clear_recorder();
     let (snapshot, outcome_lines) = result?;
     let jsonl = recorder.to_jsonl();
@@ -140,25 +152,41 @@ fn run_scenario_trace(args: &[String]) -> Result<String, String> {
 
 /// Figure 2 end to end: build the coalition, establish Maria's access,
 /// then revoke the partnership and watch the push invalidate it. Returns
-/// the merged metrics snapshot and a human summary.
-fn run_coalition_walkthrough() -> Result<(drbac::obs::Snapshot, String), String> {
+/// the merged metrics snapshot and a human summary. With `chaos` set,
+/// the coalition is built fault-free and then all scenario traffic runs
+/// under a seeded fault plan (10% request loss, 1-tick jitter).
+fn run_coalition_walkthrough(chaos: Option<u64>) -> Result<(drbac::obs::Snapshot, String), String> {
+    use drbac::core::Ticks;
     use drbac::disco::CoalitionScenario;
+    use drbac::net::FaultPlan;
 
     // Isolate this run's crate-level metrics from anything the process
     // did earlier (the CLI owns the global registry for its lifetime).
     drbac::obs::global().reset();
 
     let mut rng = rand::thread_rng();
-    let scenario = CoalitionScenario::build(&mut rng);
+    let scenario = match chaos {
+        Some(seed) => CoalitionScenario::build_with_faults(
+            &mut rng,
+            FaultPlan::seeded(seed)
+                .with_request_loss(0.1)
+                .with_latency_jitter(Ticks(1)),
+        ),
+        None => CoalitionScenario::build(&mut rng),
+    };
     let outcome = scenario.establish_access();
     let mut out = String::new();
+    if let Some(seed) = chaos {
+        writeln!(out, "chaos: fault plan seed {seed} (10% loss, 1-tick jitter)").unwrap();
+    }
     writeln!(
         out,
-        "discovery: {} (mode {:?}, {} wallets contacted, {} steps)",
+        "discovery: {} (mode {:?}, {} wallets contacted, {} steps){}",
         if outcome.found() { "GRANTED" } else { "DENIED" },
         outcome.mode,
         outcome.wallets_contacted.len(),
-        outcome.trace.len()
+        outcome.trace.len(),
+        if outcome.degraded { " [degraded]" } else { "" }
     )
     .unwrap();
     let monitor = outcome.monitor.as_ref();

@@ -113,6 +113,32 @@ impl Bencher {
             }
         }
     }
+
+    /// Like [`Bencher::iter`], but runs `setup` before each timed call
+    /// and excludes it from the measurement (upstream's
+    /// `iter_batched(setup, routine, BatchSize::PerIteration)` shape).
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm up
+        let budget = Duration::from_millis(500);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
 }
 
 fn report(id: &str, samples: &[Duration]) {
