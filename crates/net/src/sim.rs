@@ -690,7 +690,12 @@ impl SimNet {
                 if partitioned {
                     return Some(f.plan.timeout_budget);
                 }
-                if f.plan.request_loss > 0.0 && f.rng.gen_bool(f.plan.request_loss) {
+                // Clamp at the point of use: `request_loss` is a pub field,
+                // so a plan built without `with_request_loss` may carry an
+                // out-of-range or NaN value that would panic `gen_bool`.
+                // (NaN fails the `> 0.0` test and counts as "no loss".)
+                let loss = f.plan.request_loss.clamp(0.0, 1.0);
+                if loss > 0.0 && f.rng.gen_bool(loss) {
                     return Some(f.plan.timeout_budget);
                 }
                 None

@@ -213,10 +213,24 @@ impl Switchboard {
             drbac_obs::static_counter!("drbac.net.switchboard.role_rejected.count").inc();
             ChannelError::RoleNotProven(required_role.to_string())
         };
-        let proof = proofs.into_iter().next().ok_or_else(not_proven)?;
-        let monitor = verifier
-            .monitor_external_proof(proof.clone())
-            .map_err(|_| not_proven())?;
+        // Re-validate locally, never on the remote's word: a usable proof
+        // must bind *this* initiator to *this* role and its chain must
+        // validate against the verifier's own revocation knowledge. Any
+        // returned proof that passes both opens the gate; a remote wallet
+        // returning unrelated (even individually valid) proofs does not.
+        let expected_subject = Node::entity(initiator);
+        let expected_object = Node::role(required_role.clone());
+        let mut accepted = None;
+        for candidate in proofs {
+            if candidate.subject() != &expected_subject || candidate.object() != &expected_object {
+                continue;
+            }
+            if let Ok(monitor) = verifier.monitor_external_proof(candidate.clone()) {
+                accepted = Some((candidate, monitor));
+                break;
+            }
+        }
+        let (proof, monitor) = accepted.ok_or_else(not_proven)?;
         // Keep the gate live: subscribe at the responder wallet so its
         // revocation pushes reach the verifier and close the channel.
         for id in proof.delegation_ids() {
@@ -570,6 +584,100 @@ mod tests {
             &mut rng,
         );
         assert!(matches!(err, Err(ChannelError::Unreachable(_))));
+    }
+
+    /// A transport whose responder wallet answers every role lookup with
+    /// a fixed set of proofs — stands in for a buggy or compromised
+    /// remote wallet that returns whatever it likes.
+    struct CannedProofs(Vec<drbac_core::Proof>);
+
+    impl Transport for CannedProofs {
+        fn request(&self, _to: &WalletAddr, req: Request) -> Result<Reply, crate::sim::NetError> {
+            match req {
+                Request::DirectQuery { .. } => Ok(Reply::Proofs(self.0.clone())),
+                _ => Ok(Reply::Subscribed),
+            }
+        }
+    }
+
+    #[test]
+    fn remote_role_gate_rejects_proofs_for_wrong_endpoints() {
+        use drbac_core::{Proof, ProofStep};
+
+        let (a, b, mut rng) = entities();
+        let c = LocalEntity::generate("C", SchnorrGroup::test_256(), &mut rng);
+        let clock = SimClock::new();
+        let verifier = Wallet::new("init.wallet", clock.clone());
+        let role = b.role("feed-subscriber");
+        // Both proofs validate as chains, but neither binds *this*
+        // initiator to *this* role: one proves C holds the role, the
+        // other proves A holds a different role.
+        let wrong_subject = b
+            .delegate(Node::entity(&c), Node::role(role.clone()))
+            .sign(&b)
+            .unwrap();
+        let wrong_object = b
+            .delegate(Node::entity(&a), Node::role(b.role("other-role")))
+            .sign(&b)
+            .unwrap();
+        let transport = CannedProofs(vec![
+            Proof::from_steps(vec![ProofStep::new(wrong_subject)]).unwrap(),
+            Proof::from_steps(vec![ProofStep::new(wrong_object)]).unwrap(),
+        ]);
+        let err = Switchboard::new().connect_role_gated_remote(
+            &a,
+            &b,
+            &transport,
+            &"resp.wallet".into(),
+            &verifier,
+            role,
+            &RetryPolicy::none(),
+            clock.now(),
+            &mut rng,
+        );
+        assert!(matches!(err, Err(ChannelError::RoleNotProven(_))));
+    }
+
+    #[test]
+    fn remote_role_gate_tries_later_proofs_when_first_fails_locally() {
+        use drbac_core::{Proof, ProofStep};
+
+        let (a, b, mut rng) = entities();
+        let clock = SimClock::new();
+        let verifier = Wallet::new("init.wallet", clock.clone());
+        let role = b.role("feed-subscriber");
+        let cert1 = b
+            .delegate(Node::entity(&a), Node::role(role.clone()))
+            .serial(1)
+            .sign(&b)
+            .unwrap();
+        let cert2 = b
+            .delegate(Node::entity(&a), Node::role(role.clone()))
+            .serial(2)
+            .sign(&b)
+            .unwrap();
+        // The verifier knows the first delegation is revoked; the
+        // responder doesn't, and returns its stale proof first.
+        verifier.publish(cert1.clone(), vec![]).unwrap();
+        let revocation = SignedRevocation::revoke(&cert1, &b, clock.now()).unwrap();
+        verifier.revoke(&revocation).unwrap();
+        let stale = Proof::from_steps(vec![ProofStep::new(cert1)]).unwrap();
+        let good = Proof::from_steps(vec![ProofStep::new(cert2)]).unwrap();
+        let transport = CannedProofs(vec![stale, good]);
+        let channel = Switchboard::new()
+            .connect_role_gated_remote(
+                &a,
+                &b,
+                &transport,
+                &"resp.wallet".into(),
+                &verifier,
+                role,
+                &RetryPolicy::none(),
+                clock.now(),
+                &mut rng,
+            )
+            .expect("the second, still-valid proof opens the gate");
+        assert!(channel.is_open());
     }
 
     #[test]

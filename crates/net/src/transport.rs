@@ -116,7 +116,11 @@ impl RetryPolicy {
                         "to" => to.to_string(),
                         "attempt" => attempts.to_string(),
                     );
-                    transport.backoff(Ticks(self.base_backoff.0 << (attempts - 1)));
+                    // Saturate rather than shift-overflow: a policy with a
+                    // huge attempt budget must not panic once the exponent
+                    // reaches the width of the tick counter.
+                    let exponent = (attempts - 1).min(63);
+                    transport.backoff(Ticks(self.base_backoff.0.saturating_mul(1u64 << exponent)));
                 }
             }
         }
