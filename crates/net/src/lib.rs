@@ -45,6 +45,6 @@ pub use audit::{audit_store_compliance, redelegations_of, AuditEndpoint, StoreVi
 pub use discovery::{Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode};
 pub use push::{PushHub, PushPublisher};
 pub use service::{ServiceClosed, WalletClient, WalletService};
-pub use sim::{FaultPlan, NetError, NetStats, SimNet, WalletHost};
+pub use sim::{FaultPlan, NetError, NetStats, SimNet, StoreHandle, WalletHost};
 pub use switchboard::{Channel, ChannelError, Switchboard};
 pub use transport::{RetryOutcome, RetryPolicy, ServiceRegistry, Transport};

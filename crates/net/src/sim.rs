@@ -6,11 +6,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use drbac_core::{DelegationId, SimClock, Ticks, Timestamp, WalletAddr};
-use drbac_wallet::{DelegationEvent, ImportReport, Wallet};
+use drbac_store::WalletStore;
+use drbac_wallet::{DelegationEvent, RecoveryReport, Wallet};
 use parking_lot::{Mutex, RwLock};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::proto::{OneWay, Reply, Request};
+
+/// The durable store backing a simulated host's wallet. Crashing a host
+/// hands this back to the caller; restarting recovers from it — the
+/// bytes themselves never travel through the test code.
+pub type StoreHandle = Arc<WalletStore>;
 
 /// Errors from network operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -188,6 +194,8 @@ pub struct WalletHost {
     subscribers: Arc<Mutex<HashMap<DelegationId, BTreeSet<WalletAddr>>>>,
     /// Events already applied locally (loop guard for cascaded pushes).
     seen_events: Arc<Mutex<HashSet<DelegationEvent>>>,
+    /// The write-ahead store journaling this wallet's mutations.
+    store: Arc<Mutex<StoreHandle>>,
 }
 
 impl fmt::Debug for WalletHost {
@@ -221,6 +229,11 @@ impl WalletHost {
     /// The wallet served by this host.
     pub fn wallet(&self) -> &Wallet {
         &self.wallet
+    }
+
+    /// The write-ahead store currently journaling this host's wallet.
+    pub fn store(&self) -> StoreHandle {
+        self.store.lock().clone()
     }
 
     /// Remote wallets currently subscribed to `id`.
@@ -601,35 +614,54 @@ impl SimNet {
     }
 
     /// Failure injection: crashes the host at `addr`. The host becomes
-    /// unreachable and all *volatile* state dies with the process — the
-    /// remote-subscriber registry, the push dedup memory, and the
-    /// wallet's subscriptions, proof monitors, watches and cache-
-    /// coherence metadata. Only the durable wallet image survives; it is
-    /// returned (as [`Wallet::export_bytes`] bytes) for a later
-    /// [`SimNet::restart_host`]. Returns `None` if no host lives at
-    /// `addr`.
-    pub fn crash_host(&self, addr: &WalletAddr) -> Option<Vec<u8>> {
+    /// unreachable and *everything in memory dies with the process* —
+    /// the remote-subscriber registry, the push dedup memory, and the
+    /// wallet's entire contents, volatile and durable alike. What
+    /// survives is the write-ahead store, whose handle is returned for a
+    /// later [`SimNet::restart_host`]; any journal bytes the store had
+    /// not yet fsynced are lost too (power-loss semantics). Returns
+    /// `None` if no host lives at `addr`.
+    pub fn crash_host(&self, addr: &WalletAddr) -> Option<StoreHandle> {
         let host = self.host(addr)?;
-        let image = host.wallet.export_bytes();
         self.state.down.lock().insert(addr.clone());
         host.subscribers.lock().clear();
         host.seen_events.lock().clear();
-        host.wallet.clear_volatile();
+        host.wallet.detach_journal();
+        host.wallet.wipe();
+        let store = host.store.lock().clone();
+        store.lose_unsynced();
         drbac_obs::event!("drbac.net.sim.crash", "addr" => addr.to_string(),);
-        Some(image)
+        Some(store)
     }
 
-    /// Restarts a crashed host from its durable `image`: the host becomes
-    /// reachable again and the image is re-imported (every credential is
-    /// re-verified; expired ones are rejected). Peers that held push
-    /// subscriptions here must re-register — see
-    /// [`WalletHost::resubscribe_cached`]. Returns `None` if no host
-    /// lives at `addr` or the image fails verification.
-    pub fn restart_host(&self, addr: &WalletAddr, image: &[u8]) -> Option<ImportReport> {
+    /// Restarts a crashed host from its write-ahead `store`: the wallet
+    /// is rebuilt from the latest valid snapshot plus log-tail replay
+    /// (every credential re-verified; a torn tail truncated, never a
+    /// panic), the journal is re-attached, and the host becomes
+    /// reachable again. Peers that held push subscriptions here must
+    /// re-register — see [`WalletHost::resubscribe_cached`]. Returns
+    /// `None` if no host lives at `addr` or the store's medium fails.
+    pub fn restart_host(&self, addr: &WalletAddr, store: &StoreHandle) -> Option<RecoveryReport> {
         let host = self.host(addr)?;
-        let report = host.wallet.import_bytes(image).ok()?;
+        host.wallet.detach_journal();
+        host.wallet.wipe();
+        let report = host.wallet.recover_from_store(store).ok()?;
+        host.wallet.attach_journal(Arc::clone(store));
+        *host.store.lock() = Arc::clone(store);
         self.state.down.lock().remove(addr);
-        drbac_obs::event!("drbac.net.sim.restart", "addr" => addr.to_string(),);
+        drbac_obs::event!(
+            "drbac.net.sim.restart",
+            "addr" => addr.to_string(),
+            "from_snapshot" => report.from_snapshot,
+            "credentials" => report.snapshot.credentials,
+            "declarations" => report.snapshot.declarations,
+            "revocations" => report.snapshot.revocations,
+            "rejected" => report.snapshot.rejected,
+            "replayed" => report.replayed,
+            "skipped" => report.skipped,
+            "truncated_bytes" => report.truncated_bytes,
+            "torn_tail" => report.torn_tail,
+        );
         Some(report)
     }
 
@@ -656,14 +688,28 @@ impl SimNet {
         self.state.drop_every_nth_push.store(n, Ordering::SeqCst);
     }
 
-    /// Attaches `wallet` at `addr` and returns the host handle.
+    /// Attaches `wallet` at `addr` and returns the host handle. A fresh
+    /// in-memory write-ahead store is bound to the wallet: contents the
+    /// wallet already holds are captured as the store's base snapshot,
+    /// and every subsequent mutation is journaled, so a later
+    /// [`SimNet::crash_host`] / [`SimNet::restart_host`] cycle recovers
+    /// through real log replay.
     pub fn add_host(&self, addr: impl Into<WalletAddr>, wallet: Wallet) -> WalletHost {
         let addr = addr.into();
+        let store = Arc::new(WalletStore::in_memory());
+        if !wallet.is_empty() || !wallet.signed_declarations().is_empty() {
+            let snapshot_of = wallet.clone();
+            store
+                .install_snapshot(move || snapshot_of.export_bytes())
+                .expect("in-memory media cannot fail");
+        }
+        wallet.attach_journal(Arc::clone(&store));
         let host = WalletHost {
             addr: addr.clone(),
             wallet,
             subscribers: Arc::new(Mutex::new(HashMap::new())),
             seen_events: Arc::new(Mutex::new(HashSet::new())),
+            store: Arc::new(Mutex::new(store)),
         };
         self.state.hosts.write().insert(addr, host.clone());
         host
@@ -1485,16 +1531,18 @@ mod tests {
 
         // The home wallet crashes: unreachable, and its (volatile)
         // subscriber registry dies with it.
-        let image = f.net.crash_host(&"home".into()).unwrap();
+        let store = f.net.crash_host(&"home".into()).unwrap();
         assert!(matches!(
             f.net.request(&"home".into(), Request::FetchDeclarations),
             Err(NetError::HostDown(_))
         ));
 
-        // Restart restores the durable credential store but NOT the
-        // subscriber registry — the cache has been silently unsubscribed.
-        let report = f.net.restart_host(&"home".into(), &image).unwrap();
-        assert_eq!(report.rejected, 0);
+        // Restart replays the write-ahead log to rebuild the credential
+        // store but NOT the subscriber registry — the cache has been
+        // silently unsubscribed.
+        let report = f.net.restart_host(&"home".into(), &store).unwrap();
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.replayed, 1, "the published delegation replays");
         assert!(home.subscribers_of(cert.id()).is_empty());
         let revocation = SignedRevocation::revoke(&cert, &f.a, f.clock.now()).unwrap();
         f.net
@@ -1509,6 +1557,50 @@ mod tests {
         assert_eq!((resubscribed, dropped), (1, 1));
         assert!(!monitor.is_valid(), "revalidation caught the revocation");
         assert_eq!(home.subscribers_of(cert.id()).len(), 1, "resubscribed");
+    }
+
+    #[test]
+    fn restart_event_reports_recovery_counts_in_trace() {
+        let f = fx();
+        let home = wallet(&f, "obs-home");
+        let cert =
+            f.a.delegate(Node::entity(&f.m), Node::role(f.a.role("r")))
+                .sign(&f.a)
+                .unwrap();
+        home.wallet().publish(cert, vec![]).unwrap();
+        let store = f.net.crash_host(&"obs-home".into()).unwrap();
+
+        let ring = drbac_obs::RingRecorder::install(256);
+        let report = f.net.restart_host(&"obs-home".into(), &store).unwrap();
+        drbac_obs::clear_recorder();
+        assert_eq!(report.replayed, 1);
+
+        // The restart event carries the full recovery accounting, so
+        // `drbac trace` shows exactly what a rebooted wallet got back.
+        let events = ring.drain();
+        let mine = |e: &&drbac_obs::TraceEvent| {
+            e.name == "drbac.net.sim.restart"
+                && e.fields.iter().any(|(k, v)| {
+                    *k == "addr" && *v == drbac_obs::FieldValue::from("obs-home".to_string())
+                })
+        };
+        let restart = events.iter().find(mine).expect("restart event traced");
+        let field = |k: &str| {
+            restart
+                .fields
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("replayed"), Some(drbac_obs::FieldValue::from(1usize)));
+        assert_eq!(field("skipped"), Some(drbac_obs::FieldValue::from(0usize)));
+        assert_eq!(
+            field("from_snapshot"),
+            Some(drbac_obs::FieldValue::from(false))
+        );
+        assert_eq!(field("torn_tail"), Some(drbac_obs::FieldValue::from(false)));
+        assert_eq!(field("rejected"), Some(drbac_obs::FieldValue::from(0usize)));
+        assert!(field("truncated_bytes").is_some());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the frame
+//! checksum for the write-ahead log. Implemented here because the
+//! workspace vendors no checksum crate; the table is built at compile
+//! time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let clean = crc32(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), clean, "flip at {byte}:{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Durable wallet storage for dRBAC: a write-ahead log with snapshots,
+//! compaction, and crash recovery.
+//!
+//! The paper's wallets hold long-lived trust state — delegations,
+//! support proofs, attribute declarations and, critically, revocation
+//! marks — that must survive host churn in a dynamic coalition. This
+//! crate provides the durability layer underneath `drbac-wallet`:
+//!
+//! * [`StoreEvent`] — the journal vocabulary: one record per mutating
+//!   wallet operation (publish, declare, support, absorb, revoke,
+//!   revocation mark, expiry tombstone), encoded with the workspace's
+//!   canonical wire format.
+//! * [`WalletStore`] — an append-only log of CRC32-framed records with
+//!   group-committed fsync batching, periodic snapshots (reusing the
+//!   wallet's `export_bytes` image format), and log compaction that
+//!   drops records superseded by a snapshot.
+//! * [`Medium`] — the storage backend seam: [`MemMedium`] gives the
+//!   deterministic in-memory store used by the simulated network and the
+//!   property tests (including power-loss simulation of unsynced
+//!   tails); [`FileMedium`] backs the CLI's on-disk store.
+//!
+//! **Recovery invariant:** recovery = latest valid snapshot + replay of
+//! the log tail. A torn or corrupted log tail (detected by the
+//! length/CRC framing and the strictly-increasing sequence numbers) is
+//! *truncated, never a panic*: the store recovers exactly the longest
+//! valid prefix of the log. See `DESIGN.md` §4.4 for the full model.
+
+mod crc;
+mod event;
+mod medium;
+mod wal;
+
+pub use crc::crc32;
+pub use event::StoreEvent;
+pub use medium::{FileMedium, MemMedium, Medium};
+pub use wal::{
+    scan_log, Corruption, Recovered, ScanOutcome, ScannedRecord, StoreConfig, StoreError,
+    StoreStatus, VerifyReport, WalletStore, LOG_MAGIC, SNAPSHOT_MAGIC,
+};

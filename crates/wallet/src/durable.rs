@@ -1,0 +1,107 @@
+//! A wallet bound to a write-ahead store.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use drbac_core::{SimClock, WalletAddr};
+use drbac_store::WalletStore;
+
+use crate::wallet::{RecoveryReport, Wallet, WalletError};
+
+/// A [`Wallet`] permanently bound to a [`WalletStore`]: opening
+/// recovers whatever the store holds (latest snapshot + log-tail
+/// replay) and attaches the journal, so every subsequent mutating call
+/// is logged before it is applied. Dereferences to [`Wallet`] for the
+/// whole query/publish/monitor API.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use drbac_core::{LocalEntity, Node, SimClock};
+/// use drbac_crypto::SchnorrGroup;
+/// use drbac_store::WalletStore;
+/// use drbac_wallet::DurableWallet;
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let org = LocalEntity::generate("Org", SchnorrGroup::test_256(), &mut rng);
+/// let store = Arc::new(WalletStore::in_memory());
+///
+/// let (wallet, _) = DurableWallet::open("wallet.org", SimClock::new(), Arc::clone(&store))?;
+/// wallet.publish(
+///     org.delegate(Node::entity(&org), Node::role(org.role("member"))).sign(&org)?,
+///     vec![],
+/// )?;
+/// drop(wallet); // "crash"
+///
+/// let (reborn, report) = DurableWallet::open("wallet.org", SimClock::new(), store)?;
+/// assert_eq!(report.replayed, 1);
+/// assert_eq!(reborn.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct DurableWallet {
+    wallet: Wallet,
+    store: Arc<WalletStore>,
+}
+
+impl DurableWallet {
+    /// Opens a durable wallet at `addr` over `store`: recovers the
+    /// store's contents into a fresh wallet, then attaches the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Storage`] if the store's medium fails (corrupt
+    /// contents are recovered-around, not errors).
+    pub fn open(
+        addr: impl Into<WalletAddr>,
+        clock: SimClock,
+        store: Arc<WalletStore>,
+    ) -> Result<(Self, RecoveryReport), WalletError> {
+        let wallet = Wallet::new(addr, clock);
+        let report = wallet.recover_from_store(&store)?;
+        wallet.attach_journal(Arc::clone(&store));
+        Ok((DurableWallet { wallet, store }, report))
+    }
+
+    /// The underlying wallet (also available through `Deref`).
+    pub fn wallet(&self) -> &Wallet {
+        &self.wallet
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<WalletStore> {
+        &self.store
+    }
+
+    /// Installs a snapshot of the wallet's current durable contents and
+    /// compacts the log behind it. Returns the sequence number the
+    /// snapshot covers.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::Storage`] if the store's medium fails.
+    pub fn snapshot(&self) -> Result<u64, WalletError> {
+        let wallet = self.wallet.clone();
+        self.store
+            .install_snapshot(move || wallet.export_bytes())
+            .map_err(|e| WalletError::Storage(e.to_string()))
+    }
+}
+
+impl Deref for DurableWallet {
+    type Target = Wallet;
+
+    fn deref(&self) -> &Wallet {
+        &self.wallet
+    }
+}
+
+impl fmt::Debug for DurableWallet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableWallet")
+            .field("wallet", &self.wallet)
+            .field("store", &self.store.status())
+            .finish()
+    }
+}

@@ -20,10 +20,12 @@
 //! ([`Wallet::absorb_proof`]) with TTL-based coherence metadata; the
 //! inter-wallet protocol that keeps caches coherent lives in `drbac-net`.
 
+mod durable;
 mod events;
 mod monitor;
 mod wallet;
 
+pub use durable::DurableWallet;
 pub use events::{DelegationEvent, InvalidationReason, SubscriptionId};
 pub use monitor::{MonitorStatus, ProofMonitor};
-pub use wallet::{CacheEntry, ImportReport, Wallet, WalletError};
+pub use wallet::{CacheEntry, ImportReport, RecoveryReport, Wallet, WalletError};

@@ -20,6 +20,22 @@ for seed in 1 2 3; do
     DRBAC_CHAOS_SEED=$seed cargo test -q --test chaos
 done
 
+echo "== durable store (unit suite + on-disk verify) =="
+cargo test -q -p drbac-store
+STORE_HOME="$(mktemp -d)"
+trap 'rm -rf "$STORE_HOME"' EXIT
+DRBAC="target/release/drbac"
+for name in BigISP Mark Maria; do
+    "$DRBAC" --home "$STORE_HOME" keygen "$name" >/dev/null
+done
+"$DRBAC" --home "$STORE_HOME" delegate "[Mark -> BigISP.memberServices] BigISP" >/dev/null
+"$DRBAC" --home "$STORE_HOME" delegate "[BigISP.memberServices -> BigISP.member'] BigISP" >/dev/null
+"$DRBAC" --home "$STORE_HOME" delegate "[Maria -> BigISP.member] Mark" >/dev/null
+"$DRBAC" --home "$STORE_HOME" store verify
+"$DRBAC" --home "$STORE_HOME" store compact >/dev/null
+"$DRBAC" --home "$STORE_HOME" store verify
+"$DRBAC" --home "$STORE_HOME" query Maria BigISP.member | grep -q GRANTED
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 

@@ -5,8 +5,13 @@
 //!
 //! * `keys/<name>.sk` — key pairs (plaintext; protect the directory),
 //! * `entities.bin` — known entities (name → public key),
-//! * `wallet.bin` — the wallet image (credentials, supports,
-//!   declarations, revocations).
+//! * `store/wal.log` + `store/snapshot.bin` — the wallet's write-ahead
+//!   log and latest snapshot (credentials, supports, declarations,
+//!   revocations). Every mutating command journals before it applies,
+//!   and startup recovers snapshot + log-tail replay, so an interrupted
+//!   command can tear at most the final record — which recovery
+//!   truncates. A legacy `wallet.bin` image is migrated into the store
+//!   on first load.
 //!
 //! ```text
 //! drbac keygen <Name>                          create an identity
@@ -16,6 +21,7 @@
 //! drbac list                                   show wallet contents
 //! drbac query <Subject> <Object> [attr min]..  ask "does S have R?"
 //! drbac revoke <id-prefix>                     revoke a delegation
+//! drbac store inspect|verify|compact           examine / check / compact the log
 //! ```
 //!
 //! The delegation argument uses the paper's syntax, e.g.
@@ -26,6 +32,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use drbac::core::syntax::{parse_delegation, parse_node, render_delegation, SyntaxContext};
 use drbac::core::{
@@ -33,7 +40,8 @@ use drbac::core::{
     Reader, SignedAttrDeclaration, SignedDelegation, SignedRevocation, SimClock, Writer,
 };
 use drbac::crypto::{KeyPair, PublicKey, SchnorrGroup};
-use drbac::wallet::Wallet;
+use drbac::store::WalletStore;
+use drbac::wallet::DurableWallet;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +63,12 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
         return Err(usage());
     };
     let rest = &args[1..];
+    // `store` operates on the raw log files and must not go through
+    // `Context::load` — `verify` and `inspect` stay read-only even on a
+    // log that normal startup would heal.
+    if command == "store" {
+        return store_command(&home, rest);
+    }
     let mut ctx = Context::load(&home)?;
     match command.as_str() {
         "keygen" => ctx.keygen(rest),
@@ -91,7 +105,10 @@ fn usage() -> String {
      \x20 import-cert <file>                    verify & publish a received credential\n\
      \x20 stats [--chaos [seed]]                run the BigISP/AirNet scenario; print metrics\n\
      \x20                                       (--chaos injects seeded request loss/jitter)\n\
-     \x20 trace [file.jsonl]                    as `stats`, also recording a JSONL trace\n"
+     \x20 trace [file.jsonl]                    as `stats`, also recording a JSONL trace\n\
+     \x20 store inspect                         list the write-ahead log's records\n\
+     \x20 store verify                          read-only integrity check (exit 1 if damaged)\n\
+     \x20 store compact                         snapshot the wallet and drop covered records\n"
         .to_string()
 }
 
@@ -207,6 +224,105 @@ fn run_coalition_walkthrough(chaos: Option<u64>) -> Result<(drbac::obs::Snapshot
     Ok((snapshot, out))
 }
 
+/// `drbac store <inspect|verify|compact>` — direct access to the
+/// context's write-ahead store. `inspect` and `verify` are read-only
+/// (they report damage rather than healing it); `compact` snapshots the
+/// recovered wallet and drops the records the snapshot covers.
+fn store_command(home: &Path, args: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: store <inspect|verify|compact>";
+    let [sub] = args else {
+        return Err(USAGE.into());
+    };
+    let store = WalletStore::open_dir(home.join("store"))
+        .map_err(|e| format!("open store in {home:?}: {e}"))?;
+    match sub.as_str() {
+        "inspect" => {
+            let mut out = String::new();
+            let status = store.status();
+            let scan = store.read_log().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "log: {} record(s), {} bytes, next seq {}",
+                status.records, status.log_bytes, status.next_seq
+            )
+            .unwrap();
+            match status.snapshot_seq {
+                Some(seq) => writeln!(out, "snapshot: covers seq {seq}").unwrap(),
+                None => writeln!(out, "snapshot: (none)").unwrap(),
+            }
+            for record in &scan.records {
+                writeln!(out, "  #{:>6} {}", record.seq, record.event.describe()).unwrap();
+            }
+            if let Some(corruption) = &scan.corruption {
+                writeln!(out, "damage beyond the valid prefix: {corruption}").unwrap();
+            }
+            Ok(out)
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "log: {} record(s) (seq {}..{}), {} of {} bytes valid",
+                report.records,
+                report.first_seq.unwrap_or(0),
+                report.last_seq.unwrap_or(0),
+                report.valid_len,
+                report.log_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "snapshot: {}",
+                match (report.snapshot_ok, report.snapshot_seq) {
+                    (true, Some(seq)) =>
+                        format!("ok, covers seq {seq} ({} bytes)", report.snapshot_bytes),
+                    (true, None) => "(none)".into(),
+                    (false, _) => "CORRUPT (will be ignored at recovery)".into(),
+                }
+            )
+            .unwrap();
+            if report.is_clean() {
+                out.push_str("clean\n");
+                Ok(out)
+            } else {
+                let detail = report
+                    .corruption
+                    .clone()
+                    .unwrap_or_else(|| "corrupt snapshot".into());
+                let kind = if report.torn_tail {
+                    "torn tail"
+                } else {
+                    "corruption"
+                };
+                Err(format!(
+                    "{out}NOT CLEAN — {kind}: {detail} ({} trailing byte(s); recovery will truncate)",
+                    report.trailing_bytes
+                ))
+            }
+        }
+        "compact" => {
+            let before = store.status();
+            let (wallet, report) =
+                DurableWallet::open("drbac-cli", SimClock::new(), Arc::new(store))
+                    .map_err(|e| e.to_string())?;
+            let seq = wallet.snapshot().map_err(|e| e.to_string())?;
+            let after = wallet.store().status();
+            Ok(format!(
+                "recovered {} event(s) ({} skipped), snapshot now covers seq {seq}\n\
+                 log: {} record(s) ({} bytes) -> {} record(s) ({} bytes)\n",
+                report.replayed,
+                report.skipped,
+                before.records,
+                before.log_bytes,
+                after.records,
+                after.log_bytes
+            ))
+        }
+        other => Err(format!("unknown store command {other:?}\n{USAGE}")),
+    }
+}
+
 fn extract_home(args: &mut Vec<String>) -> Result<PathBuf, String> {
     if let Some(pos) = args.iter().position(|a| a == "--home") {
         if pos + 1 >= args.len() {
@@ -222,13 +338,17 @@ fn extract_home(args: &mut Vec<String>) -> Result<PathBuf, String> {
     Ok(PathBuf::from("drbac-home"))
 }
 
+/// Snapshot + compact once the log exceeds this many records, so a
+/// long-lived context's startup replay stays short.
+const SNAPSHOT_EVERY: u64 = 64;
+
 struct Context {
     home: PathBuf,
     /// name → public key (everyone we know).
     entities: BTreeMap<String, PublicKey>,
     /// name → key pair (identities we control).
     keys: BTreeMap<String, KeyPair>,
-    wallet: Wallet,
+    wallet: DurableWallet,
 }
 
 impl Context {
@@ -266,9 +386,16 @@ impl Context {
             }
         }
 
-        let wallet = Wallet::new("drbac-cli", SimClock::new());
+        let store = WalletStore::open_dir(home.join("store"))
+            .map_err(|e| format!("open store in {home:?}: {e}"))?;
+        let (wallet, report) = DurableWallet::open("drbac-cli", SimClock::new(), Arc::new(store))
+            .map_err(|e| e.to_string())?;
+        // One-time migration from the pre-store image format: an empty
+        // store next to a legacy wallet.bin means this context predates
+        // the write-ahead log. Importing journals every credential, so
+        // from here on the store is authoritative.
         let wallet_path = home.join("wallet.bin");
-        if wallet_path.exists() {
+        if !report.from_snapshot && report.replayed == 0 && wallet_path.exists() {
             let bytes = fs::read(&wallet_path).map_err(|e| e.to_string())?;
             wallet
                 .import_bytes(&bytes)
@@ -291,8 +418,12 @@ impl Context {
             key.encode(&mut w);
         }
         fs::write(self.home.join("entities.bin"), w.finish()).map_err(|e| e.to_string())?;
-        fs::write(self.home.join("wallet.bin"), self.wallet.export_bytes())
-            .map_err(|e| e.to_string())?;
+        // Wallet mutations were already journaled as they happened;
+        // force the tail to disk and keep the log short.
+        self.wallet.store().sync().map_err(|e| e.to_string())?;
+        if self.wallet.store().status().records >= SNAPSHOT_EVERY {
+            self.wallet.snapshot().map_err(|e| e.to_string())?;
+        }
         Ok(())
     }
 

@@ -20,6 +20,7 @@
 //! | [`core`] | entities, roles, delegations, valued attributes, proofs & validation, discovery tags, wire codec, textual syntax, logical clock |
 //! | [`graph`] | the delegation graph and the direct/subject/object queries with constraint pruning |
 //! | [`wallet`] | credential repositories: publication, queries, proof monitors, subscriptions, persistence |
+//! | [`store`] | durability: CRC-framed write-ahead log of wallet events, snapshots, compaction, crash recovery |
 //! | [`net`] | simulated network, tag-directed discovery, switchboard channels, threaded services, registry audit |
 //! | [`disco`] | application layer: protected resources, (resilient) monitored sessions, the paper's scenarios |
 //! | [`obs`] | observability: metrics registry (counters/gauges/histograms), span & event tracing, JSONL export |
@@ -74,4 +75,5 @@ pub use drbac_disco as disco;
 pub use drbac_graph as graph;
 pub use drbac_net as net;
 pub use drbac_obs as obs;
+pub use drbac_store as store;
 pub use drbac_wallet as wallet;

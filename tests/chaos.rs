@@ -159,16 +159,16 @@ fn wallet_crash_restart_recovers_missed_revocations() {
     let monitor = outcome.monitor.expect("access granted");
 
     // BigISP's home wallet crashes, losing its volatile subscriber
-    // registry; the durable credential image survives.
-    let image = s
+    // registry and its in-memory graph; the write-ahead store survives.
+    let store = s
         .net
         .crash_host(&BIGISP_WALLET.into())
         .expect("host exists");
     let report = s
         .net
-        .restart_host(&BIGISP_WALLET.into(), &image)
-        .expect("image verifies");
-    assert_eq!(report.rejected, 0, "durable image restores cleanly");
+        .restart_host(&BIGISP_WALLET.into(), &store)
+        .expect("store replays");
+    assert_eq!(report.skipped, 0, "every journaled event replays cleanly");
 
     // The revocation is processed by the restarted wallet, but nobody
     // is subscribed any more: zero pushes, session still (wrongly) up.
@@ -184,6 +184,69 @@ fn wallet_crash_restart_recovers_missed_revocations() {
     assert_eq!(dropped, 1, "exactly the revoked partnership is dropped");
     s.net.run_until_idle();
     assert!(!monitor.is_valid(), "missed revocation recovered");
+}
+
+/// Acceptance: a wallet crashed mid-workload and restarted from its
+/// write-ahead store recovers every committed delegation and revocation
+/// — across the check.sh seed matrix plus this run's env-selected seed.
+#[test]
+fn store_backed_restart_recovers_committed_state_across_seeds() {
+    use std::collections::BTreeSet;
+
+    let mut seeds = vec![1, 2, 3];
+    let env_seed = chaos_seed();
+    if !seeds.contains(&env_seed) {
+        seeds.push(env_seed);
+    }
+    for seed in seeds {
+        let s = chaotic(light_loss(seed));
+        let outcome = s.establish_access();
+        assert!(outcome.found(), "seed {seed}: access granted before crash");
+        s.revoke_partnership();
+        s.net.run_until_idle();
+
+        let addr = BIGISP_WALLET.into();
+        let host = s.net.host(&addr).expect("host exists");
+        let snapshot = |h: &drbac::net::WalletHost| {
+            h.wallet().with_graph(|g| {
+                (
+                    g.iter().map(|c| c.id()).collect::<BTreeSet<_>>(),
+                    g.revoked().clone(),
+                )
+            })
+        };
+        let (certs_before, revoked_before) = snapshot(&host);
+        assert!(
+            !certs_before.is_empty(),
+            "seed {seed}: workload committed delegations"
+        );
+        assert!(
+            !revoked_before.is_empty(),
+            "seed {seed}: workload committed a revocation"
+        );
+
+        // Crash wipes everything in memory; only the store survives.
+        let store = s.net.crash_host(&addr).expect("host exists");
+        assert!(
+            host.wallet().is_empty(),
+            "seed {seed}: crash left in-memory state behind"
+        );
+
+        let report = s.net.restart_host(&addr, &store).expect("store recovers");
+        assert_eq!(
+            report.skipped, 0,
+            "seed {seed}: every journaled event replays"
+        );
+        let (certs_after, revoked_after) = snapshot(&host);
+        assert_eq!(
+            certs_before, certs_after,
+            "seed {seed}: committed delegations recovered"
+        );
+        assert_eq!(
+            revoked_before, revoked_after,
+            "seed {seed}: committed revocations recovered"
+        );
+    }
 }
 
 #[test]

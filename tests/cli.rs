@@ -202,6 +202,125 @@ fn two_homes_exchange_credentials_through_files() {
     }
 }
 
+/// The store subcommands over a real on-disk context: inspect lists the
+/// journaled records, verify reports a clean log, compact snapshots and
+/// shrinks it, and the wallet still answers afterwards.
+#[test]
+fn store_subcommands_inspect_verify_compact() {
+    let home = temp_home("store");
+    ok(&home, &["keygen", "BigISP"]);
+    ok(&home, &["keygen", "Mark"]);
+    ok(&home, &["keygen", "Maria"]);
+    ok(
+        &home,
+        &["delegate", "[Mark -> BigISP.memberServices] BigISP"],
+    );
+    ok(
+        &home,
+        &[
+            "delegate",
+            "[BigISP.memberServices -> BigISP.member'] BigISP",
+        ],
+    );
+    ok(&home, &["delegate", "[Maria -> BigISP.member] Mark"]);
+
+    let inspected = ok(&home, &["store", "inspect"]);
+    assert!(inspected.contains("3 record(s)"), "{inspected}");
+    assert_eq!(
+        inspected.lines().filter(|l| l.contains("publish")).count(),
+        3,
+        "{inspected}"
+    );
+
+    let verified = ok(&home, &["store", "verify"]);
+    assert!(verified.contains("clean"), "{verified}");
+
+    let compacted = ok(&home, &["store", "compact"]);
+    assert!(compacted.contains("snapshot now covers seq 3"), "{compacted}");
+    let inspected = ok(&home, &["store", "inspect"]);
+    assert!(inspected.contains("0 record(s)"), "{inspected}");
+    assert!(inspected.contains("covers seq 3"), "{inspected}");
+
+    // The wallet state survives compaction: queries answer from the
+    // snapshot, and new mutations journal on top of it.
+    let answer = ok(&home, &["query", "Maria", "BigISP.member"]);
+    assert!(answer.starts_with("GRANTED"), "{answer}");
+    ok(&home, &["delegate", "[Maria -> BigISP.memberServices] BigISP"]);
+    let inspected = ok(&home, &["store", "inspect"]);
+    assert!(inspected.contains("1 record(s)"), "{inspected}");
+
+    let _ = std::fs::remove_dir_all(&home);
+}
+
+/// A torn final record — an append interrupted mid-write — is reported
+/// by `store verify` (exit 1, read-only) and healed by the next normal
+/// command, which recovers every fully written record.
+#[test]
+fn store_verify_flags_torn_tail_and_recovery_heals_it() {
+    let home = temp_home("torn");
+    ok(&home, &["keygen", "BigISP"]);
+    ok(&home, &["keygen", "Maria"]);
+    ok(&home, &["delegate", "[Maria -> BigISP.member] BigISP"]);
+
+    // Tear the log: a half-written frame — a plausible header claiming
+    // a 100-byte payload, but only 3 payload bytes made it to disk.
+    let log_path = home.join("store").join("wal.log");
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    let intact_len = bytes.len();
+    bytes.extend_from_slice(&[0, 0, 0, 100]); // length prefix
+    bytes.extend_from_slice(&[0xAB; 7]); // crc + a truncated payload
+    std::fs::write(&log_path, &bytes).unwrap();
+
+    let err = fails(&home, &["store", "verify"]);
+    assert!(err.contains("NOT CLEAN"), "{err}");
+    assert!(err.contains("torn tail"), "{err}");
+    assert_eq!(
+        std::fs::read(&log_path).unwrap().len(),
+        intact_len + 11,
+        "verify must not modify the log"
+    );
+
+    // Normal startup recovers: the committed delegation is still there,
+    // and the heal leaves a clean log behind.
+    let answer = ok(&home, &["query", "Maria", "BigISP.member"]);
+    assert!(answer.starts_with("GRANTED"), "{answer}");
+    ok(&home, &["list"]);
+    let verified = ok(&home, &["store", "verify"]);
+    assert!(verified.contains("clean"), "{verified}");
+
+    let _ = std::fs::remove_dir_all(&home);
+}
+
+/// A context created before the write-ahead store (a bare `wallet.bin`
+/// image) is migrated into the store on first load.
+#[test]
+fn legacy_wallet_image_is_migrated_into_the_store() {
+    let home = temp_home("legacy");
+    ok(&home, &["keygen", "BigISP"]);
+    ok(&home, &["keygen", "Maria"]);
+    ok(&home, &["delegate", "[Maria -> BigISP.member] BigISP"]);
+
+    // Fake the pre-store layout: export the wallet image the old code
+    // would have written, then delete the store directory entirely.
+    let inspected = ok(&home, &["store", "inspect"]);
+    assert!(inspected.contains("1 record(s)"), "{inspected}");
+    ok(&home, &["store", "compact"]);
+    let snapshot = std::fs::read(home.join("store").join("snapshot.bin")).unwrap();
+    // snapshot.bin = magic(8) + seq(8) + len(4) + crc(4) + image.
+    std::fs::write(home.join("wallet.bin"), &snapshot[24..]).unwrap();
+    std::fs::remove_dir_all(home.join("store")).unwrap();
+
+    let answer = ok(&home, &["query", "Maria", "BigISP.member"]);
+    assert!(answer.starts_with("GRANTED"), "{answer}");
+    let inspected = ok(&home, &["store", "inspect"]);
+    assert!(
+        inspected.contains("publish"),
+        "migration journals the legacy credentials: {inspected}"
+    );
+
+    let _ = std::fs::remove_dir_all(&home);
+}
+
 #[test]
 fn cli_error_paths() {
     let home = temp_home("errors");
