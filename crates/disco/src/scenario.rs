@@ -120,9 +120,13 @@ impl CoalitionScenario {
 
         // Discovery tags: "All entities and roles in our example are
         // assumed to be tagged with the subject discovery type 'S'".
+        // Learned tags lapse after their TTL, so it must exceed the
+        // worst-case discovery latency of the chaos runs (retries and
+        // timeouts burn simulated ticks); expiry behaviour itself is
+        // exercised by the dedicated TTL tests in `drbac-net`.
         let tag = |home: &str| {
             DiscoveryTag::new(home)
-                .with_ttl(Ticks(30))
+                .with_ttl(Ticks(240))
                 .with_subject_flag(SubjectFlag::Search)
         };
         let bigisp_tag = tag(BIGISP_WALLET);

@@ -43,10 +43,10 @@ use drbac_core::{
 pub struct DelegationGraph {
     pub(crate) by_subject: HashMap<Node, Vec<Arc<SignedDelegation>>>,
     pub(crate) by_object: HashMap<Node, Vec<Arc<SignedDelegation>>>,
-    by_id: HashMap<DelegationId, Arc<SignedDelegation>>,
+    pub(crate) by_id: HashMap<DelegationId, Arc<SignedDelegation>>,
     /// Support proofs provided at publication, keyed by (issuer, right).
     pub(crate) supports: HashMap<(EntityId, Node), Proof>,
-    declarations: DeclarationSet,
+    pub(crate) declarations: DeclarationSet,
     pub(crate) revoked: BTreeSet<DelegationId>,
 }
 

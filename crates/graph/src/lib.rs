@@ -8,16 +8,29 @@
 //!
 //! * [`DelegationGraph`] — an indexed store of signed delegations,
 //!   provided support proofs, attribute declarations, and revocations;
+//! * [`ShardedGraph`] — the same store sharded by subject-entity
+//!   fingerprint behind per-shard locks, so concurrent readers and
+//!   writers don't serialize on one lock;
 //! * the three query forms of §4.1 — [`DelegationGraph::direct_query`]
 //!   (`S ⇒ O?`), [`DelegationGraph::subject_query`] (`S ⇒ *`), and
-//!   [`DelegationGraph::object_query`] (`* ⇒ O`) — all constraint-aware;
+//!   [`DelegationGraph::object_query`] (`* ⇒ O`) — all constraint-aware
+//!   and available against any [`GraphView`] (see [`direct_query_on`]);
 //! * monotonicity-based pruning of constrained searches (§4.2.3), with
-//!   [`SearchStats`] so experiments can measure its effect.
+//!   [`SearchStats`] so experiments can measure its effect;
+//! * optional parallel frontier expansion
+//!   ([`SearchOptions::with_workers`]) with results identical to the
+//!   sequential search.
 //!
 //! See [`DelegationGraph`] for a worked example.
 
 mod graph;
 mod search;
+mod sharded;
+mod view;
 
 pub use graph::{DelegationGraph, GraphMetrics};
-pub use search::{SearchOptions, SearchStats};
+pub use search::{
+    direct_query_on, object_query_on, subject_query_on, SearchOptions, SearchStats,
+};
+pub use sharded::ShardedGraph;
+pub use view::GraphView;

@@ -1,14 +1,30 @@
 //! Chain search over the delegation graph: the three wallet query forms
 //! (§4.1) with monotonicity-based pruning (§4.2.3).
+//!
+//! The engine is generic over [`GraphView`] so the same traversal runs
+//! against the single-threaded [`DelegationGraph`] and the concurrent
+//! [`crate::ShardedGraph`]. With `workers > 1` the breadth-first frontier
+//! is expanded level-synchronously by a bounded worker pool: workers claim
+//! states from the current level with an atomic cursor and compute the
+//! frontier-independent part of each edge (attribute absorption,
+//! constraint pruning, support resolution, proof assembly), then a
+//! sequential merge replays dominance checks, frontier updates, and result
+//! insertion in exactly the order the single-threaded search would have
+//! used — so query *results* are identical for any worker count. Only the
+//! work counters may grow (speculative support resolution for edges the
+//! merge later dominance-prunes, and whole-level expansion where the
+//! sequential search would have returned mid-level).
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use drbac_core::{
-    AttrAccumulator, AttrConstraint, AttrOp, EntityId, Node, Proof, ProofStep, SignedDelegation,
-    Timestamp,
+    AttrAccumulator, AttrConstraint, AttrOp, DeclarationSet, DelegationId, EntityId, Node, Proof,
+    ProofStep, SignedDelegation, Timestamp,
 };
 
+use crate::view::GraphView;
 use crate::DelegationGraph;
 
 /// Parameters of a graph search.
@@ -26,6 +42,9 @@ pub struct SearchOptions {
     pub prune_by_constraints: bool,
     /// Depth limit for recursive support-proof resolution (default 8).
     pub max_support_depth: usize,
+    /// Worker threads for frontier expansion (default 1 = sequential).
+    /// Results are identical for any value; see the module docs.
+    pub workers: usize,
 }
 
 impl SearchOptions {
@@ -37,6 +56,7 @@ impl SearchOptions {
             max_depth: 64,
             prune_by_constraints: true,
             max_support_depth: 8,
+            workers: 1,
         }
     }
 
@@ -55,6 +75,12 @@ impl SearchOptions {
     /// Sets the primary-chain depth limit.
     pub fn with_max_depth(mut self, depth: usize) -> Self {
         self.max_depth = depth;
+        self
+    }
+
+    /// Sets the frontier-expansion worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -90,9 +116,10 @@ enum Direction {
     Reverse,
 }
 
-struct Engine<'g> {
-    graph: &'g DelegationGraph,
+struct Engine<'g, G: GraphView + ?Sized> {
+    graph: &'g G,
     opts: &'g SearchOptions,
+    decls: DeclarationSet,
     stats: SearchStats,
 }
 
@@ -101,6 +128,71 @@ struct State {
     node: Node,
     proof: Proof,
     acc: AttrAccumulator,
+}
+
+/// Frontier-independent expansion of one edge, produced by a worker and
+/// consumed by the sequential merge.
+struct Candidate {
+    next_node: Node,
+    acc: AttrAccumulator,
+    proof: Proof,
+    satisfies: bool,
+}
+
+/// Direct query (§4.1) against any [`GraphView`]: does a proof
+/// `subject ⇒ object` exist that satisfies the constraints? Returns the
+/// first one found (breadth-first, so minimal chain length) and the search
+/// work done.
+pub fn direct_query_on<G: GraphView + ?Sized>(
+    graph: &G,
+    subject: &Node,
+    object: &Node,
+    opts: &SearchOptions,
+) -> (Option<Proof>, SearchStats) {
+    let mut engine = Engine::new(graph, opts);
+    let found = engine
+        .search(subject, Some(object), Direction::Forward)
+        .remove(object);
+    (found, engine.stats)
+}
+
+/// Subject query (§4.1) against any [`GraphView`]: enumerate proofs
+/// `subject ⇒ *` that do not violate the constraints, one per reachable
+/// node, in deterministic order (chain length, then delegation ids).
+pub fn subject_query_on<G: GraphView + ?Sized>(
+    graph: &G,
+    subject: &Node,
+    opts: &SearchOptions,
+) -> (Vec<Proof>, SearchStats) {
+    let mut engine = Engine::new(graph, opts);
+    let reached = engine.search(subject, None, Direction::Forward);
+    let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
+    proofs.sort_by_cached_key(|p| order_key(p, p.object()));
+    (proofs, engine.stats)
+}
+
+/// Object query (§4.1) against any [`GraphView`]: enumerate proofs
+/// `* ⇒ object` that do not violate the constraints, one per reaching
+/// node, in deterministic order (chain length, then delegation ids).
+pub fn object_query_on<G: GraphView + ?Sized>(
+    graph: &G,
+    object: &Node,
+    opts: &SearchOptions,
+) -> (Vec<Proof>, SearchStats) {
+    let mut engine = Engine::new(graph, opts);
+    let reached = engine.search(object, None, Direction::Reverse);
+    let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
+    proofs.sort_by_cached_key(|p| order_key(p, p.subject()));
+    (proofs, engine.stats)
+}
+
+/// Deterministic multi-proof ordering: chain length first (shortest
+/// proofs lead), then the proof's full delegation-id set, then the far
+/// endpoint as a tiebreak. Independent of hash-map iteration order and
+/// shard count, so oracle tests and benches are stable.
+fn order_key(p: &Proof, endpoint: &Node) -> (usize, Vec<DelegationId>, String) {
+    let ids: Vec<DelegationId> = p.delegation_ids().into_iter().collect();
+    (p.chain_len(), ids, endpoint.to_string())
 }
 
 impl DelegationGraph {
@@ -113,43 +205,19 @@ impl DelegationGraph {
         object: &Node,
         opts: &SearchOptions,
     ) -> (Option<Proof>, SearchStats) {
-        let mut engine = Engine {
-            graph: self,
-            opts,
-            stats: SearchStats::default(),
-        };
-        let found = engine
-            .search(subject, Some(object), Direction::Forward)
-            .remove(object);
-        (found, engine.stats)
+        direct_query_on(self, subject, object, opts)
     }
 
     /// Subject query (§4.1): enumerate proofs `subject ⇒ *` that do not
     /// violate the constraints, one per reachable node.
     pub fn subject_query(&self, subject: &Node, opts: &SearchOptions) -> (Vec<Proof>, SearchStats) {
-        let mut engine = Engine {
-            graph: self,
-            opts,
-            stats: SearchStats::default(),
-        };
-        let reached = engine.search(subject, None, Direction::Forward);
-        let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
-        proofs.sort_by_key(|p| (p.chain_len(), p.object().to_string()));
-        (proofs, engine.stats)
+        subject_query_on(self, subject, opts)
     }
 
     /// Object query (§4.1): enumerate proofs `* ⇒ object` that do not
     /// violate the constraints, one per reaching node.
     pub fn object_query(&self, object: &Node, opts: &SearchOptions) -> (Vec<Proof>, SearchStats) {
-        let mut engine = Engine {
-            graph: self,
-            opts,
-            stats: SearchStats::default(),
-        };
-        let reached = engine.search(object, None, Direction::Reverse);
-        let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
-        proofs.sort_by_key(|p| (p.chain_len(), p.subject().to_string()));
-        (proofs, engine.stats)
+        object_query_on(self, object, opts)
     }
 }
 
@@ -171,11 +239,7 @@ impl DelegationGraph {
         opts: &SearchOptions,
         max_proofs: usize,
     ) -> (Vec<Proof>, SearchStats) {
-        let mut engine = Engine {
-            graph: self,
-            opts,
-            stats: SearchStats::default(),
-        };
+        let mut engine = Engine::new(self, opts);
         let mut proofs = Vec::new();
         let mut on_path: Vec<Node> = vec![subject.clone()];
         engine.enumerate(
@@ -190,7 +254,16 @@ impl DelegationGraph {
     }
 }
 
-impl Engine<'_> {
+impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
+    fn new(graph: &'g G, opts: &'g SearchOptions) -> Self {
+        Engine {
+            graph,
+            opts,
+            decls: graph.declaration_set(),
+            stats: SearchStats::default(),
+        }
+    }
+
     /// Depth-first simple-path enumeration for
     /// [`DelegationGraph::enumerate_proofs`].
     fn enumerate(
@@ -206,8 +279,7 @@ impl Engine<'_> {
             return;
         }
         self.stats.nodes_expanded += 1;
-        let edges: Vec<Arc<SignedDelegation>> =
-            self.graph.outgoing(node, self.opts.now).cloned().collect();
+        let edges = self.graph.edges_from(node, self.opts.now);
         for cert in edges {
             if proofs.len() >= max_proofs {
                 return;
@@ -223,7 +295,7 @@ impl Engine<'_> {
             }
             if self.opts.prune_by_constraints
                 && !self.opts.constraints.is_empty()
-                && !acc.satisfies(&self.opts.constraints, self.graph.declarations())
+                && !acc.satisfies(&self.opts.constraints, &self.decls)
             {
                 continue;
             }
@@ -238,7 +310,7 @@ impl Engine<'_> {
             if &next == target {
                 if candidate
                     .accumulate()
-                    .satisfies(&self.opts.constraints, self.graph.declarations())
+                    .satisfies(&self.opts.constraints, &self.decls)
                 {
                     proofs.push(candidate);
                 }
@@ -255,6 +327,19 @@ impl Engine<'_> {
     /// best (first-found, non-dominated) proof per reached node. If
     /// `target` is given, stops as soon as a satisfying proof reaches it.
     fn search(
+        &mut self,
+        start: &Node,
+        target: Option<&Node>,
+        dir: Direction,
+    ) -> HashMap<Node, Proof> {
+        if self.opts.workers > 1 {
+            self.search_level_parallel(start, target, dir)
+        } else {
+            self.search_sequential(start, target, dir)
+        }
+    }
+
+    fn search_sequential(
         &mut self,
         start: &Node,
         target: Option<&Node>,
@@ -283,17 +368,9 @@ impl Engine<'_> {
             if state.proof.chain_len() >= self.opts.max_depth {
                 continue;
             }
-            let edges: Vec<Arc<SignedDelegation>> = match dir {
-                Direction::Forward => self
-                    .graph
-                    .outgoing(&state.node, self.opts.now)
-                    .cloned()
-                    .collect(),
-                Direction::Reverse => self
-                    .graph
-                    .incoming(&state.node, self.opts.now)
-                    .cloned()
-                    .collect(),
+            let edges = match dir {
+                Direction::Forward => self.graph.edges_from(&state.node, self.opts.now),
+                Direction::Reverse => self.graph.edges_to(&state.node, self.opts.now),
             };
             for cert in edges {
                 self.stats.edges_considered += 1;
@@ -308,7 +385,7 @@ impl Engine<'_> {
                 }
                 if self.opts.prune_by_constraints
                     && !self.opts.constraints.is_empty()
-                    && !acc.satisfies(&self.opts.constraints, self.graph.declarations())
+                    && !acc.satisfies(&self.opts.constraints, &self.decls)
                 {
                     continue;
                 }
@@ -316,7 +393,7 @@ impl Engine<'_> {
                 // Dominance check against the node's frontier.
                 if frontier.get(&next_node).is_some_and(|seen| {
                     seen.iter()
-                        .any(|prev| dominates(prev, &acc, &self.opts.constraints, self.graph))
+                        .any(|prev| dominates(prev, &acc, &self.opts.constraints, &self.decls))
                 }) {
                     continue;
                 }
@@ -353,7 +430,7 @@ impl Engine<'_> {
                 // depth limit) must not dominance-prune a later viable
                 // path with the same accumulation.
                 let seen = frontier.entry(next_node.clone()).or_default();
-                seen.retain(|prev| !dominates(&acc, prev, &self.opts.constraints, self.graph));
+                seen.retain(|prev| !dominates(&acc, prev, &self.opts.constraints, &self.decls));
                 seen.push(acc.clone());
 
                 // A proof only counts as an answer if it satisfies the
@@ -362,7 +439,7 @@ impl Engine<'_> {
                 // in agreement with pruned ones).
                 if proof
                     .accumulate()
-                    .satisfies(&self.opts.constraints, self.graph.declarations())
+                    .satisfies(&self.opts.constraints, &self.decls)
                 {
                     results
                         .entry(next_node.clone())
@@ -382,6 +459,186 @@ impl Engine<'_> {
             }
         }
         results
+    }
+
+    /// Level-synchronous parallel variant of
+    /// [`Engine::search_sequential`]: each BFS level is expanded by a
+    /// worker pool, then merged sequentially in the exact order the
+    /// sequential search would have used, so results are identical.
+    fn search_level_parallel(
+        &mut self,
+        start: &Node,
+        target: Option<&Node>,
+        dir: Direction,
+    ) -> HashMap<Node, Proof> {
+        let mut results: HashMap<Node, Proof> = HashMap::new();
+        let mut frontier: HashMap<Node, Vec<AttrAccumulator>> = HashMap::new();
+        let mut queue: VecDeque<State> = VecDeque::new();
+
+        let initial = State {
+            node: start.clone(),
+            proof: Proof::trivial(start.clone()),
+            acc: AttrAccumulator::new(),
+        };
+        frontier
+            .entry(start.clone())
+            .or_default()
+            .push(initial.acc.clone());
+        results.insert(start.clone(), initial.proof.clone());
+        queue.push_back(initial);
+
+        while !queue.is_empty() {
+            let level: Vec<State> = queue.drain(..).collect();
+            let expansions: Vec<Vec<Candidate>> = if level.len() == 1 {
+                vec![self.expand_state(&level[0], dir)]
+            } else {
+                self.expand_level(&level, dir)
+            };
+            // Sequential merge, replaying the frontier-dependent steps in
+            // (state, edge) order — exactly the order the sequential
+            // search visits them.
+            for candidates in expansions {
+                for cand in candidates {
+                    if frontier.get(&cand.next_node).is_some_and(|seen| {
+                        seen.iter().any(|prev| {
+                            dominates(prev, &cand.acc, &self.opts.constraints, &self.decls)
+                        })
+                    }) {
+                        continue;
+                    }
+                    let seen = frontier.entry(cand.next_node.clone()).or_default();
+                    seen.retain(|prev| {
+                        !dominates(&cand.acc, prev, &self.opts.constraints, &self.decls)
+                    });
+                    seen.push(cand.acc.clone());
+                    if cand.satisfies {
+                        results
+                            .entry(cand.next_node.clone())
+                            .or_insert_with(|| cand.proof.clone());
+                        if target == Some(&cand.next_node) {
+                            results.insert(cand.next_node, cand.proof);
+                            return results;
+                        }
+                    }
+                    self.stats.states_enqueued += 1;
+                    queue.push_back(State {
+                        node: cand.next_node,
+                        proof: cand.proof,
+                        acc: cand.acc,
+                    });
+                }
+            }
+        }
+        results
+    }
+
+    /// Expands every state of one BFS level on a bounded worker pool.
+    /// Workers claim states through an atomic cursor (cheap work
+    /// stealing: an idle worker takes the next unclaimed state, so uneven
+    /// expansion costs balance out) and never touch shared search state.
+    fn expand_level(&mut self, level: &[State], dir: Direction) -> Vec<Vec<Candidate>> {
+        drbac_obs::static_counter!("drbac.graph.search.parallel_level.count").inc();
+        let workers = self.opts.workers.min(level.len());
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Vec<Candidate>, SearchStats)>> =
+            Mutex::new(Vec::with_capacity(level.len()));
+        let graph = self.graph;
+        let opts = self.opts;
+        let decls = &self.decls;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Engine {
+                        graph,
+                        opts,
+                        decls: decls.clone(),
+                        stats: SearchStats::default(),
+                    };
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= level.len() {
+                            break;
+                        }
+                        let candidates = local.expand_state(&level[idx], dir);
+                        let stats = std::mem::take(&mut local.stats);
+                        collected.lock().unwrap().push((idx, candidates, stats));
+                    }
+                });
+            }
+        });
+        let mut collected = collected.into_inner().unwrap();
+        collected.sort_by_key(|(idx, _, _)| *idx);
+        let mut expansions = Vec::with_capacity(collected.len());
+        for (_, candidates, stats) in collected {
+            self.stats.absorb(stats);
+            expansions.push(candidates);
+        }
+        expansions
+    }
+
+    /// The frontier-independent part of expanding one state: fetch edges,
+    /// absorb attributes, constraint-prune, resolve supports, assemble
+    /// the candidate proof. Support resolution is speculative here — the
+    /// merge may still dominance-prune the candidate — which can only
+    /// increase the work counters, never change results.
+    fn expand_state(&mut self, state: &State, dir: Direction) -> Vec<Candidate> {
+        self.stats.nodes_expanded += 1;
+        if state.proof.chain_len() >= self.opts.max_depth {
+            return Vec::new();
+        }
+        let edges = match dir {
+            Direction::Forward => self.graph.edges_from(&state.node, self.opts.now),
+            Direction::Reverse => self.graph.edges_to(&state.node, self.opts.now),
+        };
+        let mut out = Vec::new();
+        for cert in edges {
+            self.stats.edges_considered += 1;
+            let next_node = match dir {
+                Direction::Forward => cert.delegation().object().clone(),
+                Direction::Reverse => cert.delegation().subject().clone(),
+            };
+            let mut acc = state.acc.clone();
+            for clause in cert.delegation().clauses() {
+                acc.absorb_clause(clause);
+            }
+            if self.opts.prune_by_constraints
+                && !self.opts.constraints.is_empty()
+                && !acc.satisfies(&self.opts.constraints, &self.decls)
+            {
+                continue;
+            }
+            let Some(step) = self.build_step(&cert, &mut Vec::new(), 0) else {
+                continue;
+            };
+            let proof = match dir {
+                Direction::Forward => {
+                    let tail = Proof::from_steps(vec![step]).expect("single step");
+                    state
+                        .proof
+                        .clone()
+                        .concat(tail)
+                        .expect("linked by construction")
+                }
+                Direction::Reverse => {
+                    let head = Proof::from_steps(vec![step]).expect("single step");
+                    head.concat(state.proof.clone())
+                        .expect("linked by construction")
+                }
+            };
+            if !proof.respects_extension_depths() {
+                continue;
+            }
+            let satisfies = proof
+                .accumulate()
+                .satisfies(&self.opts.constraints, &self.decls);
+            out.push(Candidate {
+                next_node,
+                acc,
+                proof,
+                satisfies,
+            });
+        }
+        out
     }
 
     /// Wraps a credential in a proof step, attaching support proofs for
@@ -422,15 +679,15 @@ impl Engine<'_> {
         resolving: &mut Vec<(EntityId, Node)>,
         depth: usize,
     ) -> Option<Proof> {
-        if let Some(p) = self.graph.provided_support(issuer, right) {
+        if let Some(p) = self.graph.support_for(issuer, right) {
             // A provided support is only usable while none of its
             // credentials have been revoked or expired; otherwise fall
             // through to a fresh search.
             let usable = p.all_certs().iter().all(|c| {
-                !self.graph.is_revoked(c.id()) && !c.delegation().is_expired(self.opts.now)
+                !self.graph.id_revoked(c.id()) && !c.delegation().is_expired(self.opts.now)
             });
             if usable {
-                return Some(p.clone());
+                return Some(p);
             }
         }
         if depth >= self.opts.max_support_depth {
@@ -465,8 +722,7 @@ impl Engine<'_> {
             if proof.chain_len() >= self.opts.max_depth {
                 continue;
             }
-            let edges: Vec<Arc<SignedDelegation>> =
-                self.graph.outgoing(&node, self.opts.now).cloned().collect();
+            let edges = self.graph.edges_from(&node, self.opts.now);
             for cert in edges {
                 self.stats.edges_considered += 1;
                 let next = cert.delegation().object().clone();
@@ -500,14 +756,13 @@ fn dominates(
     a: &AttrAccumulator,
     b: &AttrAccumulator,
     constraints: &[AttrConstraint],
-    graph: &DelegationGraph,
+    decls: &DeclarationSet,
 ) -> bool {
     if constraints.is_empty() {
         return true;
     }
     constraints.iter().all(|c| {
-        let base = graph
-            .declarations()
+        let base = decls
             .base(&c.attr)
             .unwrap_or_else(|| natural_base(c.attr.op()));
         a.effective(&c.attr, base) >= b.effective(&c.attr, base)
@@ -1204,5 +1459,100 @@ mod tests {
             &SearchOptions::at(Timestamp(6)),
         );
         assert!(gone.is_none());
+    }
+
+    /// A moderately tangled fixture: role ladders with cross links, a
+    /// constrained branch, a supported third-party edge, and a cycle.
+    fn tangled_graph(f: &Fx) -> (DelegationGraph, Vec<Node>) {
+        let mut g = DelegationGraph::new();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        g.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+        let mut nodes = vec![Node::entity(&f.maria), Node::entity(&f.b)];
+        for chain in 0..3 {
+            let mut prev = Node::entity(&f.maria);
+            for depth in 0..4 {
+                let r = Node::role(f.a.role(&format!("c{chain}d{depth}")));
+                let mut b = f.a.delegate(prev.clone(), r.clone());
+                if chain == 1 {
+                    b = b.with_attr(bw.clone(), 400.0 - 100.0 * depth as f64).unwrap();
+                }
+                g.insert(b.sign(&f.a).unwrap());
+                nodes.push(r.clone());
+                prev = r;
+            }
+        }
+        // Cross links between the ladders.
+        let c0 = Node::role(f.a.role("c0d1"));
+        let c2 = Node::role(f.a.role("c2d3"));
+        g.insert(f.a.delegate(c0.clone(), c2.clone()).sign(&f.a).unwrap());
+        // A cycle.
+        g.insert(f.a.delegate(c2, c0).serial(7).sign(&f.a).unwrap());
+        // Third-party edge with discoverable support.
+        let member = Node::role(f.a.role("member"));
+        g.insert(
+            f.a.delegate(
+                Node::entity(&f.b),
+                Node::role_admin(f.a.role("member")),
+            )
+            .sign(&f.a)
+            .unwrap(),
+        );
+        g.insert(
+            f.b.delegate(Node::role(f.a.role("c0d3")), member.clone())
+                .sign(&f.b)
+                .unwrap(),
+        );
+        nodes.push(member);
+        (g, nodes)
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_results() {
+        let f = fx();
+        let (g, nodes) = tangled_graph(&f);
+        let bw = f.a.attr("BW", AttrOp::Min);
+        let variants = [
+            opts(),
+            opts().with_constraint(AttrConstraint::at_least(bw, 150.0)),
+        ];
+        for o in &variants {
+            for workers in [2usize, 4, 8] {
+                let par = o.clone().with_workers(workers);
+                for target in &nodes {
+                    let (seq_proof, _) = g.direct_query(&Node::entity(&f.maria), target, o);
+                    let (par_proof, _) = g.direct_query(&Node::entity(&f.maria), target, &par);
+                    assert_eq!(
+                        seq_proof, par_proof,
+                        "direct_query disagrees at workers={workers} target={target}"
+                    );
+                }
+                let (seq_s, _) = g.subject_query(&Node::entity(&f.maria), o);
+                let (par_s, _) = g.subject_query(&Node::entity(&f.maria), &par);
+                assert_eq!(seq_s, par_s, "subject_query disagrees at workers={workers}");
+                for target in &nodes {
+                    let (seq_o, _) = g.object_query(target, o);
+                    let (par_o, _) = g.object_query(target, &par);
+                    assert_eq!(seq_o, par_o, "object_query disagrees at workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_proof_order_is_deterministic_and_id_sorted() {
+        let f = fx();
+        let (g, _) = tangled_graph(&f);
+        let (first, _) = g.subject_query(&Node::entity(&f.maria), &opts());
+        for _ in 0..5 {
+            let (again, _) = g.subject_query(&Node::entity(&f.maria), &opts());
+            assert_eq!(first, again, "subject_query order must be stable");
+        }
+        // Proofs of equal chain length are ordered by their delegation-id
+        // sets, not by hash-map iteration order.
+        for w in first.windows(2) {
+            let ka = order_key(&w[0], w[0].object());
+            let kb = order_key(&w[1], w[1].object());
+            assert!(ka <= kb, "sorted by (chain_len, ids, endpoint)");
+        }
     }
 }

@@ -1,0 +1,62 @@
+//! Read abstraction over delegation storage.
+//!
+//! The chain-search engine ([`crate::SearchOptions`], `search.rs`) is
+//! generic over this trait so the same traversal, pruning, and
+//! support-resolution logic runs against both the single-threaded
+//! [`crate::DelegationGraph`] and the concurrent [`crate::ShardedGraph`].
+//! All methods return owned data: a view implementation may hold internal
+//! locks only for the duration of one call, never across search steps, so
+//! a search in progress can overlap with writers.
+
+use std::sync::Arc;
+
+use drbac_core::{DeclarationSet, DelegationId, EntityId, Node, Proof, SignedDelegation, Timestamp};
+
+use crate::DelegationGraph;
+
+/// Read-only delegation storage as seen by the search engine.
+///
+/// `Sync` is required so parallel frontier expansion can share the view
+/// across worker threads.
+pub trait GraphView: Sync {
+    /// Usable (unrevoked, unexpired at `now`) delegations whose subject is
+    /// `node`, in insertion order.
+    fn edges_from(&self, node: &Node, now: Timestamp) -> Vec<Arc<SignedDelegation>>;
+
+    /// Usable delegations whose object is `node`, in insertion order.
+    fn edges_to(&self, node: &Node, now: Timestamp) -> Vec<Arc<SignedDelegation>>;
+
+    /// The support proof provided at publication for `(issuer, right)`,
+    /// if any.
+    fn support_for(&self, issuer: EntityId, right: &Node) -> Option<Proof>;
+
+    /// `true` if `id` carries a revocation mark.
+    fn id_revoked(&self, id: DelegationId) -> bool;
+
+    /// Owned snapshot of the attribute declarations (base values). Taken
+    /// once per search, so constraint evaluation inside one search is
+    /// self-consistent even while declarations are concurrently updated.
+    fn declaration_set(&self) -> DeclarationSet;
+}
+
+impl GraphView for DelegationGraph {
+    fn edges_from(&self, node: &Node, now: Timestamp) -> Vec<Arc<SignedDelegation>> {
+        self.outgoing(node, now).cloned().collect()
+    }
+
+    fn edges_to(&self, node: &Node, now: Timestamp) -> Vec<Arc<SignedDelegation>> {
+        self.incoming(node, now).cloned().collect()
+    }
+
+    fn support_for(&self, issuer: EntityId, right: &Node) -> Option<Proof> {
+        self.provided_support(issuer, right).cloned()
+    }
+
+    fn id_revoked(&self, id: DelegationId) -> bool {
+        self.is_revoked(id)
+    }
+
+    fn declaration_set(&self) -> DeclarationSet {
+        self.declarations().clone()
+    }
+}

@@ -11,21 +11,71 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
-use drbac_core::{AttrConstraint, DiscoveryTag, EntityId, Node, Proof, WalletAddr};
+use drbac_core::{AttrConstraint, DiscoveryTag, EntityId, Node, Proof, Timestamp, WalletAddr};
 use drbac_wallet::{ProofMonitor, Wallet};
 
 use crate::proto::{Reply, Request};
 use crate::transport::{RetryPolicy, Transport};
 
+/// A stored discovery tag plus the time its TTL lapses (`None` =
+/// permanent: out-of-band registrations and tags with TTL 0).
+#[derive(Debug, Clone)]
+struct TagEntry {
+    tag: DiscoveryTag,
+    expires: Option<Timestamp>,
+}
+
+/// Records a learned tag with TTL-coherence refresh semantics:
+/// re-observing a tag extends its lifetime (latest expiry wins) and may
+/// promote it to permanent, but never shortens it — a permanent
+/// registration stays permanent.
+fn remember<K: std::hash::Hash + Eq>(
+    map: &mut HashMap<K, TagEntry>,
+    key: K,
+    tag: &DiscoveryTag,
+    expires: Option<Timestamp>,
+) {
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(mut slot) => {
+            let entry = slot.get_mut();
+            match (entry.expires, expires) {
+                (Some(old), Some(new)) if new > old => entry.expires = Some(new),
+                (Some(_), None) => entry.expires = None,
+                _ => {}
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            slot.insert(TagEntry {
+                tag: tag.clone(),
+                expires,
+            });
+        }
+    }
+}
+
+/// Result of a time-aware tag lookup ([`Directory::lookup`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagLookup<'a> {
+    /// A live tag — safe to follow.
+    Fresh(&'a DiscoveryTag),
+    /// A tag whose TTL lapsed; it must not be followed (the home wallet
+    /// hint is stale) and the discovery run is degraded.
+    Expired(&'a DiscoveryTag),
+    /// No tag known for the node.
+    Unknown,
+}
+
 /// Resolves nodes to their home wallets via discovery tags.
 ///
 /// Initially seeded from out-of-band knowledge (e.g. the tags on
 /// credentials an entity presents); enriched automatically with tags
-/// carried by discovered delegations.
+/// carried by discovered delegations. Tags learned from proofs honor the
+/// tag's TTL (`<home:role:ttl:flags>`): once it lapses the tag is no
+/// longer followed — see [`Directory::lookup`].
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    node_tags: HashMap<Node, DiscoveryTag>,
-    entity_tags: HashMap<EntityId, DiscoveryTag>,
+    node_tags: HashMap<Node, TagEntry>,
+    entity_tags: HashMap<EntityId, TagEntry>,
 }
 
 impl Directory {
@@ -34,44 +84,74 @@ impl Directory {
         Self::default()
     }
 
-    /// Registers a node's discovery tag.
+    /// Registers a node's discovery tag (out-of-band knowledge; never
+    /// expires).
     pub fn register(&mut self, node: Node, tag: DiscoveryTag) {
-        self.node_tags.insert(node, tag);
+        self.node_tags.insert(node, TagEntry { tag, expires: None });
     }
 
     /// Registers a namespace-wide tag for an entity (fallback for roles in
-    /// that namespace).
+    /// that namespace; never expires).
     pub fn register_entity(&mut self, entity: EntityId, tag: DiscoveryTag) {
-        self.entity_tags.insert(entity, tag);
+        self.entity_tags
+            .insert(entity, TagEntry { tag, expires: None });
     }
 
     /// The tag for `node`: exact registration first, then the namespace
-    /// owner's tag.
+    /// owner's tag. Ignores TTL expiry — use [`Directory::lookup`] on
+    /// discovery paths.
     pub fn tag_of(&self, node: &Node) -> Option<&DiscoveryTag> {
+        self.entry_of(node).map(|e| &e.tag)
+    }
+
+    fn entry_of(&self, node: &Node) -> Option<&TagEntry> {
         self.node_tags
             .get(node)
             .or_else(|| self.entity_tags.get(&node.namespace()))
     }
 
+    /// Time-aware lookup: distinguishes a live tag from one whose TTL has
+    /// lapsed, so discovery can both refuse to follow the stale hint and
+    /// mark the run degraded.
+    pub fn lookup(&self, node: &Node, now: Timestamp) -> TagLookup<'_> {
+        match self.entry_of(node) {
+            None => TagLookup::Unknown,
+            Some(entry) => match entry.expires {
+                Some(expires) if now > expires => TagLookup::Expired(&entry.tag),
+                _ => TagLookup::Fresh(&entry.tag),
+            },
+        }
+    }
+
     /// Absorbs the subject/object/issuer tags carried by every delegation
-    /// in `proof`.
+    /// in `proof`, without TTL tracking (entries never expire). Prefer
+    /// [`Directory::learn_from_proof_at`] when a current time is
+    /// available.
     pub fn learn_from_proof(&mut self, proof: &Proof) {
+        self.learn(proof, None);
+    }
+
+    /// As [`Directory::learn_from_proof`], but tags carrying a non-zero
+    /// TTL expire `ttl` ticks after `now` and are then no longer followed.
+    pub fn learn_from_proof_at(&mut self, proof: &Proof, now: Timestamp) {
+        self.learn(proof, Some(now));
+    }
+
+    fn learn(&mut self, proof: &Proof, now: Option<Timestamp>) {
+        let expiry = |tag: &DiscoveryTag| match now {
+            Some(now) if tag.ttl().0 > 0 => Some(now.after(tag.ttl())),
+            _ => None,
+        };
         for cert in proof.all_certs() {
             let d = cert.delegation();
             if let Some(tag) = d.subject_tag() {
-                self.node_tags
-                    .entry(d.subject().clone())
-                    .or_insert_with(|| tag.clone());
+                remember(&mut self.node_tags, d.subject().clone(), tag, expiry(tag));
             }
             if let Some(tag) = d.object_tag() {
-                self.node_tags
-                    .entry(d.object().clone())
-                    .or_insert_with(|| tag.clone());
+                remember(&mut self.node_tags, d.object().clone(), tag, expiry(tag));
             }
             if let Some(tag) = d.issuer_tag() {
-                self.entity_tags
-                    .entry(d.issuer())
-                    .or_insert_with(|| tag.clone());
+                remember(&mut self.entity_tags, d.issuer(), tag, expiry(tag));
             }
         }
     }
@@ -695,8 +775,25 @@ impl DiscoveryAgent {
         None
     }
 
-    fn home_of(&self, node: &Node) -> Option<WalletAddr> {
-        self.directory.tag_of(node).map(|t| t.home().clone())
+    /// Resolves a frontier node's home wallet. A tag whose TTL lapsed
+    /// mid-discovery is *not* followed — the hint is stale — and the run
+    /// is marked degraded so a miss is reported as weaker evidence.
+    fn home_of(&mut self, node: &Node) -> Option<WalletAddr> {
+        let now = self.local.now();
+        match self.directory.lookup(node, now) {
+            TagLookup::Fresh(tag) => Some(tag.home().clone()),
+            TagLookup::Expired(tag) => {
+                drbac_obs::static_counter!("drbac.net.discovery.tag_expired.count").inc();
+                drbac_obs::event!(
+                    "drbac.net.discovery.tag_expired",
+                    "node" => node.to_string(),
+                    "home" => tag.home().to_string(),
+                );
+                self.run_degraded = true;
+                None
+            }
+            TagLookup::Unknown => None,
+        }
     }
 
     /// First contact with a wallet: pull its attribute declarations so
@@ -727,7 +824,8 @@ impl DiscoveryAgent {
         let mut certs = 0;
         for proof in proofs {
             if self.local.absorb_proof(proof, source).is_ok() {
-                self.directory.learn_from_proof(proof);
+                let now = self.local.now();
+                self.directory.learn_from_proof_at(proof, now);
                 for id in proof.delegation_ids() {
                     certs += 1;
                     if self.auto_subscribe {
@@ -1060,6 +1158,145 @@ mod tests {
         let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(role), &[]);
         assert!(outcome.found(), "support repaired: {:?}", outcome.trace);
         assert!(local.wallet().unsupported_third_party().is_empty());
+    }
+
+    #[test]
+    fn expired_tag_is_not_followed_and_degrades_the_run() {
+        // Chain: Maria => r1 (local), r1 => r2 (wallet.a), r2 => r3
+        // (wallet.b). r2's home is advertised only by a TTL'd object tag
+        // on the r1 => r2 credential. Each RPC costs one tick per
+        // direction, so by the time the frontier reaches r2 the tag has
+        // lapsed — it must NOT be followed (no contact with wallet.b) and
+        // the run must be marked degraded.
+        let w = world();
+        let local = host(&w, "local");
+        let wallet_a = host(&w, "wallet.a");
+        let wallet_b = host(&w, "wallet.b");
+
+        let r1 = w.a.role("r1");
+        let r2 = w.a.role("r2");
+        let r3 = w.a.role("r3");
+        local
+            .wallet()
+            .publish(
+                w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        let stale_tag = DiscoveryTag::new("wallet.b")
+            .with_subject_flag(SubjectFlag::Search)
+            .with_ttl(Ticks(1));
+        wallet_a
+            .wallet()
+            .publish(
+                w.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                    .object_tag(stale_tag)
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        wallet_b
+            .wallet()
+            .publish(
+                w.a.delegate(Node::role(r2.clone()), Node::role(r3.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+
+        let mut dir = Directory::new();
+        dir.register(Node::role(r1.clone()), search_tag("wallet.a"));
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local.clone(), dir);
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(r3.clone()), &[]);
+        assert!(!outcome.found(), "trace: {:?}", outcome.trace);
+        assert!(
+            outcome.degraded,
+            "an expired tag must mark the run degraded"
+        );
+        assert!(
+            !outcome
+                .wallets_contacted
+                .contains(&WalletAddr::new("wallet.b")),
+            "the stale home hint must not be followed"
+        );
+
+        // Control run: the same topology with a generous TTL completes.
+        // (A separate intermediate host so the stale-tag credential from
+        // the first run can't shadow the fresh tag.)
+        let local2 = host(&w, "local2");
+        let wallet_a2 = host(&w, "wallet.a2");
+        local2
+            .wallet()
+            .publish(
+                w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        let fresh_tag = DiscoveryTag::new("wallet.b")
+            .with_subject_flag(SubjectFlag::Search)
+            .with_ttl(Ticks(1000));
+        wallet_a2
+            .wallet()
+            .publish(
+                w.a.delegate(Node::role(r1.clone()), Node::role(r2.clone()))
+                    .serial(2)
+                    .object_tag(fresh_tag)
+                    .sign(&w.a)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        let mut dir = Directory::new();
+        dir.register(Node::role(r1), search_tag("wallet.a2"));
+        let mut agent = DiscoveryAgent::new(w.net.clone(), local2, dir);
+        let outcome = agent.discover(&Node::entity(&w.maria), &Node::role(r3), &[]);
+        assert!(outcome.found(), "trace: {:?}", outcome.trace);
+        assert!(!outcome.degraded);
+        assert!(outcome
+            .wallets_contacted
+            .contains(&WalletAddr::new("wallet.b")));
+    }
+
+    #[test]
+    fn directory_lookup_distinguishes_fresh_expired_unknown() {
+        let w = world();
+        let r1 = w.a.role("r1");
+        let cert =
+            w.a.delegate(Node::entity(&w.maria), Node::role(r1.clone()))
+                .object_tag(search_tag("a.home").with_ttl(Ticks(5)))
+                .sign(&w.a)
+                .unwrap();
+        let proof = Proof::from_steps(vec![drbac_core::ProofStep::new(cert)]).unwrap();
+        let mut dir = Directory::new();
+        dir.learn_from_proof_at(&proof, drbac_core::Timestamp(10));
+        let node = Node::role(r1);
+        assert!(matches!(
+            dir.lookup(&node, drbac_core::Timestamp(15)),
+            TagLookup::Fresh(_)
+        ));
+        assert!(matches!(
+            dir.lookup(&node, drbac_core::Timestamp(16)),
+            TagLookup::Expired(_)
+        ));
+        assert!(matches!(
+            dir.lookup(&Node::role(w.b.role("x")), drbac_core::Timestamp(0)),
+            TagLookup::Unknown
+        ));
+        // Out-of-band registrations never lapse.
+        let reg = Node::role(w.a.role("reg"));
+        dir.register(reg.clone(), search_tag("somewhere"));
+        assert!(matches!(
+            dir.lookup(&reg, drbac_core::Timestamp(1_000_000)),
+            TagLookup::Fresh(_)
+        ));
+        // tag_of keeps answering regardless of expiry (diagnostics).
+        assert!(dir.tag_of(&node).is_some());
     }
 
     #[test]

@@ -42,7 +42,9 @@ mod switchboard;
 mod transport;
 
 pub use audit::{audit_store_compliance, redelegations_of, AuditEndpoint, StoreViolation};
-pub use discovery::{Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode};
+pub use discovery::{
+    Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode, TagLookup,
+};
 pub use push::{PushHub, PushPublisher};
 pub use service::{ServiceClosed, WalletClient, WalletService};
 pub use sim::{FaultPlan, NetError, NetStats, SimNet, StoreHandle, WalletHost};

@@ -130,7 +130,7 @@ impl WalletService {
             Request::FetchDelegation(id) => {
                 let now = wallet.now();
                 let live = wallet.get(id).filter(|c| {
-                    !wallet.with_graph(|g| g.is_revoked(id)) && !c.delegation().is_expired(now)
+                    !wallet.is_revoked(id) && !c.delegation().is_expired(now)
                 });
                 Reply::Delegation(live)
             }

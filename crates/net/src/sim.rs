@@ -308,7 +308,7 @@ impl WalletHost {
             Request::FetchDelegation(id) => {
                 let now = self.wallet.now();
                 let live = self.wallet.get(id).filter(|c| {
-                    !self.wallet.with_graph(|g| g.is_revoked(id)) && !c.delegation().is_expired(now)
+                    !self.wallet.is_revoked(id) && !c.delegation().is_expired(now)
                 });
                 Reply::Delegation(live)
             }
@@ -1272,7 +1272,7 @@ mod tests {
         assert_eq!(delivered, 2, "2 of 4 pushes delivered");
         let revoked_count = caches
             .iter()
-            .filter(|c| c.wallet().with_graph(|g| g.is_revoked(cert.id())))
+            .filter(|c| c.wallet().is_revoked(cert.id()))
             .count();
         assert_eq!(revoked_count, 2);
     }

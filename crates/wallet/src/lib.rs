@@ -20,6 +20,7 @@
 //! ([`Wallet::absorb_proof`]) with TTL-based coherence metadata; the
 //! inter-wallet protocol that keeps caches coherent lives in `drbac-net`.
 
+mod cache;
 mod durable;
 mod events;
 mod monitor;

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use drbac_core::{
@@ -10,10 +10,11 @@ use drbac_core::{
     SignedDelegation, SignedRevocation, SimClock, Ticks, Timestamp, ValidationContext,
     ValidationError, WalletAddr,
 };
-use drbac_graph::{DelegationGraph, SearchOptions, SearchStats};
+use drbac_graph::{DelegationGraph, SearchOptions, SearchStats, ShardedGraph};
 use drbac_store::{StoreEvent, WalletStore};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
+use crate::cache::{ProofCache, QueryKey};
 use crate::events::{DelegationEvent, InvalidationReason, SubscriptionId};
 use crate::monitor::{MonitorCore, ProofMonitor};
 
@@ -101,52 +102,25 @@ struct ProofWatch {
 struct WalletState {
     addr: WalletAddr,
     clock: SimClock,
-    graph: RwLock<DelegationGraph>,
+    /// The delegation store, sharded behind per-shard locks so concurrent
+    /// provers and publishers don't serialize (there is deliberately no
+    /// outer wallet-wide graph lock any more).
+    graph: ShardedGraph,
     subscriptions: Mutex<HashMap<DelegationId, Vec<(SubscriptionId, SubCallback)>>>,
     monitors: Mutex<HashMap<DelegationId, Vec<Weak<MonitorCore>>>>,
     watches: Mutex<Vec<ProofWatch>>,
     cache_meta: Mutex<HashMap<DelegationId, CacheEntry>>,
     signed_declarations: Mutex<Vec<SignedAttrDeclaration>>,
     next_subscription: AtomicU64,
-    /// Bumped by every mutation that can change query answers; cached
-    /// answers from older generations are discarded.
-    generation: AtomicU64,
-    query_cache: Mutex<HashMap<QueryKey, CachedAnswer>>,
+    /// The revocation-coherent direct-query answer cache; entries track
+    /// the delegation ids their proofs depend on and die with them.
+    proof_cache: ProofCache,
     cache_enabled: std::sync::atomic::AtomicBool,
+    /// Worker threads used for parallel proof search (1 = sequential).
+    search_workers: AtomicUsize,
     /// The attached write-ahead store, if any. Mutations are journaled
     /// here *before* they are applied to the graph.
     journal: Mutex<Option<Arc<WalletStore>>>,
-}
-
-/// Cache key for a direct query: endpoints plus constraints (operand
-/// bit-patterns keep `f64` hashable without loss).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct QueryKey {
-    subject: Node,
-    object: Node,
-    constraints: Vec<(drbac_core::AttrRef, u64)>,
-}
-
-impl QueryKey {
-    fn new(subject: &Node, object: &Node, constraints: &[AttrConstraint]) -> Self {
-        QueryKey {
-            subject: subject.clone(),
-            object: object.clone(),
-            constraints: constraints
-                .iter()
-                .map(|c| (c.attr.clone(), c.at_least.to_bits()))
-                .collect(),
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-struct CachedAnswer {
-    generation: u64,
-    /// Logical time the answer was computed at (expiry depends on it).
-    at: Timestamp,
-    /// `None` caches a negative answer.
-    found: Option<(Proof, drbac_core::AttrSummary)>,
 }
 
 /// A dRBAC wallet (paper Figure 1). Cheap to clone; clones share state.
@@ -189,7 +163,7 @@ impl fmt::Debug for Wallet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Wallet")
             .field("addr", &self.state.addr)
-            .field("delegations", &self.state.graph.read().len())
+            .field("delegations", &self.state.graph.len())
             .finish()
     }
 }
@@ -201,16 +175,16 @@ impl Wallet {
             state: Arc::new(WalletState {
                 addr: addr.into(),
                 clock,
-                graph: RwLock::new(DelegationGraph::new()),
+                graph: ShardedGraph::new(),
                 subscriptions: Mutex::new(HashMap::new()),
                 monitors: Mutex::new(HashMap::new()),
                 watches: Mutex::new(Vec::new()),
                 cache_meta: Mutex::new(HashMap::new()),
                 signed_declarations: Mutex::new(Vec::new()),
                 next_subscription: AtomicU64::new(0),
-                generation: AtomicU64::new(0),
-                query_cache: Mutex::new(HashMap::new()),
+                proof_cache: ProofCache::default(),
                 cache_enabled: std::sync::atomic::AtomicBool::new(true),
+                search_workers: AtomicUsize::new(1),
                 journal: Mutex::new(None),
             }),
         }
@@ -266,13 +240,47 @@ impl Wallet {
     pub fn set_query_cache(&self, enabled: bool) {
         self.state.cache_enabled.store(enabled, Ordering::SeqCst);
         if !enabled {
-            self.state.query_cache.lock().clear();
+            self.state.proof_cache.clear();
         }
     }
 
-    /// Invalidates cached query answers; called by every mutation.
-    fn bump_generation(&self) {
-        self.state.generation.fetch_add(1, Ordering::SeqCst);
+    /// Sets how many worker threads proof searches may use (clamped to at
+    /// least 1; 1 means sequential search).
+    pub fn set_search_workers(&self, workers: usize) {
+        self.state
+            .search_workers
+            .store(workers.max(1), Ordering::SeqCst);
+    }
+
+    /// Current proof-search worker-pool size.
+    pub fn search_workers(&self) -> usize {
+        self.state.search_workers.load(Ordering::SeqCst)
+    }
+
+    /// Number of direct-query answers currently held in the proof cache
+    /// (diagnostics; both positive and negative answers count).
+    pub fn cached_query_answers(&self) -> usize {
+        self.state.proof_cache.len()
+    }
+
+    /// Search options for the current time/constraints, carrying the
+    /// configured worker-pool size.
+    fn search_opts(&self, now: Timestamp, constraints: &[AttrConstraint]) -> SearchOptions {
+        let mut opts = SearchOptions::at(now);
+        opts.constraints = constraints.to_vec();
+        opts.workers = self.search_workers();
+        opts
+    }
+
+    /// A validation context carrying this wallet's declarations and full
+    /// revocation set.
+    fn validation_ctx(&self, now: Timestamp) -> ValidationContext {
+        let mut ctx =
+            ValidationContext::at(now).with_declarations(self.state.graph.declarations());
+        for id in self.state.graph.revoked_ids() {
+            ctx = ctx.with_revoked(id);
+        }
+        ctx
     }
 
     /// This wallet's address.
@@ -292,22 +300,29 @@ impl Wallet {
 
     /// Number of stored delegations.
     pub fn len(&self) -> usize {
-        self.state.graph.read().len()
+        self.state.graph.len()
     }
 
     /// `true` if no delegations are stored.
     pub fn is_empty(&self) -> bool {
-        self.state.graph.read().is_empty()
+        self.state.graph.is_empty()
     }
 
     /// `true` if the wallet holds delegation `id`.
     pub fn contains(&self, id: DelegationId) -> bool {
-        self.state.graph.read().contains(id)
+        self.state.graph.contains(id)
+    }
+
+    /// `true` if delegation `id` is marked revoked here. This reads a
+    /// single id shard — the fast path for per-credential liveness checks
+    /// (the network layer calls it on every served proof).
+    pub fn is_revoked(&self, id: DelegationId) -> bool {
+        self.state.graph.is_revoked(id)
     }
 
     /// Fetches a stored delegation.
     pub fn get(&self, id: DelegationId) -> Option<Arc<SignedDelegation>> {
-        self.state.graph.read().get(id).cloned()
+        self.state.graph.get(id)
     }
 
     /// Publishes a credential with its issuer-provided support proofs.
@@ -338,8 +353,8 @@ impl Wallet {
 
         // Validate each provided support proof in isolation.
         {
-            let graph = self.state.graph.read();
-            let ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+            let ctx =
+                ValidationContext::at(now).with_declarations(self.state.graph.declarations());
             let validator = ProofValidator::new(ctx);
             for support in &supports {
                 validator
@@ -348,12 +363,13 @@ impl Wallet {
             }
         }
 
-        // Journal the validated supports before applying them.
+        // Journal the validated supports before applying them (never
+        // while holding a shard lock — the store fsyncs under its own).
         for support in &supports {
             self.journal(&StoreEvent::Support(support.clone()))?;
         }
 
-        let mut graph = self.state.graph.write();
+        let graph = &self.state.graph;
         for support in supports {
             for c in support.all_certs() {
                 graph.insert(c);
@@ -388,13 +404,13 @@ impl Wallet {
             }
         }
 
-        // Journal before insertion, with the graph lock released (the
-        // store fsyncs under its own lock; never nest the two). Another
-        // publisher may slip in between — insertion is idempotent.
-        drop(graph);
+        // Journal before insertion. Another publisher may slip in
+        // between — insertion is idempotent.
         self.journal(&StoreEvent::Publish(Arc::clone(&cert)))?;
-        let id = self.state.graph.write().insert(Arc::clone(&cert));
-        self.bump_generation();
+        let id = self.state.graph.insert(Arc::clone(&cert));
+        // A new edge can only flip cached negatives, never break a
+        // cached proof.
+        self.state.proof_cache.invalidate_negatives();
         self.run_watches();
         Ok(id)
     }
@@ -411,11 +427,10 @@ impl Wallet {
         if !self.state.signed_declarations.lock().contains(decl) {
             self.journal(&StoreEvent::Declare(decl.clone()))?;
         }
-        self.state
-            .graph
-            .write()
-            .insert_declaration(decl.declaration());
-        self.bump_generation();
+        self.state.graph.insert_declaration(decl.declaration());
+        // Declarations re-base constraint evaluation and can flip answers
+        // in either direction — drop everything.
+        self.state.proof_cache.clear();
         let mut signed = self.state.signed_declarations.lock();
         if !signed.contains(decl) {
             signed.push(decl.clone());
@@ -449,8 +464,8 @@ impl Wallet {
         drbac_obs::static_counter!("drbac.wallet.absorb.count").inc();
         let now = self.now();
         {
-            let graph = self.state.graph.read();
-            let ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
+            let ctx =
+                ValidationContext::at(now).with_declarations(self.state.graph.declarations());
             ProofValidator::new(ctx)
                 .validate(proof)
                 .map_err(WalletError::Validation)?;
@@ -459,7 +474,7 @@ impl Wallet {
             proof: proof.clone(),
             source: source.clone(),
         })?;
-        let mut graph = self.state.graph.write();
+        let graph = &self.state.graph;
         let mut cache = self.state.cache_meta.lock();
         for cert in proof.all_certs() {
             let ttl = cert
@@ -477,10 +492,9 @@ impl Wallet {
             });
         }
         // Register the sub-proofs so future third-party steps revalidate.
-        register_supports(&mut graph, proof);
+        register_supports(graph, proof);
         drop(cache);
-        drop(graph);
-        self.bump_generation();
+        self.state.proof_cache.invalidate_negatives();
         self.run_watches();
         Ok(())
     }
@@ -529,8 +543,7 @@ impl Wallet {
         self.state.monitors.lock().clear();
         self.state.watches.lock().clear();
         self.state.cache_meta.lock().clear();
-        self.state.query_cache.lock().clear();
-        self.bump_generation();
+        self.state.proof_cache.clear();
     }
 
     /// Ids of cached entries whose TTL has lapsed.
@@ -571,61 +584,55 @@ impl Wallet {
         );
         let _timer = drbac_obs::static_histogram!("drbac.wallet.query.ns").start_timer();
         let now = self.now();
-        let generation = self.state.generation.load(Ordering::SeqCst);
+        match self.cached_answer(subject, object, constraints, now) {
+            (Some((proof, summary)), stats) => (Some(self.monitor_proof(proof, summary)), stats),
+            (None, stats) => (None, stats),
+        }
+    }
+
+    /// Shared direct-query core: serve from the proof cache when
+    /// possible, otherwise search + validate and populate the cache. The
+    /// cache epoch is captured *before* the search so an invalidation
+    /// racing with us discards our insert rather than losing the
+    /// invalidation.
+    fn cached_answer(
+        &self,
+        subject: &Node,
+        object: &Node,
+        constraints: &[AttrConstraint],
+        now: Timestamp,
+    ) -> (Option<(Proof, drbac_core::AttrSummary)>, SearchStats) {
         let cache_enabled = self.state.cache_enabled.load(Ordering::SeqCst);
         let key = QueryKey::new(subject, object, constraints);
         if cache_enabled {
-            let cache = self.state.query_cache.lock();
-            if let Some(entry) = cache.get(&key) {
-                if entry.generation == generation && entry.at == now {
-                    drbac_obs::static_counter!("drbac.wallet.query.cache_hit.count").inc();
-                    return match &entry.found {
-                        Some((proof, summary)) => (
-                            Some(self.monitor_proof(proof.clone(), summary.clone())),
-                            SearchStats::default(),
-                        ),
-                        None => (None, SearchStats::default()),
-                    };
-                }
+            if let Some(found) = self.state.proof_cache.get(&key, now) {
+                drbac_obs::static_counter!("drbac.wallet.query.cache_hit.count").inc();
+                drbac_obs::static_counter!("drbac.graph.proof_cache.hit.count").inc();
+                return (found, SearchStats::default());
             }
         }
 
         drbac_obs::static_counter!("drbac.wallet.query.cache_miss.count").inc();
-        let graph = self.state.graph.read();
-        let mut opts = SearchOptions::at(now);
-        opts.constraints = constraints.to_vec();
-        let (proof, stats) = graph.direct_query(subject, object, &opts);
+        drbac_obs::static_counter!("drbac.graph.proof_cache.miss.count").inc();
+        let epoch = self.state.proof_cache.epoch();
+        let opts = self.search_opts(now, constraints);
+        let (proof, stats) = self.state.graph.direct_query(subject, object, &opts);
         let answer = proof.and_then(|proof| {
-            let mut ctx =
-                ValidationContext::at(now).with_declarations(graph.declarations().clone());
-            for id in graph.revoked().iter() {
-                ctx = ctx.with_revoked(*id);
-            }
-            ProofValidator::new(ctx)
+            ProofValidator::new(self.validation_ctx(now))
                 .validate_query(&proof, subject, object, constraints)
                 .ok()
                 .map(|summary| (proof, summary))
         });
-        drop(graph);
         if cache_enabled {
-            self.state.query_cache.lock().insert(
-                key,
-                CachedAnswer {
-                    generation,
-                    at: now,
-                    found: answer.clone(),
-                },
-            );
+            self.state.proof_cache.insert(key, answer.clone(), epoch);
         }
-        match answer {
-            Some((proof, summary)) => (Some(self.monitor_proof(proof, summary)), stats),
-            None => (None, stats),
-        }
+        (answer, stats)
     }
 
     /// As [`Wallet::query_direct`] but returning the bare validated proof
     /// without registering a monitor — the form used when answering
     /// remote queries, where monitoring happens at the requester's wallet.
+    /// Shares the proof cache with [`Wallet::query_direct`].
     pub fn find_proof(
         &self,
         subject: &Node,
@@ -633,37 +640,23 @@ impl Wallet {
         constraints: &[AttrConstraint],
     ) -> Option<Proof> {
         let now = self.now();
-        let graph = self.state.graph.read();
-        let mut opts = SearchOptions::at(now);
-        opts.constraints = constraints.to_vec();
-        let (proof, _) = graph.direct_query(subject, object, &opts);
-        let proof = proof?;
-        let mut ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
-        for id in graph.revoked().iter() {
-            ctx = ctx.with_revoked(*id);
-        }
-        ProofValidator::new(ctx)
-            .validate_query(&proof, subject, object, constraints)
-            .ok()
-            .map(|_| proof)
+        self.cached_answer(subject, object, constraints, now)
+            .0
+            .map(|(proof, _)| proof)
     }
 
     /// Subject query (§4.1): all proofs `subject ⇒ *` not violating
     /// `constraints`.
     pub fn query_subject(&self, subject: &Node, constraints: &[AttrConstraint]) -> Vec<Proof> {
-        let graph = self.state.graph.read();
-        let mut opts = SearchOptions::at(self.now());
-        opts.constraints = constraints.to_vec();
-        graph.subject_query(subject, &opts).0
+        let opts = self.search_opts(self.now(), constraints);
+        self.state.graph.subject_query(subject, &opts).0
     }
 
     /// Object query (§4.1): all proofs `* ⇒ object` not violating
     /// `constraints`.
     pub fn query_object(&self, object: &Node, constraints: &[AttrConstraint]) -> Vec<Proof> {
-        let graph = self.state.graph.read();
-        let mut opts = SearchOptions::at(self.now());
-        opts.constraints = constraints.to_vec();
-        graph.object_query(object, &opts).0
+        let opts = self.search_opts(self.now(), constraints);
+        self.state.graph.object_query(object, &opts).0
     }
 
     /// Registers a freshly discovered support proof after validating it
@@ -675,23 +668,13 @@ impl Wallet {
     /// [`WalletError::Validation`] if the proof fails validation here.
     pub fn provide_support(&self, support: Proof) -> Result<(), WalletError> {
         let now = self.now();
-        {
-            let graph = self.state.graph.read();
-            let mut ctx =
-                ValidationContext::at(now).with_declarations(graph.declarations().clone());
-            for id in graph.revoked().iter() {
-                ctx = ctx.with_revoked(*id);
-            }
-            ProofValidator::new(ctx).validate(&support)?;
-        }
+        ProofValidator::new(self.validation_ctx(now)).validate(&support)?;
         self.journal(&StoreEvent::Support(support.clone()))?;
-        let mut graph = self.state.graph.write();
         for cert in support.all_certs() {
-            graph.insert(cert);
+            self.state.graph.insert(cert);
         }
-        graph.provide_support(support);
-        drop(graph);
-        self.bump_generation();
+        self.state.graph.provide_support(support);
+        self.state.proof_cache.invalidate_negatives();
         self.run_watches();
         Ok(())
     }
@@ -702,14 +685,10 @@ impl Wallet {
     /// the inputs for remote support re-discovery.
     pub fn unsupported_third_party(&self) -> Vec<(drbac_core::EntityId, Node, Vec<Node>)> {
         let now = self.now();
-        let graph = self.state.graph.read();
-        let mut ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
-        for id in graph.revoked().iter() {
-            ctx = ctx.with_revoked(*id);
-        }
-        let validator = ProofValidator::new(ctx);
+        let graph = &self.state.graph;
+        let validator = ProofValidator::new(self.validation_ctx(now));
         let mut out = Vec::new();
-        for cert in graph.iter() {
+        for cert in graph.iter_certs() {
             if graph.is_revoked(cert.id()) || cert.delegation().is_expired(now) {
                 continue;
             }
@@ -727,7 +706,7 @@ impl Wallet {
             for right in needed {
                 let provided_ok = graph
                     .provided_support(d.issuer(), &right)
-                    .is_some_and(|p| validator.validate(p).is_ok());
+                    .is_some_and(|p| validator.validate(&p).is_ok());
                 if provided_ok {
                     continue;
                 }
@@ -751,13 +730,7 @@ impl Wallet {
     /// [`WalletError::Validation`] if the proof does not validate here.
     pub fn monitor_external_proof(&self, proof: Proof) -> Result<ProofMonitor, WalletError> {
         let now = self.now();
-        let graph = self.state.graph.read();
-        let mut ctx = ValidationContext::at(now).with_declarations(graph.declarations().clone());
-        for id in graph.revoked().iter() {
-            ctx = ctx.with_revoked(*id);
-        }
-        let summary = ProofValidator::new(ctx).validate(&proof)?;
-        drop(graph);
+        let summary = ProofValidator::new(self.validation_ctx(now)).validate(&proof)?;
         Ok(self.monitor_proof(proof, summary))
     }
 
@@ -864,8 +837,8 @@ impl Wallet {
         let cert = self.get(id).ok_or(WalletError::UnknownDelegation(id))?;
         revocation.verify_against(&cert)?;
         self.journal(&StoreEvent::Revoke(revocation.clone()))?;
-        self.state.graph.write().revoke(id);
-        self.bump_generation();
+        self.state.graph.revoke(id);
+        self.state.proof_cache.invalidate_dep(id);
         Ok(self.push_event(DelegationEvent {
             delegation: id,
             reason: InvalidationReason::Revoked,
@@ -877,25 +850,22 @@ impl Wallet {
     /// after advancing the clock.
     pub fn process_expiries(&self) -> (usize, usize) {
         let now = self.now();
-        let expired: Vec<DelegationId> = {
-            let graph = self.state.graph.read();
-            graph
-                .iter()
-                .filter(|c| c.delegation().is_expired(now))
-                .map(|c| c.id())
-                .collect()
-        };
+        let expired: Vec<DelegationId> = self
+            .state
+            .graph
+            .iter_certs()
+            .into_iter()
+            .filter(|c| c.delegation().is_expired(now))
+            .map(|c| c.id())
+            .collect();
         for id in &expired {
             self.journal_best_effort(&StoreEvent::Expire(*id));
         }
         let mut notifications = 0;
-        {
-            let mut graph = self.state.graph.write();
-            for id in &expired {
-                graph.remove(*id);
-            }
+        for id in &expired {
+            self.state.graph.remove(*id);
+            self.state.proof_cache.invalidate_dep(*id);
         }
-        self.bump_generation();
         for id in &expired {
             notifications += self.push_event(DelegationEvent {
                 delegation: *id,
@@ -918,12 +888,9 @@ impl Wallet {
         // Journal the invalidation if it is news to this wallet (the
         // revoke()/process_expiries() paths journal before calling here,
         // in which case the graph already reflects it).
-        let already_known = {
-            let graph = self.state.graph.read();
-            match event.reason {
-                InvalidationReason::Revoked => graph.is_revoked(event.delegation),
-                InvalidationReason::Expired => !graph.contains(event.delegation),
-            }
+        let already_known = match event.reason {
+            InvalidationReason::Revoked => self.state.graph.is_revoked(event.delegation),
+            InvalidationReason::Expired => !self.state.graph.contains(event.delegation),
         };
         if !already_known {
             self.journal_best_effort(&match event.reason {
@@ -931,16 +898,17 @@ impl Wallet {
                 InvalidationReason::Expired => StoreEvent::Expire(event.delegation),
             });
         }
-        // Mirror the invalidation into the local graph FIRST, so that
-        // callbacks re-entering the wallet (e.g. a resilient session
-        // immediately re-authorizing) never see the dead credential.
+        // Mirror the invalidation into the local graph and drop every
+        // cached proof depending on it FIRST, so that callbacks
+        // re-entering the wallet (e.g. a resilient session immediately
+        // re-authorizing) never see the dead credential — cached or live.
         if event.reason == InvalidationReason::Revoked {
-            self.state.graph.write().revoke(event.delegation);
+            self.state.graph.revoke(event.delegation);
         } else {
-            self.state.graph.write().remove(event.delegation);
+            self.state.graph.remove(event.delegation);
         }
         self.state.cache_meta.lock().remove(&event.delegation);
-        self.bump_generation();
+        self.state.proof_cache.invalidate_dep(event.delegation);
 
         let mut delivered = 0;
         // Snapshot subscriber callbacks and fire them without holding the
@@ -976,10 +944,13 @@ impl Wallet {
         delivered
     }
 
-    /// Read access to the underlying graph for diagnostics and
-    /// experiments. Holds a read lock for the closure's duration.
+    /// Read access to a point-in-time [`DelegationGraph`] snapshot of the
+    /// sharded store, for diagnostics, experiments, and oracle checks.
+    /// This materializes the whole graph — prefer the direct accessors
+    /// ([`Wallet::is_revoked`], [`Wallet::get`], the query methods) on
+    /// hot paths.
     pub fn with_graph<T>(&self, f: impl FnOnce(&DelegationGraph) -> T) -> T {
-        f(&self.state.graph.read())
+        f(&self.state.graph.snapshot())
     }
 
     /// Serializes the wallet's durable contents — credentials, provided
@@ -991,7 +962,7 @@ impl Wallet {
     /// cached entries must be revalidated after a restart anyway.
     pub fn export_bytes(&self) -> Vec<u8> {
         use drbac_core::{Encode, Writer};
-        let graph = self.state.graph.read();
+        let graph = self.state.graph.snapshot();
         let mut w = Writer::tagged(b"drbac-wallet-v1");
 
         let certs: Vec<Arc<SignedDelegation>> = graph.iter().cloned().collect();
@@ -1079,14 +1050,11 @@ impl Wallet {
                 Err(_) => report.rejected += 1,
             }
         }
-        {
-            for support in &supports {
-                self.journal_best_effort(&StoreEvent::Support(support.clone()));
-            }
-            let mut graph = self.state.graph.write();
-            for support in supports {
-                graph.provide_support(support);
-            }
+        for support in &supports {
+            self.journal_best_effort(&StoreEvent::Support(support.clone()));
+        }
+        for support in supports {
+            self.state.graph.provide_support(support);
         }
         for cert in certs {
             if cert.verify(now).is_err() {
@@ -1094,15 +1062,17 @@ impl Wallet {
                 continue;
             }
             self.journal_best_effort(&StoreEvent::Publish(Arc::clone(&cert)));
-            self.state.graph.write().insert(cert);
+            self.state.graph.insert(cert);
             report.credentials += 1;
         }
         for id in revoked {
             self.journal_best_effort(&StoreEvent::RevokeMark(id));
-            self.state.graph.write().revoke(id);
+            self.state.graph.revoke(id);
             report.revocations += 1;
         }
-        self.bump_generation();
+        // An import can add and revoke in one sweep — reset the cache
+        // wholesale rather than reasoning per entry.
+        self.state.proof_cache.clear();
         self.run_watches();
         Ok(report)
     }
@@ -1112,7 +1082,7 @@ impl Wallet {
     /// Pair with [`Wallet::recover_from_store`] to model a full
     /// crash/restart cycle against a write-ahead store.
     pub fn wipe(&self) {
-        *self.state.graph.write() = DelegationGraph::new();
+        self.state.graph.clear();
         self.state.signed_declarations.lock().clear();
         self.clear_volatile();
     }
@@ -1190,13 +1160,13 @@ impl Wallet {
                 self.revoke(&revocation)?;
             }
             StoreEvent::RevokeMark(id) => {
-                self.state.graph.write().revoke(id);
-                self.bump_generation();
+                self.state.graph.revoke(id);
+                self.state.proof_cache.invalidate_dep(id);
             }
             StoreEvent::Expire(id) => {
-                self.state.graph.write().remove(id);
+                self.state.graph.remove(id);
                 self.state.cache_meta.lock().remove(&id);
-                self.bump_generation();
+                self.state.proof_cache.invalidate_dep(id);
             }
         }
         Ok(())
@@ -1234,7 +1204,7 @@ pub struct RecoveryReport {
 }
 
 /// Recursively registers every support proof found in `proof`.
-fn register_supports(graph: &mut DelegationGraph, proof: &Proof) {
+fn register_supports(graph: &ShardedGraph, proof: &Proof) {
     for step in proof.steps() {
         for support in step.supports() {
             graph.provide_support(support.clone());

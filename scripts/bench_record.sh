@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Records the concurrent proof-engine benchmark into
+# BENCH_proof_engine.json (repo root): proof-query throughput at 1/2/4/8
+# prover threads, cold vs warm proof cache.
+#
+# Usage: scripts/bench_record.sh [--smoke]
+#   --smoke   tiny query counts, no acceptance thresholds — used by
+#             scripts/check.sh to keep the pipeline honest and fast.
+#
+# A full run (no flag) also enforces the acceptance thresholds: warm
+# throughput ≥2x from 1 to 4 threads, cold single-thread within 10% of
+# the pre-refactor baseline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p drbac-bench --bin proof_engine_record
+target/release/proof_engine_record "${1:-}"

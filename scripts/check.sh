@@ -8,8 +8,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release) =="
-cargo build --release --workspace
+echo "== build (release, deny warnings) =="
+RUSTFLAGS="-D warnings" cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q --workspace
@@ -19,6 +19,16 @@ for seed in 1 2 3; do
     echo "-- DRBAC_CHAOS_SEED=$seed"
     DRBAC_CHAOS_SEED=$seed cargo test -q --test chaos
 done
+
+echo "== concurrency & proof-cache coherence (seed matrix) =="
+for seed in 1 2 3; do
+    echo "-- DRBAC_CHAOS_SEED=$seed"
+    DRBAC_CHAOS_SEED=$seed cargo test -q --test concurrency --test proof_cache
+done
+
+echo "== proof-engine bench (smoke) =="
+scripts/bench_record.sh --smoke >/dev/null
+test -s BENCH_proof_engine.json
 
 echo "== durable store (unit suite + on-disk verify) =="
 cargo test -q -p drbac-store

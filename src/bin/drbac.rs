@@ -59,6 +59,7 @@ fn main() -> ExitCode {
 
 fn run(mut args: Vec<String>) -> Result<String, String> {
     let home = extract_home(&mut args)?;
+    let workers = extract_workers(&mut args)?;
     let Some(command) = args.first().cloned() else {
         return Err(usage());
     };
@@ -70,6 +71,7 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
         return store_command(&home, rest);
     }
     let mut ctx = Context::load(&home)?;
+    ctx.wallet.wallet().set_search_workers(workers);
     match command.as_str() {
         "keygen" => ctx.keygen(rest),
         "entities" => ctx.entities(),
@@ -90,7 +92,8 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: drbac [--home DIR] <command>\n\
+    "usage: drbac [--home DIR] [--workers N] <command>\n\
+     (--workers N / DRBAC_WORKERS sizes the parallel proof-search pool; default 1)\n\
      commands:\n\
      \x20 keygen <Name>                         create an identity\n\
      \x20 entities                              list known entities\n\
@@ -336,6 +339,30 @@ fn extract_home(args: &mut Vec<String>) -> Result<PathBuf, String> {
         return Ok(PathBuf::from(dir));
     }
     Ok(PathBuf::from("drbac-home"))
+}
+
+/// Pulls a global `--workers N` flag (fallback: `DRBAC_WORKERS`) sizing
+/// the wallet's parallel proof-search pool. Defaults to 1 (sequential).
+fn extract_workers(args: &mut Vec<String>) -> Result<usize, String> {
+    let raw = if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        if pos + 1 >= args.len() {
+            return Err("--workers requires a thread count".into());
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Some(value)
+    } else {
+        std::env::var("DRBAC_WORKERS").ok()
+    };
+    match raw {
+        None => Ok(1),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "--workers must be a positive integer, got {value:?}"
+            )),
+        },
+    }
 }
 
 /// Snapshot + compact once the log exceeds this many records, so a

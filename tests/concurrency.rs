@@ -3,12 +3,15 @@
 //! deadlock-free — wallets are the shared substrate every host component
 //! touches.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use drbac::core::{LocalEntity, Node, SignedDelegation, SignedRevocation, SimClock};
+use drbac::core::{
+    DelegationId, LocalEntity, Node, Proof, SignedDelegation, SignedRevocation, SimClock,
+};
 use drbac::crypto::SchnorrGroup;
-use drbac::wallet::Wallet;
+use drbac::wallet::{ProofMonitor, Wallet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -162,4 +165,202 @@ fn shared_clock_and_wallet_clones_are_coherent() {
 
     // Time passed 100 ticks: the credential expired and is gone.
     assert!(wallet.is_empty());
+}
+
+/// Normalizes a query result set to the delegation-id sets of its
+/// proofs, preserving order — the deterministic-ordering guarantee means
+/// two searches over the *same graph* must produce the same list.
+fn id_sets(proofs: &[Proof]) -> Vec<BTreeSet<DelegationId>> {
+    proofs.iter().map(|p| p.delegation_ids()).collect()
+}
+
+/// Normalizes a query result set to the proven relationships. Two
+/// wallets holding the same credentials must prove the same
+/// relationships, though each may pick a different representative proof
+/// when several equivalent ones exist.
+fn relationships(proofs: &[Proof]) -> BTreeSet<String> {
+    proofs
+        .iter()
+        .map(|p| format!("{} => {}", p.subject(), p.object()))
+        .collect()
+}
+
+/// Prover threads hammer direct/subject/object queries (through the
+/// proof cache and the parallel search pool) while writer threads
+/// publish and revoke. After quiesce, every answer must equal a fresh
+/// single-threaded, cache-disabled search over the same credentials
+/// (oracle check), and a post-quiesce revocation sweep must fire the
+/// monitor of every cached proof it invalidates.
+#[test]
+fn racing_provers_agree_with_a_single_threaded_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    let g = SchnorrGroup::test_256();
+    let owner = Arc::new(LocalEntity::generate("Owner", g.clone(), &mut rng));
+    let users: Vec<Arc<LocalEntity>> = (0..4)
+        .map(|i| Arc::new(LocalEntity::generate(format!("P{i}"), g.clone(), &mut rng)))
+        .collect();
+    let clock = SimClock::new();
+    let wallet = Wallet::new("oracle-race", clock.clone());
+    wallet.set_search_workers(4);
+
+    let per_user = 10usize;
+    let mut certs: Vec<Vec<SignedDelegation>> = Vec::new();
+    for user in &users {
+        certs.push(
+            (0..per_user)
+                .map(|serial| {
+                    owner
+                        .delegate(Node::entity(user.as_ref()), Node::role(owner.role("race")))
+                        .serial(serial as u64)
+                        .sign(&owner)
+                        .unwrap()
+                })
+                .collect(),
+        );
+    }
+
+    // Monitors collected by the provers, with a fired-callback counter
+    // attached to each — the post-quiesce sweep checks them all.
+    let monitors: Arc<Mutex<Vec<(ProofMonitor, Arc<AtomicUsize>)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|scope| {
+        // Writers: publish one user's credentials, revoking every third.
+        for list in certs.iter() {
+            let wallet = wallet.clone();
+            let owner = Arc::clone(&owner);
+            scope.spawn(move || {
+                for (i, cert) in list.iter().enumerate() {
+                    wallet.publish(cert.clone(), vec![]).unwrap();
+                    if i % 3 == 0 {
+                        let rev = SignedRevocation::revoke(cert, &owner, wallet.now()).unwrap();
+                        wallet.revoke(&rev).unwrap();
+                    }
+                }
+            });
+        }
+        // Provers: direct queries (cache + monitors) and subject/object
+        // sweeps (parallel frontier), racing the writers.
+        for prover in 0..3usize {
+            let wallet = wallet.clone();
+            let owner = Arc::clone(&owner);
+            let users: Vec<Arc<LocalEntity>> = users.iter().map(Arc::clone).collect();
+            let monitors = Arc::clone(&monitors);
+            scope.spawn(move || {
+                let role = Node::role(owner.role("race"));
+                for i in 0..120usize {
+                    let user = &users[(prover + i) % users.len()];
+                    if let Some(monitor) =
+                        wallet.query_direct(&Node::entity(user.as_ref()), &role, &[])
+                    {
+                        let fired = Arc::new(AtomicUsize::new(0));
+                        {
+                            let fired = Arc::clone(&fired);
+                            monitor.on_invalidate(move |_| {
+                                fired.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                        monitors.lock().unwrap().push((monitor, fired));
+                    }
+                    let _ = wallet.query_subject(&Node::entity(user.as_ref()), &[]);
+                    let _ = wallet.query_object(&role, &[]);
+                }
+            });
+        }
+    });
+
+    // Quiesced. Build the oracle: a fresh wallet on the same clock with
+    // the cache off and a single-threaded search pool, fed the exported
+    // image (credentials, supports, and revocation marks).
+    let oracle = Wallet::new("oracle", clock);
+    oracle.set_query_cache(false);
+    oracle.set_search_workers(1);
+    let report = oracle.import_bytes(&wallet.export_bytes()).unwrap();
+    assert_eq!(report.credentials, users.len() * per_user);
+
+    let role = Node::role(owner.role("race"));
+    for user in &users {
+        let subject = Node::entity(user.as_ref());
+        // Grant/deny decisions agree (the racing wallet answers through
+        // its warm cache, the oracle searches from scratch)…
+        assert_eq!(
+            wallet.query_direct(&subject, &role, &[]).is_some(),
+            oracle.query_direct(&subject, &role, &[]).is_some(),
+            "{}: cached decision diverged from the oracle",
+            user.name()
+        );
+        // …and so do the proven relationships.
+        assert_eq!(
+            relationships(&wallet.query_subject(&subject, &[])),
+            relationships(&oracle.query_subject(&subject, &[])),
+            "{}: subject query diverged from the oracle",
+            user.name()
+        );
+    }
+    assert_eq!(
+        relationships(&wallet.query_object(&role, &[])),
+        relationships(&oracle.query_object(&role, &[])),
+        "object query diverged from the oracle"
+    );
+
+    // Determinism across pool sizes: on the SAME graph, the 4-worker
+    // pool must produce exactly the single-threaded result list, order
+    // included.
+    let parallel_subject: Vec<Vec<BTreeSet<DelegationId>>> = users
+        .iter()
+        .map(|u| id_sets(&wallet.query_subject(&Node::entity(u.as_ref()), &[])))
+        .collect();
+    let parallel_object = id_sets(&wallet.query_object(&role, &[]));
+    wallet.set_search_workers(1);
+    for (u, expected) in users.iter().zip(&parallel_subject) {
+        assert_eq!(
+            &id_sets(&wallet.query_subject(&Node::entity(u.as_ref()), &[])),
+            expected,
+            "{}: worker pool size changed the subject-query ordering",
+            u.name()
+        );
+    }
+    assert_eq!(
+        id_sets(&wallet.query_object(&role, &[])),
+        parallel_object,
+        "worker pool size changed the object-query ordering"
+    );
+    wallet.set_search_workers(4);
+
+    // Post-quiesce sweep: revoke every surviving credential of the first
+    // user. Every monitor holding a (possibly cached) proof that depends
+    // on one of them must be invalidated AND must have fired.
+    let mut swept: BTreeSet<DelegationId> = BTreeSet::new();
+    for cert in &certs[0] {
+        if !wallet.is_revoked(cert.id()) {
+            let rev = SignedRevocation::revoke(cert, &owner, wallet.now()).unwrap();
+            wallet.revoke(&rev).unwrap();
+            swept.insert(cert.id());
+        }
+    }
+    assert!(!swept.is_empty(), "the sweep revoked something");
+    assert!(
+        wallet
+            .query_direct(&Node::entity(users[0].as_ref()), &role, &[])
+            .is_none(),
+        "user 0 lost every grant; no cached proof may survive the sweep"
+    );
+
+    let monitors = monitors.lock().unwrap();
+    assert!(!monitors.is_empty(), "the provers collected monitors");
+    let mut checked = 0usize;
+    for (monitor, fired) in monitors.iter() {
+        if monitor.watched().iter().any(|id| swept.contains(id)) {
+            assert!(
+                !monitor.is_valid(),
+                "a monitor outlived the revocation of its proof"
+            );
+            assert!(
+                fired.load(Ordering::SeqCst) >= 1,
+                "a monitored cached proof was invalidated without firing its callback"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "the sweep invalidated at least one monitored proof");
 }

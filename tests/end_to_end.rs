@@ -81,8 +81,8 @@ fn absorbed_credentials_carry_ttl_coherence() {
     // Remote credentials were cached (partnership chain + access root).
     assert!(s.server.wallet().len() >= 3);
     assert!(s.server.wallet().stale_entries().is_empty());
-    // The scenario tags use TTL 30.
-    s.clock.advance(Ticks(31));
+    // The scenario tags use TTL 240.
+    s.clock.advance(Ticks(241));
     assert!(!s.server.wallet().stale_entries().is_empty());
 }
 
