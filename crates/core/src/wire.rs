@@ -10,7 +10,7 @@ use std::fmt;
 
 use drbac_crypto::KeyFingerprint;
 
-use crate::attr::{AttrClause, AttrName, AttrOp, AttrRef};
+use crate::attr::{AttrClause, AttrConstraint, AttrName, AttrOp, AttrRef};
 use crate::entity::EntityId;
 use crate::role::{Role, RoleName};
 use crate::tag::{DiscoveryTag, ObjectFlag, SubjectFlag, WalletAddr};
@@ -146,6 +146,13 @@ impl Encode for AttrClause {
     fn encode(&self, w: &mut Writer) {
         self.attr().encode(w);
         w.f64(self.operand());
+    }
+}
+
+impl Encode for AttrConstraint {
+    fn encode(&self, w: &mut Writer) {
+        self.attr.encode(w);
+        w.f64(self.at_least);
     }
 }
 
@@ -417,6 +424,14 @@ impl Decode for AttrClause {
         let attr = AttrRef::decode(r)?;
         let operand = r.f64()?;
         AttrClause::new(attr, operand).map_err(|e| DecodeError::Invalid(e.to_string()))
+    }
+}
+
+impl Decode for AttrConstraint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let attr = AttrRef::decode(r)?;
+        let at_least = r.f64()?;
+        Ok(AttrConstraint { attr, at_least })
     }
 }
 

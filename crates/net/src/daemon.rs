@@ -1,0 +1,588 @@
+//! TCP wallet daemon and the persistent subscriber connection.
+//!
+//! [`WalletDaemon`] is the socket-facing counterpart of the simulator's
+//! [`WalletHost`](crate::WalletHost): a threaded accept loop that
+//! serves one wallet's [`Request`]/[`Reply`](crate::proto::Reply)
+//! protocol over [`wire`](crate::wire) frames. Delegation-subscription
+//! pushes (paper §4.2.2) travel over a *persistent subscriber
+//! connection*: a client opens a dedicated stream, sends a
+//! push-register frame naming its wallet address, and the daemon
+//! writes [`OneWay::Invalidate`] frames down that stream whenever a
+//! delegation the client subscribed to is invalidated.
+//!
+//! [`SubscriberLink`] is the client side of that connection. When the
+//! daemon dies mid-subscription the link notices (read error),
+//! reconnects with backoff, re-registers, and **resubscribes** every
+//! cached credential from that home — mirroring the simulator's
+//! `resubscribe_cached` recovery: the daemon's subscriber registry is
+//! volatile, so a daemon restart silently unsubscribed us, and any
+//! invalidation issued before we re-register would otherwise be lost.
+//! Each recovery increments `drbac.net.tcp.reconnect.count`.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use drbac_core::{DelegationId, WalletAddr};
+use drbac_wallet::{DelegationEvent, InvalidationReason, Wallet};
+use parking_lot::Mutex;
+
+use crate::proto::{OneWay, Reply, Request};
+use crate::sim::NetError;
+use crate::tcp::{TcpConfig, TcpTransport};
+use crate::transport::{RetryPolicy, Transport};
+use crate::wire::{self, FrameKind};
+
+/// State shared between the accept loop, connection handlers, and the
+/// daemon handle.
+struct DaemonShared {
+    wallet: Wallet,
+    /// delegation id → subscriber wallet addresses (volatile, like the
+    /// simulator host's registry — subscribers recover it by
+    /// resubscribing after a restart).
+    subscribers: Mutex<HashMap<DelegationId, BTreeSet<WalletAddr>>>,
+    /// subscriber wallet address → write half of its persistent push
+    /// connection.
+    push_links: Mutex<HashMap<WalletAddr, Arc<Mutex<TcpStream>>>>,
+    /// Events already fanned out (loop guard for cascaded pushes).
+    seen_events: Mutex<HashSet<DelegationEvent>>,
+    /// Streams currently open, so shutdown can unblock their readers.
+    conns: Mutex<Vec<TcpStream>>,
+    closed: AtomicBool,
+}
+
+impl DaemonShared {
+    /// Handles one request. The dispatch mirrors the simulator's
+    /// `WalletHost::handle` so SimNet and TCP answer identically.
+    fn handle(&self, req: Request) -> Reply {
+        match req {
+            Request::DirectQuery {
+                subject,
+                object,
+                constraints,
+            } => match self.wallet.find_proof(&subject, &object, &constraints) {
+                Some(p) => Reply::Proofs(vec![p]),
+                None => Reply::Proofs(vec![]),
+            },
+            Request::SubjectQuery {
+                subject,
+                constraints,
+            } => Reply::Proofs(self.wallet.query_subject(&subject, &constraints)),
+            Request::ObjectQuery {
+                object,
+                constraints,
+            } => Reply::Proofs(self.wallet.query_object(&object, &constraints)),
+            Request::Publish { cert, supports } => match self.wallet.publish(cert, supports) {
+                Ok(id) => Reply::Published(id),
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::PublishDeclaration(decl) => match self.wallet.publish_declaration(&decl) {
+                Ok(()) => Reply::DeclarationPublished,
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::Subscribe {
+                delegation,
+                subscriber,
+            } => {
+                self.subscribers
+                    .lock()
+                    .entry(delegation)
+                    .or_default()
+                    .insert(subscriber);
+                Reply::Subscribed
+            }
+            Request::Unsubscribe {
+                delegation,
+                subscriber,
+            } => {
+                if let Some(set) = self.subscribers.lock().get_mut(&delegation) {
+                    set.remove(&subscriber);
+                }
+                Reply::Subscribed
+            }
+            Request::Revoke(revocation) => match self.wallet.revoke(&revocation) {
+                Ok(delivered) => {
+                    let event = DelegationEvent {
+                        delegation: revocation.delegation_id(),
+                        reason: InvalidationReason::Revoked,
+                    };
+                    self.seen_events.lock().insert(event);
+                    self.push_to_subscribers(event);
+                    Reply::Revoked(delivered)
+                }
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Request::FetchDeclarations => Reply::Declarations(self.wallet.signed_declarations()),
+            Request::FetchDelegation(id) => {
+                let now = self.wallet.now();
+                let live = self
+                    .wallet
+                    .get(id)
+                    .filter(|c| !self.wallet.is_revoked(id) && !c.delegation().is_expired(now));
+                Reply::Delegation(live)
+            }
+        }
+    }
+
+    /// Writes `event` as a push frame down every subscriber's
+    /// persistent connection. A link whose write fails is dropped —
+    /// the subscriber's [`SubscriberLink`] will reconnect and
+    /// resubscribe, recovering anything it missed by revalidation.
+    fn push_to_subscribers(&self, event: DelegationEvent) {
+        let targets = self
+            .subscribers
+            .lock()
+            .get(&event.delegation)
+            .cloned()
+            .unwrap_or_default();
+        let payload = wire::encode_push(&OneWay::Invalidate(event));
+        for target in targets {
+            let link = self.push_links.lock().get(&target).cloned();
+            let Some(link) = link else { continue };
+            let ok = {
+                let mut stream = link.lock();
+                wire::write_frame(&mut *stream, FrameKind::Push, &payload).is_ok()
+            };
+            if ok {
+                drbac_obs::static_counter!("drbac.net.tcp.push.tx.count").inc();
+            } else {
+                self.push_links.lock().remove(&target);
+            }
+        }
+    }
+}
+
+/// A threaded TCP daemon serving one wallet.
+///
+/// ```no_run
+/// # use drbac_net::{WalletDaemon, TcpConfig};
+/// # use drbac_wallet::Wallet;
+/// # use drbac_core::SimClock;
+/// let wallet = Wallet::new("coalition.example:7070", SimClock::new());
+/// let daemon = WalletDaemon::bind("127.0.0.1:7070", wallet, TcpConfig::default()).unwrap();
+/// println!("serving on {}", daemon.local_addr());
+/// # daemon.shutdown();
+/// ```
+pub struct WalletDaemon {
+    shared: Arc<DaemonShared>,
+    local_addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WalletDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalletDaemon")
+            .field("local_addr", &self.local_addr)
+            .field("wallet", self.shared.wallet.addr())
+            .finish()
+    }
+}
+
+impl WalletDaemon {
+    /// Binds `listen` (e.g. `127.0.0.1:7070`, or port `0` for an
+    /// ephemeral test port) and starts serving `wallet`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the listener cannot bind.
+    pub fn bind(
+        listen: impl ToSocketAddrs,
+        wallet: Wallet,
+        config: TcpConfig,
+    ) -> io::Result<WalletDaemon> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(DaemonShared {
+            wallet,
+            subscribers: Mutex::new(HashMap::new()),
+            push_links: Mutex::new(HashMap::new()),
+            seen_events: Mutex::new(HashSet::new()),
+            conns: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let write_timeout = config.write_timeout;
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("drbac-daemon-{local_addr}"))
+            .spawn(move || accept_loop(listener, accept_shared, write_timeout))?;
+        drbac_obs::event!(
+            "drbac.net.tcp.daemon.start",
+            "addr" => local_addr.to_string(),
+        );
+        Ok(WalletDaemon {
+            shared,
+            local_addr,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound socket address (resolves port `0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served wallet (shared state).
+    pub fn wallet(&self) -> &Wallet {
+        &self.shared.wallet
+    }
+
+    /// Subscriber wallet addresses currently registered for `id`.
+    pub fn subscribers_of(&self, id: DelegationId) -> BTreeSet<WalletAddr> {
+        self.shared
+            .subscribers
+            .lock()
+            .get(&id)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Fans a locally observed invalidation (e.g. an expiry sweep) out
+    /// to subscribers, once per event.
+    pub fn broadcast_invalidation(&self, event: DelegationEvent) {
+        if self.shared.seen_events.lock().insert(event) {
+            self.shared.push_to_subscribers(event);
+        }
+    }
+
+    /// Stops accepting, closes every open connection, and joins the
+    /// accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(500));
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.shared.push_links.lock().clear();
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        drbac_obs::event!(
+            "drbac.net.tcp.daemon.stop",
+            "addr" => self.local_addr.to_string(),
+        );
+    }
+}
+
+impl Drop for WalletDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<DaemonShared>,
+    write_timeout: Option<Duration>,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        drbac_obs::static_counter!("drbac.net.tcp.accept.count").inc();
+        // Serving reads block indefinitely (idle pooled client
+        // connections stay alive); writes keep the configured deadline
+        // so one stuck subscriber cannot wedge a handler.
+        let _ = stream.set_read_timeout(None);
+        let _ = stream.set_write_timeout(write_timeout);
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("drbac-daemon-conn".into())
+            .spawn(move || serve_connection(stream, conn_shared));
+    }
+}
+
+/// Serves one connection until the peer hangs up, a frame is
+/// malformed, or the daemon shuts down. Never panics on bad input —
+/// a protocol violation just drops the connection.
+fn serve_connection(mut stream: TcpStream, shared: Arc<DaemonShared>) {
+    // The wallet address this connection push-registered, if any, and
+    // the shared write half the registry holds for it.
+    let mut registered: Option<(WalletAddr, Arc<Mutex<TcpStream>>)> = None;
+    while let Ok(frame) = wire::read_frame(&mut stream) {
+        if shared.closed.load(Ordering::SeqCst) {
+            break;
+        }
+        drbac_obs::static_counter!("drbac.net.tcp.frame.rx.count").inc();
+        match frame.kind {
+            FrameKind::Request => {
+                let reply = match wire::decode_request(&frame.payload) {
+                    Ok(req) => shared.handle(req),
+                    Err(e) => Reply::Error(format!("undecodable request: {e}")),
+                };
+                let payload = wire::encode_reply(&reply);
+                if wire::write_frame(&mut stream, FrameKind::Reply, &payload).is_err() {
+                    break;
+                }
+                drbac_obs::static_counter!("drbac.net.tcp.frame.tx.count").inc();
+            }
+            FrameKind::PushRegister => {
+                let Ok(subscriber) = wire::decode_push_register(&frame.payload) else {
+                    break;
+                };
+                let Ok(write_half) = stream.try_clone() else {
+                    break;
+                };
+                let link = Arc::new(Mutex::new(write_half));
+                shared
+                    .push_links
+                    .lock()
+                    .insert(subscriber.clone(), Arc::clone(&link));
+                registered = Some((subscriber, link));
+            }
+            // Clients never push to the daemon; replies make no sense
+            // inbound. Treat as a protocol violation and hang up.
+            FrameKind::Push | FrameKind::Reply => break,
+        }
+    }
+    // Deregister our push link, but only if the registry still holds
+    // *this* connection's write half — a reconnected subscriber may
+    // have already replaced it.
+    if let Some((subscriber, link)) = registered {
+        let mut links = shared.push_links.lock();
+        if links.get(&subscriber).is_some_and(|l| Arc::ptr_eq(l, &link)) {
+            links.remove(&subscriber);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Client side of the persistent push connection: registers with a
+/// wallet daemon, applies incoming [`OneWay::Invalidate`] events to the
+/// local wallet, and — when the connection drops — reconnects,
+/// re-registers, and resubscribes every tracked delegation, mirroring
+/// the simulator's `resubscribe_cached` recovery semantics.
+pub struct SubscriberLink {
+    inner: Arc<LinkInner>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct LinkInner {
+    /// Wallet address of the daemon we subscribe at.
+    home: WalletAddr,
+    /// The local wallet events are applied to (and whose cached
+    /// credentials are revalidated after a reconnect).
+    wallet: Wallet,
+    /// Transport used for resubscribe/revalidate requests and for
+    /// resolving `home` to a socket address.
+    transport: Arc<TcpTransport>,
+    /// Delegations to resubscribe beyond what the wallet's cache
+    /// records (e.g. ids a switchboard gate monitors).
+    tracked: Mutex<BTreeSet<DelegationId>>,
+    /// Current connection, so `close` can unblock the reader.
+    current: Mutex<Option<TcpStream>>,
+    closed: AtomicBool,
+}
+
+impl std::fmt::Debug for SubscriberLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriberLink")
+            .field("home", &self.inner.home)
+            .field("subscriber", self.inner.wallet.addr())
+            .finish()
+    }
+}
+
+impl SubscriberLink {
+    /// Opens the persistent connection to the daemon serving `home`
+    /// and starts the reader thread. Returns once the link is
+    /// registered (or has started its first reconnect attempts).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the first connection cannot be established —
+    /// the link does not start in a disconnected state.
+    pub fn open(
+        home: impl Into<WalletAddr>,
+        wallet: Wallet,
+        transport: Arc<TcpTransport>,
+    ) -> Result<SubscriberLink, NetError> {
+        let inner = Arc::new(LinkInner {
+            home: home.into(),
+            wallet,
+            transport,
+            tracked: Mutex::new(BTreeSet::new()),
+            current: Mutex::new(None),
+            closed: AtomicBool::new(false),
+        });
+        let stream = inner.establish()?;
+        *inner.current.lock() = Some(stream.try_clone().map_err(|e| {
+            NetError::Protocol(format!("cannot clone subscriber stream: {e}"))
+        })?);
+        let reader_inner = Arc::clone(&inner);
+        let reader = std::thread::Builder::new()
+            .name(format!("drbac-sublink-{}", inner.home))
+            .spawn(move || reader_loop(stream, reader_inner))
+            .map_err(|e| NetError::Protocol(format!("cannot spawn reader: {e}")))?;
+        Ok(SubscriberLink {
+            inner,
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// The daemon-side wallet this link subscribes at.
+    pub fn home(&self) -> &WalletAddr {
+        &self.inner.home
+    }
+
+    /// Adds a delegation id to the resubscribe set (beyond the
+    /// wallet's cached credentials), and subscribes it now.
+    pub fn track(&self, id: DelegationId) {
+        self.inner.tracked.lock().insert(id);
+        let _ = RetryPolicy::standard().run(
+            self.inner.transport.as_ref(),
+            &self.inner.home,
+            &Request::Subscribe {
+                delegation: id,
+                subscriber: self.inner.wallet.addr().clone(),
+            },
+        );
+    }
+
+    /// Stops the reader thread and closes the connection. Idempotent.
+    pub fn close(&self) {
+        if self.inner.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(stream) = self.inner.current.lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.reader.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SubscriberLink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl LinkInner {
+    /// Connects to the daemon and sends the push-register frame.
+    fn establish(&self) -> Result<TcpStream, NetError> {
+        let mut stream = self.transport.connect_raw(&self.home)?;
+        // Push frames arrive whenever the daemon has something to say;
+        // the reader must block past any read deadline.
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| NetError::Protocol(format!("cannot clear read deadline: {e}")))?;
+        let payload = wire::encode_push_register(self.wallet.addr());
+        wire::write_frame(&mut stream, FrameKind::PushRegister, &payload)
+            .map_err(|e| NetError::Protocol(format!("push-register failed: {e}")))?;
+        Ok(stream)
+    }
+
+    /// Re-registers every subscription this link is responsible for —
+    /// cached credentials sourced from `home` plus explicitly tracked
+    /// ids — then revalidates each cached credential. Entries the home
+    /// disowns are invalidated locally (the push we missed while
+    /// disconnected is reconstructed from state, not replayed).
+    fn resubscribe(&self) {
+        let retry = RetryPolicy::standard();
+        let subscriber = self.wallet.addr().clone();
+        let mut ids: BTreeSet<DelegationId> = self.tracked.lock().clone();
+        let cached: Vec<(DelegationId, drbac_wallet::CacheEntry)> = self
+            .wallet
+            .cache_entries()
+            .into_iter()
+            .filter(|(_, entry)| entry.source == self.home)
+            .collect();
+        ids.extend(cached.iter().map(|(id, _)| *id));
+        for id in &ids {
+            let _ = retry.run(
+                self.transport.as_ref(),
+                &self.home,
+                &Request::Subscribe {
+                    delegation: *id,
+                    subscriber: subscriber.clone(),
+                },
+            );
+        }
+        for (id, _) in cached {
+            match retry
+                .run(self.transport.as_ref(), &self.home, &Request::FetchDelegation(id))
+                .reply
+            {
+                Ok(Reply::Delegation(Some(_))) => {
+                    self.wallet.mark_refreshed(id);
+                }
+                Ok(Reply::Delegation(None)) => {
+                    // The home disowned it while we were out of touch.
+                    self.wallet.push_event(DelegationEvent {
+                        delegation: id,
+                        reason: InvalidationReason::Expired,
+                    });
+                }
+                _ => {} // still unreachable: TTL refresh remains the backstop
+            }
+        }
+    }
+}
+
+/// Reads push frames, applying each invalidation to the local wallet;
+/// on connection loss, reconnects with backoff and resubscribes.
+fn reader_loop(mut stream: TcpStream, inner: Arc<LinkInner>) {
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(frame) if frame.kind == FrameKind::Push => {
+                if let Ok(OneWay::Invalidate(event)) = wire::decode_push(&frame.payload) {
+                    drbac_obs::static_counter!("drbac.net.tcp.push.rx.count").inc();
+                    inner.wallet.push_event(event);
+                }
+            }
+            Ok(_) => {} // unexpected kind: ignore, keep the link up
+            Err(_) => {
+                if inner.closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Connection lost: reconnect with backoff, re-register,
+                // resubscribe-and-revalidate.
+                drbac_obs::static_counter!("drbac.net.tcp.reconnect.count").inc();
+                drbac_obs::event!(
+                    "drbac.net.tcp.reconnect",
+                    "home" => inner.home.to_string(),
+                    "subscriber" => inner.wallet.addr().to_string(),
+                );
+                let mut attempt: u64 = 0;
+                let next = loop {
+                    if inner.closed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match inner.establish() {
+                        Ok(s) => break s,
+                        Err(_) => {
+                            inner
+                                .transport
+                                .backoff(drbac_core::Ticks(1u64 << attempt.min(6)));
+                            attempt += 1;
+                        }
+                    }
+                };
+                match next.try_clone() {
+                    Ok(clone) => *inner.current.lock() = Some(clone),
+                    Err(_) => return,
+                }
+                stream = next;
+                inner.resubscribe();
+            }
+        }
+    }
+}

@@ -28,20 +28,32 @@
 //! [`DiscoveryOutcome::degraded`](DiscoveryOutcome) records when an
 //! answer survived on retries or skipped an unreachable wallet.
 //!
-//! Substitution note (see DESIGN.md): real TCP hosts are replaced by the
-//! deterministic simulator so experiments are reproducible; the message
-//! patterns, validation work, and subscription semantics are preserved.
+//! Two deployment shapes sit under the same [`Transport`] trait:
+//!
+//! * **SimNet** (see DESIGN.md §4.2): wallet hosts inside one process on
+//!   a simulated clock, so chaos and parity experiments are exactly
+//!   reproducible; the message patterns, validation work, and
+//!   subscription semantics match the real deployment.
+//! * **TCP** ([`wire`] + [`TcpTransport`] + [`WalletDaemon`]): each
+//!   wallet served by a socket daemon, messages as length-prefixed
+//!   CRC-framed canonical bytes, delegation subscriptions pushed over a
+//!   persistent subscriber connection ([`SubscriberLink`]) that
+//!   reconnects and resubscribes when the daemon drops.
 
 pub mod audit;
+mod daemon;
 mod discovery;
 pub mod proto;
 mod push;
 mod service;
 mod sim;
 mod switchboard;
+mod tcp;
 mod transport;
+pub mod wire;
 
 pub use audit::{audit_store_compliance, redelegations_of, AuditEndpoint, StoreViolation};
+pub use daemon::{SubscriberLink, WalletDaemon};
 pub use discovery::{
     Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode, TagLookup,
 };
@@ -49,4 +61,5 @@ pub use push::{PushHub, PushPublisher};
 pub use service::{ServiceClosed, WalletClient, WalletService};
 pub use sim::{FaultPlan, NetError, NetStats, SimNet, StoreHandle, WalletHost};
 pub use switchboard::{Channel, ChannelError, Switchboard};
+pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{RetryOutcome, RetryPolicy, ServiceRegistry, Transport};

@@ -1,4 +1,10 @@
 //! The inter-wallet protocol: requests, replies, and one-way pushes.
+//!
+//! These enums are transport-neutral: [`crate::SimNet`] passes them
+//! in-process, [`crate::TcpTransport`] serializes them through the
+//! framed codec in [`crate::wire`] (one frame per message, canonical
+//! payload encoding under per-space domain tags). Anything added here
+//! needs a wire encoding there.
 
 use std::fmt;
 use std::sync::Arc;

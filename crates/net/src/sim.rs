@@ -30,12 +30,18 @@ pub enum NetError {
     /// budget — lost in transit or stuck behind a partition. The caller
     /// cannot tell which, and may retry.
     Timeout(WalletAddr),
+    /// The peer violated the wire protocol (bad frame, CRC mismatch,
+    /// undecodable payload). Permanent for this conversation: retrying
+    /// a malformed exchange does not repair it.
+    Protocol(String),
 }
 
 impl NetError {
     /// `true` for transient failures a bounded retry may recover from
     /// (timeouts and downed-but-restartable hosts). [`NetError::UnknownHost`]
     /// is permanent: no amount of retrying materialises a wallet.
+    /// [`NetError::Protocol`] is likewise permanent — the peer is
+    /// speaking a different protocol, not suffering a transient fault.
     pub fn is_retryable(&self) -> bool {
         matches!(self, NetError::Timeout(_) | NetError::HostDown(_))
     }
@@ -47,6 +53,7 @@ impl fmt::Display for NetError {
             NetError::UnknownHost(a) => write!(f, "no wallet host at {a}"),
             NetError::HostDown(a) => write!(f, "wallet host at {a} is down"),
             NetError::Timeout(a) => write!(f, "request to {a} timed out"),
+            NetError::Protocol(m) => write!(f, "wire protocol violation: {m}"),
         }
     }
 }

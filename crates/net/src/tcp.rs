@@ -1,0 +1,299 @@
+//! TCP client transport: the [`Transport`] trait over real sockets.
+//!
+//! [`TcpTransport`] keeps a small per-peer connection pool, applies
+//! configurable connect/read/write deadlines, and — unlike
+//! [`SimNet`](crate::SimNet), which advances a simulated clock — its
+//! [`Transport::backoff`] really sleeps, so a
+//! [`RetryPolicy`](crate::RetryPolicy) schedule measured in ticks
+//! becomes wall-clock delay via [`TcpConfig::tick`].
+//!
+//! Error mapping (what retries can and cannot fix):
+//!
+//! * no route / unparsable address → [`NetError::UnknownHost`] (permanent)
+//! * connect refused / connection died mid-exchange → [`NetError::HostDown`]
+//!   (retryable — the daemon may come back)
+//! * read or write deadline expired → [`NetError::Timeout`] (retryable)
+//! * bad frame, CRC mismatch, undecodable payload →
+//!   [`NetError::Protocol`] (permanent — see [`crate::wire`])
+//!
+//! A pooled connection that fails is discarded and the request is
+//! re-attempted once on a fresh connection before an error is
+//! reported, so a server-side idle close between requests is invisible
+//! to callers.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use drbac_core::{Ticks, WalletAddr};
+use parking_lot::{Mutex, RwLock};
+
+use crate::proto::{Reply, Request};
+use crate::sim::NetError;
+use crate::transport::Transport;
+use crate::wire::{self, FrameKind, WireError};
+
+/// Socket behaviour knobs for [`TcpTransport`] and
+/// [`WalletDaemon`](crate::WalletDaemon).
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Deadline for establishing a connection.
+    pub connect_timeout: Duration,
+    /// Deadline for reading one reply (or, daemon-side, the next
+    /// request). `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for writing one frame. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// Wall-clock duration of one retry-backoff tick (how
+    /// [`Transport::backoff`] converts a [`RetryPolicy`](crate::RetryPolicy)
+    /// delay into sleep).
+    pub tick: Duration,
+    /// Upper bound on one backoff sleep, however large the tick count.
+    pub max_backoff: Duration,
+    /// Idle connections kept per peer.
+    pub max_pooled: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            tick: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            max_pooled: 4,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Tight deadlines for loopback tests (tens of milliseconds, not
+    /// seconds).
+    pub fn fast() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Some(Duration::from_millis(2000)),
+            write_timeout: Some(Duration::from_millis(2000)),
+            tick: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            max_pooled: 2,
+        }
+    }
+}
+
+/// [`Transport`] over TCP sockets with a per-peer connection pool.
+///
+/// Wallet addresses route to socket addresses either through an
+/// explicit [`TcpTransport::add_route`] entry or, failing that, by
+/// parsing the wallet address itself as `host:port` — so a deployment
+/// can simply *name* wallets by their endpoints.
+#[derive(Debug)]
+pub struct TcpTransport {
+    config: TcpConfig,
+    routes: RwLock<HashMap<WalletAddr, SocketAddr>>,
+    pool: Mutex<HashMap<WalletAddr, Vec<TcpStream>>>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new(TcpConfig::default())
+    }
+}
+
+impl TcpTransport {
+    /// A transport with the given socket configuration.
+    pub fn new(config: TcpConfig) -> Self {
+        TcpTransport {
+            config,
+            routes: RwLock::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.config
+    }
+
+    /// Routes a wallet address to a socket address.
+    pub fn add_route(&self, wallet: impl Into<WalletAddr>, addr: SocketAddr) {
+        self.routes.write().insert(wallet.into(), addr);
+    }
+
+    /// Resolves a wallet address: explicit route first, then the
+    /// address string itself as `host:port`.
+    fn resolve(&self, to: &WalletAddr) -> Result<SocketAddr, NetError> {
+        if let Some(addr) = self.routes.read().get(to) {
+            return Ok(*addr);
+        }
+        to.as_str()
+            .parse()
+            .map_err(|_| NetError::UnknownHost(to.clone()))
+    }
+
+    /// Drops all pooled connections (e.g. after a known daemon restart).
+    pub fn drain_pool(&self) {
+        self.pool.lock().clear();
+    }
+
+    fn checkout(&self, to: &WalletAddr) -> Option<TcpStream> {
+        self.pool.lock().get_mut(to).and_then(Vec::pop)
+    }
+
+    fn checkin(&self, to: &WalletAddr, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        let conns = pool.entry(to.clone()).or_default();
+        if conns.len() < self.config.max_pooled {
+            conns.push(stream);
+        }
+    }
+
+    /// Opens a fresh, deadline-configured connection to `to` without
+    /// pooling it — for callers that own the stream's whole lifetime,
+    /// like a [`SubscriberLink`](crate::SubscriberLink)'s persistent
+    /// push connection.
+    pub fn connect_raw(&self, to: &WalletAddr) -> Result<TcpStream, NetError> {
+        self.connect(to)
+    }
+
+    /// Opens a fresh connection with deadlines applied.
+    fn connect(&self, to: &WalletAddr) -> Result<TcpStream, NetError> {
+        let addr = self.resolve(to)?;
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|_| NetError::HostDown(to.clone()))?;
+        stream
+            .set_read_timeout(self.config.read_timeout)
+            .and_then(|_| stream.set_write_timeout(self.config.write_timeout))
+            .and_then(|_| stream.set_nodelay(true))
+            .map_err(|_| NetError::HostDown(to.clone()))?;
+        drbac_obs::static_counter!("drbac.net.tcp.connect.count").inc();
+        Ok(stream)
+    }
+
+    /// One request/reply exchange on an open stream.
+    fn exchange(
+        &self,
+        stream: &mut TcpStream,
+        to: &WalletAddr,
+        req: &Request,
+    ) -> Result<Reply, NetError> {
+        let payload = wire::encode_request(req);
+        wire::write_frame(stream, FrameKind::Request, &payload)
+            .and_then(|()| stream.flush().map_err(WireError::Io))
+            .map_err(|e| map_wire_error(e, to))?;
+        drbac_obs::static_counter!("drbac.net.tcp.frame.tx.count").inc();
+        let frame = wire::read_frame(stream).map_err(|e| map_wire_error(e, to))?;
+        drbac_obs::static_counter!("drbac.net.tcp.frame.rx.count").inc();
+        if frame.kind != FrameKind::Reply {
+            return Err(NetError::Protocol(format!(
+                "expected a reply frame, got {:?}",
+                frame.kind
+            )));
+        }
+        wire::decode_reply(&frame.payload)
+            .map_err(|e| NetError::Protocol(format!("undecodable reply: {e}")))
+    }
+}
+
+/// Classifies a wire-layer failure: deadline → `Timeout`, other stream
+/// death → `HostDown` (both retryable); anything structural →
+/// `Protocol` (permanent).
+fn map_wire_error(e: WireError, to: &WalletAddr) -> NetError {
+    match e {
+        WireError::Io(io) => match io.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                drbac_obs::static_counter!("drbac.net.tcp.deadline.count").inc();
+                NetError::Timeout(to.clone())
+            }
+            _ => NetError::HostDown(to.clone()),
+        },
+        other => NetError::Protocol(other.to_string()),
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
+        // A pooled stream may have been closed by the peer while idle;
+        // retry exactly once on a guaranteed-fresh connection so idle
+        // closes never surface to callers.
+        if let Some(mut stream) = self.checkout(to) {
+            if let Ok(reply) = self.exchange(&mut stream, to, &req) {
+                self.checkin(to, stream);
+                return Ok(reply);
+            }
+        }
+        let mut stream = self.connect(to)?;
+        let reply = self.exchange(&mut stream, to, &req)?;
+        self.checkin(to, stream);
+        Ok(reply)
+    }
+
+    /// Really sleeps: `delay × tick`, capped at
+    /// [`TcpConfig::max_backoff`].
+    fn backoff(&self, delay: Ticks) {
+        let sleep = self
+            .config
+            .tick
+            .saturating_mul(u32::try_from(delay.0).unwrap_or(u32::MAX))
+            .min(self.config.max_backoff);
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unroutable_address_is_unknown_host() {
+        let t = TcpTransport::new(TcpConfig::fast());
+        let err = t
+            .request(&"not-an-endpoint".into(), Request::FetchDeclarations)
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownHost(_)));
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn dead_endpoint_is_host_down() {
+        let t = TcpTransport::new(TcpConfig::fast());
+        // Bind-then-drop guarantees a port with no listener.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = t
+            .request(
+                &format!("127.0.0.1:{port}").as_str().into(),
+                Request::FetchDeclarations,
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::HostDown(_)));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn backoff_really_sleeps() {
+        let mut cfg = TcpConfig::fast();
+        cfg.tick = Duration::from_millis(10);
+        let t = TcpTransport::new(cfg);
+        let start = std::time::Instant::now();
+        t.backoff(Ticks(2));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut cfg = TcpConfig::fast();
+        cfg.tick = Duration::from_millis(10);
+        cfg.max_backoff = Duration::from_millis(20);
+        let t = TcpTransport::new(cfg);
+        let start = std::time::Instant::now();
+        t.backoff(Ticks(u64::MAX));
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+}

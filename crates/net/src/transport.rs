@@ -3,8 +3,15 @@
 //! [`DiscoveryAgent`](crate::DiscoveryAgent) only needs request/reply
 //! delivery to named wallets. [`crate::SimNet`] provides it
 //! deterministically for tests and experiments; [`ServiceRegistry`]
-//! provides it over real [`crate::WalletService`] threads — same
-//! algorithm, two deployment shapes.
+//! provides it over real [`crate::WalletService`] threads; and
+//! [`crate::TcpTransport`] provides it over sockets against a
+//! [`crate::WalletDaemon`] — same algorithm, three deployment shapes.
+//!
+//! [`RetryPolicy`] is transport-blind: it retries exactly the errors
+//! [`NetError::is_retryable`] marks transient (`Timeout`, `HostDown`)
+//! and spends its backoff through [`Transport::backoff`], which
+//! advances the simulated clock on [`crate::SimNet`] and really sleeps
+//! on [`crate::TcpTransport`].
 
 use std::collections::HashMap;
 
@@ -30,6 +37,19 @@ pub trait Transport: Send + Sync {
     /// (real transports would sleep).
     fn backoff(&self, delay: Ticks) {
         let _ = delay;
+    }
+}
+
+/// Shared transports delegate through the smart pointer, so an
+/// `Arc<TcpTransport>` can feed a [`DiscoveryAgent`](crate::DiscoveryAgent)
+/// while clones of it keep serving subscriber links.
+impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
+    fn request(&self, to: &WalletAddr, req: Request) -> Result<Reply, NetError> {
+        (**self).request(to, req)
+    }
+
+    fn backoff(&self, delay: Ticks) {
+        (**self).backoff(delay);
     }
 }
 

@@ -1,0 +1,660 @@
+//! Length-prefixed, CRC-framed wire codec for the inter-wallet protocol.
+//!
+//! This module is what lets [`Request`] / [`Reply`] values cross a
+//! real byte stream
+//! (TCP sockets, pipes, files) instead of an in-process channel. It
+//! reuses the framing discipline of `drbac-store`'s write-ahead log:
+//! every frame is length-prefixed and carries a CRC-32 (IEEE) of its
+//! payload, and every payload is the workspace's canonical wire
+//! encoding (`drbac-core::wire`) — so a credential on the socket is
+//! byte-identical to one in the journal.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   b"dRBW"
+//! 4       1     version 0x01
+//! 5       1     kind    1=request 2=reply 3=push 4=push-register
+//! 6       4     len     payload length, u32 big-endian (max 16 MiB)
+//! 10      4     crc     CRC-32 (IEEE) of the payload bytes
+//! 14      len   payload canonical encoding of the message
+//! ```
+//!
+//! # Invariants
+//!
+//! * **A decoder never panics and never over-allocates.** A length
+//!   above [`MAX_FRAME_LEN`] is rejected *before* any allocation
+//!   ([`WireError::Oversized`]); torn input surfaces as
+//!   [`WireError::Io`] / [`WireError::Decode`], bit flips as
+//!   [`WireError::Crc`] — all errors, never a crash.
+//! * **Frames are self-delimiting.** A reader that hits a bad frame
+//!   knows the stream is unusable (framing is not self-resynchronizing
+//!   by design — the transport drops the connection and reconnects
+//!   rather than guessing at a resync point).
+//! * **Payloads are canonical.** The same value always encodes to the
+//!   same bytes, so signatures carried inside survive the trip.
+//!
+//! # Which errors are retryable?
+//!
+//! None at this layer: a [`WireError`] means the *stream* is broken or
+//! the *peer* is speaking garbage. The TCP transport maps stream
+//! errors to transient [`NetError`](crate::NetError) variants (drop
+//! the connection, retry on a fresh one) and protocol violations to
+//! the permanent [`NetError::Protocol`](crate::NetError) — retrying a
+//! malformed conversation does not repair it.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use drbac_core::{
+    Decode, DecodeError, DelegationId, Encode, Node, Reader, SignedAttrDeclaration,
+    SignedDelegation, SignedRevocation, WalletAddr, Writer,
+};
+use drbac_store::crc32;
+use drbac_wallet::{DelegationEvent, InvalidationReason};
+
+use crate::proto::{OneWay, Reply, Request};
+
+/// Leading magic of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"dRBW";
+
+/// Protocol version this codec speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (16 MiB). A length prefix above this
+/// is treated as a protocol violation, not an allocation request — the
+/// decoder rejects it before reserving a single byte.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Fixed frame header size (magic + version + kind + len + crc).
+pub const FRAME_HEADER_LEN: usize = 14;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A [`Request`] awaiting a reply on the same connection.
+    Request,
+    /// A [`Reply`] to the connection's previous request.
+    Reply,
+    /// A one-way push ([`OneWay`]); no reply is sent.
+    Push,
+    /// Converts the connection into a persistent push channel: the
+    /// payload names the subscriber's wallet address, and the server
+    /// will write [`FrameKind::Push`] frames down this connection from
+    /// now on.
+    PushRegister,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Reply => 2,
+            FrameKind::Push => 3,
+            FrameKind::PushRegister => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(FrameKind::Request),
+            2 => Some(FrameKind::Reply),
+            3 => Some(FrameKind::Push),
+            4 => Some(FrameKind::PushRegister),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame: kind tag plus raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// The payload's canonical encoding (CRC already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Error reading or writing a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed (includes EOF mid-frame: a torn
+    /// frame surfaces as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The first four bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version we do not.
+    BadVersion(u8),
+    /// The kind byte had no meaning.
+    UnknownKind(u8),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] — rejected before
+    /// allocation.
+    Oversized(u64),
+    /// The payload's CRC-32 did not match the header.
+    Crc {
+        /// CRC the header claimed.
+        expected: u32,
+        /// CRC of the bytes actually read.
+        found: u32,
+    },
+    /// The payload failed canonical decoding.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "stream error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::Crc { expected, found } => {
+                write!(f, "payload CRC mismatch (header {expected:#010x}, data {found:#010x})")
+            }
+            WireError::Decode(e) => write!(f, "payload decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// Writes one frame (header + payload) to `w`. Does not flush.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the payload exceeds [`MAX_FRAME_LEN`];
+/// [`WireError::Io`] if the stream fails.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(payload.len() as u64));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4] = WIRE_VERSION;
+    header[5] = kind.to_byte();
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[10..14].copy_from_slice(&crc32(payload).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, verifying magic, version, length bound,
+/// and payload CRC. Blocks until a full frame (or an error) arrives.
+///
+/// # Errors
+///
+/// Any [`WireError`]; a stream that ends mid-frame yields
+/// [`WireError::Io`] with `ErrorKind::UnexpectedEof`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != FRAME_MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1], header[2], header[3]]));
+    }
+    if header[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    let kind = FrameKind::from_byte(header[5]).ok_or(WireError::UnknownKind(header[5]))?;
+    let len = u32::from_be_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len as u64));
+    }
+    let expected = u32::from_be_bytes(header[10..14].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let found = crc32(&payload);
+    if found != expected {
+        return Err(WireError::Crc { expected, found });
+    }
+    Ok(Frame { kind, payload })
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+const REQ_DIRECT_QUERY: u8 = 1;
+const REQ_SUBJECT_QUERY: u8 = 2;
+const REQ_OBJECT_QUERY: u8 = 3;
+const REQ_PUBLISH: u8 = 4;
+const REQ_PUBLISH_DECLARATION: u8 = 5;
+const REQ_SUBSCRIBE: u8 = 6;
+const REQ_UNSUBSCRIBE: u8 = 7;
+const REQ_REVOKE: u8 = 8;
+const REQ_FETCH_DECLARATIONS: u8 = 9;
+const REQ_FETCH_DELEGATION: u8 = 10;
+
+fn encode_id(w: &mut Writer, id: &DelegationId) {
+    w.bytes(&id.0);
+}
+
+fn decode_id(r: &mut Reader<'_>) -> Result<DelegationId, DecodeError> {
+    let raw: [u8; 32] = r
+        .bytes()?
+        .try_into()
+        .map_err(|_| DecodeError::Invalid("delegation id must be 32 bytes".into()))?;
+    Ok(DelegationId(raw))
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::DirectQuery {
+                subject,
+                object,
+                constraints,
+            } => {
+                w.u8(REQ_DIRECT_QUERY);
+                subject.encode(w);
+                object.encode(w);
+                w.list(constraints);
+            }
+            Request::SubjectQuery {
+                subject,
+                constraints,
+            } => {
+                w.u8(REQ_SUBJECT_QUERY);
+                subject.encode(w);
+                w.list(constraints);
+            }
+            Request::ObjectQuery {
+                object,
+                constraints,
+            } => {
+                w.u8(REQ_OBJECT_QUERY);
+                object.encode(w);
+                w.list(constraints);
+            }
+            Request::Publish { cert, supports } => {
+                w.u8(REQ_PUBLISH);
+                cert.as_ref().encode(w);
+                w.list(supports);
+            }
+            Request::PublishDeclaration(decl) => {
+                w.u8(REQ_PUBLISH_DECLARATION);
+                w.bytes(&decl.to_bytes());
+            }
+            Request::Subscribe {
+                delegation,
+                subscriber,
+            } => {
+                w.u8(REQ_SUBSCRIBE);
+                encode_id(w, delegation);
+                w.str(subscriber.as_str());
+            }
+            Request::Unsubscribe {
+                delegation,
+                subscriber,
+            } => {
+                w.u8(REQ_UNSUBSCRIBE);
+                encode_id(w, delegation);
+                w.str(subscriber.as_str());
+            }
+            Request::Revoke(rev) => {
+                w.u8(REQ_REVOKE);
+                w.bytes(&rev.to_bytes());
+            }
+            Request::FetchDeclarations => w.u8(REQ_FETCH_DECLARATIONS),
+            Request::FetchDelegation(id) => {
+                w.u8(REQ_FETCH_DELEGATION);
+                encode_id(w, id);
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            REQ_DIRECT_QUERY => Ok(Request::DirectQuery {
+                subject: Node::decode(r)?,
+                object: Node::decode(r)?,
+                constraints: r.list()?,
+            }),
+            REQ_SUBJECT_QUERY => Ok(Request::SubjectQuery {
+                subject: Node::decode(r)?,
+                constraints: r.list()?,
+            }),
+            REQ_OBJECT_QUERY => Ok(Request::ObjectQuery {
+                object: Node::decode(r)?,
+                constraints: r.list()?,
+            }),
+            REQ_PUBLISH => Ok(Request::Publish {
+                cert: Arc::new(SignedDelegation::decode(r)?),
+                supports: r.list()?,
+            }),
+            REQ_PUBLISH_DECLARATION => Ok(Request::PublishDeclaration(
+                SignedAttrDeclaration::from_bytes(r.bytes()?)?,
+            )),
+            REQ_SUBSCRIBE => Ok(Request::Subscribe {
+                delegation: decode_id(r)?,
+                subscriber: WalletAddr::new(r.str()?),
+            }),
+            REQ_UNSUBSCRIBE => Ok(Request::Unsubscribe {
+                delegation: decode_id(r)?,
+                subscriber: WalletAddr::new(r.str()?),
+            }),
+            REQ_REVOKE => Ok(Request::Revoke(SignedRevocation::from_bytes(r.bytes()?)?)),
+            REQ_FETCH_DECLARATIONS => Ok(Request::FetchDeclarations),
+            REQ_FETCH_DELEGATION => Ok(Request::FetchDelegation(decode_id(r)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+const REP_PROOFS: u8 = 1;
+const REP_PUBLISHED: u8 = 2;
+const REP_DECLARATION_PUBLISHED: u8 = 3;
+const REP_SUBSCRIBED: u8 = 4;
+const REP_REVOKED: u8 = 5;
+const REP_DECLARATIONS: u8 = 6;
+const REP_DELEGATION: u8 = 7;
+const REP_ERROR: u8 = 8;
+
+impl Encode for Reply {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Reply::Proofs(proofs) => {
+                w.u8(REP_PROOFS);
+                w.list(proofs);
+            }
+            Reply::Published(id) => {
+                w.u8(REP_PUBLISHED);
+                encode_id(w, id);
+            }
+            Reply::DeclarationPublished => w.u8(REP_DECLARATION_PUBLISHED),
+            Reply::Subscribed => w.u8(REP_SUBSCRIBED),
+            Reply::Revoked(n) => {
+                w.u8(REP_REVOKED);
+                w.u64(*n as u64);
+            }
+            Reply::Declarations(ds) => {
+                w.u8(REP_DECLARATIONS);
+                w.u64(ds.len() as u64);
+                for d in ds {
+                    w.bytes(&d.to_bytes());
+                }
+            }
+            Reply::Delegation(c) => {
+                w.u8(REP_DELEGATION);
+                w.opt(c.as_ref().map(|c| c.as_ref()));
+            }
+            Reply::Error(m) => {
+                w.u8(REP_ERROR);
+                w.str(m);
+            }
+        }
+    }
+}
+
+impl Decode for Reply {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            REP_PROOFS => Ok(Reply::Proofs(r.list()?)),
+            REP_PUBLISHED => Ok(Reply::Published(decode_id(r)?)),
+            REP_DECLARATION_PUBLISHED => Ok(Reply::DeclarationPublished),
+            REP_SUBSCRIBED => Ok(Reply::Subscribed),
+            REP_REVOKED => {
+                let n = r.u64()?;
+                let n = usize::try_from(n)
+                    .map_err(|_| DecodeError::Invalid("revoked count overflows usize".into()))?;
+                Ok(Reply::Revoked(n))
+            }
+            REP_DECLARATIONS => {
+                let n = r.u64()?;
+                let n = usize::try_from(n).map_err(|_| DecodeError::UnexpectedEof)?;
+                if n > r.remaining() {
+                    return Err(DecodeError::UnexpectedEof);
+                }
+                let mut ds = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ds.push(SignedAttrDeclaration::from_bytes(r.bytes()?)?);
+                }
+                Ok(Reply::Declarations(ds))
+            }
+            REP_DELEGATION => {
+                let cert: Option<SignedDelegation> = r.opt()?;
+                Ok(Reply::Delegation(cert.map(Arc::new)))
+            }
+            REP_ERROR => Ok(Reply::Error(r.str()?.to_string())),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for OneWay {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            OneWay::Invalidate(event) => {
+                w.u8(1);
+                w.bytes(&event.delegation.0);
+                w.u8(match event.reason {
+                    InvalidationReason::Revoked => 1,
+                    InvalidationReason::Expired => 2,
+                });
+            }
+        }
+    }
+}
+
+impl Decode for OneWay {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            1 => {
+                let raw: [u8; 32] = r
+                    .bytes()?
+                    .try_into()
+                    .map_err(|_| DecodeError::Invalid("delegation id must be 32 bytes".into()))?;
+                let reason = match r.u8()? {
+                    1 => InvalidationReason::Revoked,
+                    2 => InvalidationReason::Expired,
+                    t => return Err(DecodeError::InvalidTag(t)),
+                };
+                Ok(OneWay::Invalidate(DelegationEvent {
+                    delegation: DelegationId(raw),
+                    reason,
+                }))
+            }
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Domain tags separating the three payload spaces (a request payload
+/// can never decode as a reply, and vice versa).
+const REQUEST_TAG: &[u8] = b"drbac-req-v1";
+const REPLY_TAG: &[u8] = b"drbac-rep-v1";
+const PUSH_TAG: &[u8] = b"drbac-push-v1";
+const REGISTER_TAG: &[u8] = b"drbac-sub-v1";
+
+fn encode_tagged<T: Encode>(tag: &[u8], value: &T) -> Vec<u8> {
+    let mut w = Writer::tagged(tag);
+    value.encode(&mut w);
+    w.finish()
+}
+
+fn decode_tagged<T: Decode>(tag: &'static [u8], bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::tagged(bytes, tag)?;
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+/// Canonical payload bytes for a request frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    encode_tagged(REQUEST_TAG, req)
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input (including trailing bytes).
+pub fn decode_request(bytes: &[u8]) -> Result<Request, DecodeError> {
+    decode_tagged(REQUEST_TAG, bytes)
+}
+
+/// Canonical payload bytes for a reply frame.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    encode_tagged(REPLY_TAG, reply)
+}
+
+/// Decodes a reply frame payload.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input (including trailing bytes).
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply, DecodeError> {
+    decode_tagged(REPLY_TAG, bytes)
+}
+
+/// Canonical payload bytes for a push frame.
+pub fn encode_push(msg: &OneWay) -> Vec<u8> {
+    encode_tagged(PUSH_TAG, msg)
+}
+
+/// Decodes a push frame payload.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input (including trailing bytes).
+pub fn decode_push(bytes: &[u8]) -> Result<OneWay, DecodeError> {
+    decode_tagged(PUSH_TAG, bytes)
+}
+
+/// Canonical payload bytes for a push-register frame: the subscriber's
+/// wallet address.
+pub fn encode_push_register(subscriber: &WalletAddr) -> Vec<u8> {
+    let mut w = Writer::tagged(REGISTER_TAG);
+    w.str(subscriber.as_str());
+    w.finish()
+}
+
+/// Decodes a push-register frame payload.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input (including trailing bytes).
+pub fn decode_push_register(bytes: &[u8]) -> Result<WalletAddr, DecodeError> {
+    let mut r = Reader::tagged(bytes, REGISTER_TAG)?;
+    let addr = WalletAddr::new(r.str()?);
+    r.finish()?;
+    Ok(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drbac_core::{LocalEntity, Node, Proof, ProofStep};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (LocalEntity, LocalEntity) {
+        let mut rng = StdRng::seed_from_u64(0x17);
+        let g = SchnorrGroup::test_256();
+        (
+            LocalEntity::generate("A", g.clone(), &mut rng),
+            LocalEntity::generate("M", g, &mut rng),
+        )
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"hello").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.payload, b"hello");
+    }
+
+    #[test]
+    fn request_payloads_round_trip() {
+        let (a, m) = fixture();
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        let requests = vec![
+            Request::DirectQuery {
+                subject: Node::entity(&m),
+                object: Node::role(a.role("r")),
+                constraints: vec![],
+            },
+            Request::Publish {
+                cert: Arc::new(cert),
+                supports: vec![proof],
+            },
+            Request::Subscribe {
+                delegation: DelegationId([7; 32]),
+                subscriber: "wallet.b".into(),
+            },
+            Request::FetchDeclarations,
+            Request::FetchDelegation(DelegationId([9; 32])),
+        ];
+        for req in requests {
+            let bytes = encode_request(&req);
+            let decoded = decode_request(&bytes).unwrap();
+            assert_eq!(decoded.kind(), req.kind());
+            assert_eq!(encode_request(&decoded), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn reply_payloads_round_trip() {
+        let (a, m) = fixture();
+        let cert = a
+            .delegate(Node::entity(&m), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        let proof = Proof::from_steps(vec![ProofStep::new(cert.clone())]).unwrap();
+        let replies = vec![
+            Reply::Proofs(vec![proof]),
+            Reply::Published(DelegationId([1; 32])),
+            Reply::Subscribed,
+            Reply::Revoked(3),
+            Reply::Delegation(Some(Arc::new(cert))),
+            Reply::Delegation(None),
+            Reply::Error("nope".into()),
+        ];
+        for reply in replies {
+            let bytes = encode_reply(&reply);
+            let decoded = decode_reply(&bytes).unwrap();
+            assert_eq!(encode_reply(&decoded), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn payload_spaces_are_domain_separated() {
+        let bytes = encode_request(&Request::FetchDeclarations);
+        assert!(decode_reply(&bytes).is_err());
+        assert!(decode_push(&bytes).is_err());
+    }
+}

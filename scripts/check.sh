@@ -46,6 +46,24 @@ done
 "$DRBAC" --home "$STORE_HOME" store verify
 "$DRBAC" --home "$STORE_HOME" query Maria BigISP.member | grep -q GRANTED
 
+echo "== tcp (loopback parity suite + serve/--remote round trip) =="
+cargo test -q --test tcp_loopback --test wire_roundtrip
+PORT=$((20000 + RANDOM % 20000))
+"$DRBAC" --home "$STORE_HOME" serve "127.0.0.1:$PORT" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$STORE_HOME"' EXIT
+for _ in $(seq 1 50); do
+    "$DRBAC" --home "$STORE_HOME" --remote "127.0.0.1:$PORT" query Maria BigISP.member 2>/dev/null \
+        | grep -q GRANTED && break
+    sleep 0.1
+done
+"$DRBAC" --home "$STORE_HOME" --remote "127.0.0.1:$PORT" query Maria BigISP.member | grep -q GRANTED
+kill "$SERVE_PID" 2>/dev/null
+trap 'rm -rf "$STORE_HOME"' EXIT
+
+echo "== docs (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 

@@ -36,10 +36,13 @@ use std::sync::Arc;
 
 use drbac::core::syntax::{parse_delegation, parse_node, render_delegation, SyntaxContext};
 use drbac::core::{
-    AttrConstraint, AttrDeclaration, AttrName, AttrOp, AttrRef, Decode, Encode, LocalEntity,
-    Reader, SignedAttrDeclaration, SignedDelegation, SignedRevocation, SimClock, Writer,
+    AttrConstraint, AttrDeclaration, AttrName, AttrOp, AttrRef, DeclarationSet, Decode, Encode,
+    LocalEntity, Node, ProofValidator, Reader, SignedAttrDeclaration, SignedDelegation,
+    SignedRevocation, SimClock, ValidationContext, WalletAddr, Writer,
 };
 use drbac::crypto::{KeyPair, PublicKey, SchnorrGroup};
+use drbac::net::proto::{Reply, Request};
+use drbac::net::{RetryPolicy, TcpConfig, TcpTransport, Transport, WalletDaemon};
 use drbac::store::WalletStore;
 use drbac::wallet::DurableWallet;
 
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
 fn run(mut args: Vec<String>) -> Result<String, String> {
     let home = extract_home(&mut args)?;
     let workers = extract_workers(&mut args)?;
+    let remote = extract_remote(&mut args)?;
     let Some(command) = args.first().cloned() else {
         return Err(usage());
     };
@@ -72,7 +76,21 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
     }
     let mut ctx = Context::load(&home)?;
     ctx.wallet.wallet().set_search_workers(workers);
+    // `--remote` routes wallet operations to a `drbac serve` daemon
+    // over TCP; signing still happens locally with this context's keys.
+    if let Some(addr) = remote {
+        return match command.as_str() {
+            "query" => ctx.query_remote(&addr, rest),
+            "delegate" => ctx.delegate_remote(&addr, rest),
+            "declare" => ctx.declare_remote(&addr, rest),
+            "revoke" => ctx.revoke_remote(&addr, rest),
+            other => Err(format!(
+                "--remote applies to query/delegate/declare/revoke, not {other:?}"
+            )),
+        };
+    }
     match command.as_str() {
+        "serve" => ctx.serve(rest),
         "keygen" => ctx.keygen(rest),
         "entities" => ctx.entities(),
         "delegate" => ctx.delegate(rest),
@@ -92,9 +110,11 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: drbac [--home DIR] [--workers N] <command>\n\
+    "usage: drbac [--home DIR] [--workers N] [--remote HOST:PORT] <command>\n\
      (--workers N / DRBAC_WORKERS sizes the parallel proof-search pool; default 1)\n\
+     (--remote ADDR / DRBAC_REMOTE routes query/delegate/declare/revoke to a daemon)\n\
      commands:\n\
+     \x20 serve <host:port>                     serve this wallet as a TCP daemon\n\
      \x20 keygen <Name>                         create an identity\n\
      \x20 entities                              list known entities\n\
      \x20 delegate '<[S -> O ...] Issuer>'      sign & publish a delegation\n\
@@ -365,6 +385,20 @@ fn extract_workers(args: &mut Vec<String>) -> Result<usize, String> {
     }
 }
 
+/// Pulls a global `--remote ADDR` flag (fallback: `DRBAC_REMOTE`)
+/// routing wallet operations to a `drbac serve` daemon.
+fn extract_remote(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--remote") {
+        if pos + 1 >= args.len() {
+            return Err("--remote requires a host:port address".into());
+        }
+        let addr = args.remove(pos + 1);
+        args.remove(pos);
+        return Ok(Some(addr));
+    }
+    Ok(std::env::var("DRBAC_REMOTE").ok())
+}
+
 /// Snapshot + compact once the log exceeds this many records, so a
 /// long-lived context's startup replay stays short.
 const SNAPSHOT_EVERY: u64 = 64;
@@ -588,7 +622,9 @@ impl Context {
         Ok(out)
     }
 
-    fn query(&self, args: &[String]) -> Result<String, String> {
+    /// Parses `query`'s positional arguments: subject, object, and
+    /// `Entity.attr min` constraint pairs.
+    fn parse_query(&self, args: &[String]) -> Result<(Node, Node, Vec<AttrConstraint>), String> {
         if args.len() < 2 || !(args.len() - 2).is_multiple_of(2) {
             return Err("usage: query <Subject> <Object> [<Entity.attr> <min>]...".into());
         }
@@ -622,6 +658,12 @@ impl Context {
                 .unwrap_or_else(|| AttrRef::new(owner, name.clone(), AttrOp::Min));
             constraints.push(AttrConstraint::at_least(attr, min));
         }
+        Ok((subject, object, constraints))
+    }
+
+    fn query(&self, args: &[String]) -> Result<String, String> {
+        let (subject, object, constraints) = self.parse_query(args)?;
+        let ctx = self.syntax();
         match self.wallet.query_direct(&subject, &object, &constraints) {
             Some(monitor) => {
                 let mut out = String::new();
@@ -749,5 +791,196 @@ impl Context {
             "revoked #{} ({notified} local notifications)\n",
             cert.id()
         ))
+    }
+
+    /// `drbac serve <host:port>` — serve this context's wallet as a TCP
+    /// daemon. Remote mutations journal through the same write-ahead
+    /// store as local commands; stop with ctrl-c.
+    fn serve(&self, args: &[String]) -> Result<String, String> {
+        let [addr] = args else {
+            return Err("usage: serve <host:port> (e.g. serve 127.0.0.1:7070)".into());
+        };
+        let daemon = WalletDaemon::bind(
+            addr.as_str(),
+            self.wallet.wallet().clone(),
+            TcpConfig::default(),
+        )
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!(
+            "drbac daemon serving wallet from {:?} on {} (ctrl-c to stop)",
+            self.home,
+            daemon.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+
+    fn transport_to(&self, addr: &str) -> (TcpTransport, WalletAddr) {
+        (TcpTransport::new(TcpConfig::default()), addr.into())
+    }
+
+    /// `query --remote`: ask the daemon's wallet, then validate every
+    /// returned proof *locally* (signatures, expiry, endpoints,
+    /// constraints against the daemon's declared attribute bases) — the
+    /// daemon is a directory, not an oracle.
+    fn query_remote(&self, addr: &str, args: &[String]) -> Result<String, String> {
+        let (subject, object, constraints) = self.parse_query(args)?;
+        let (transport, to) = self.transport_to(addr);
+        let mut declarations = DeclarationSet::new();
+        if let Ok(Reply::Declarations(ds)) = transport.request(&to, Request::FetchDeclarations) {
+            for d in ds {
+                if d.verify(self.wallet.now()).is_ok() {
+                    declarations.insert(d.declaration());
+                }
+            }
+        }
+        let outcome = RetryPolicy::standard().run(
+            &transport,
+            &to,
+            &Request::DirectQuery {
+                subject: subject.clone(),
+                object: object.clone(),
+                constraints: constraints.clone(),
+            },
+        );
+        let proofs = match outcome.reply.map_err(|e| e.to_string())? {
+            Reply::Proofs(proofs) => proofs,
+            Reply::Error(e) => return Err(format!("remote error: {e}")),
+            other => return Err(format!("unexpected reply: {other:?}")),
+        };
+        if proofs.is_empty() {
+            return Ok(format!("DENIED: no satisfying proof at {addr}\n"));
+        }
+        let validator = ProofValidator::new(
+            ValidationContext::at(self.wallet.now()).with_declarations(declarations),
+        );
+        let ctx = self.syntax();
+        for proof in &proofs {
+            if validator
+                .validate_query(proof, &subject, &object, &constraints)
+                .is_ok()
+            {
+                let mut out = String::new();
+                writeln!(
+                    out,
+                    "GRANTED via {} delegation(s) from {addr} (validated locally):",
+                    proof.chain_len()
+                )
+                .unwrap();
+                out.push_str(&drbac::core::syntax::render_proof(proof, &ctx));
+                return Ok(out);
+            }
+        }
+        Ok(format!(
+            "DENIED: {addr} returned {} proof(s), none survived local validation\n",
+            proofs.len()
+        ))
+    }
+
+    /// `delegate --remote`: sign locally, publish at the daemon.
+    fn delegate_remote(&mut self, addr: &str, args: &[String]) -> Result<String, String> {
+        let [text] = args else {
+            return Err("usage: delegate '<[Subject -> Object ...] Issuer>'".into());
+        };
+        let ctx = self.syntax();
+        let delegation = parse_delegation(text, &ctx).map_err(|e| e.to_string())?;
+        let issuer = self.signer_for(delegation.issuer())?;
+        let cert = SignedDelegation::sign(delegation, &issuer).map_err(|e| e.to_string())?;
+        let (transport, to) = self.transport_to(addr);
+        let outcome = RetryPolicy::standard().run(
+            &transport,
+            &to,
+            &Request::Publish {
+                cert: Arc::new(cert),
+                supports: vec![],
+            },
+        );
+        match outcome.reply.map_err(|e| e.to_string())? {
+            Reply::Published(id) => Ok(format!("published #{id} at {addr}\n")),
+            Reply::Error(e) => Err(format!("remote error: {e}")),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// `declare --remote`: sign the declaration locally, publish at the
+    /// daemon.
+    fn declare_remote(&mut self, addr: &str, args: &[String]) -> Result<String, String> {
+        let [entity, attr_name, op, base] = args else {
+            return Err("usage: declare <Entity> <attr> <op: -=|*=|<=> <base>".into());
+        };
+        let key = self
+            .entities
+            .get(entity)
+            .ok_or_else(|| format!("unknown entity {entity:?}"))?;
+        let op = match op.as_str() {
+            "-=" => AttrOp::Subtract,
+            "*=" => AttrOp::Scale,
+            "<=" => AttrOp::Min,
+            other => return Err(format!("unknown operator {other:?} (want -=, *= or <=)")),
+        };
+        let base: f64 = base
+            .parse()
+            .map_err(|_| "base must be a number".to_string())?;
+        let owner_id = drbac::core::EntityId(key.fingerprint());
+        let owner = self.signer_for(owner_id)?;
+        let attr = AttrRef::new(
+            owner_id,
+            AttrName::new(attr_name.as_str()).map_err(|e| e.to_string())?,
+            op,
+        );
+        let declaration = AttrDeclaration::new(attr, base).map_err(|e| e.to_string())?;
+        let signed = SignedAttrDeclaration::sign(declaration, &owner).map_err(|e| e.to_string())?;
+        let (transport, to) = self.transport_to(addr);
+        let outcome =
+            RetryPolicy::standard().run(&transport, &to, &Request::PublishDeclaration(signed));
+        match outcome.reply.map_err(|e| e.to_string())? {
+            Reply::DeclarationPublished => Ok(format!(
+                "declared {entity}.{attr_name} ({op}, base {base}) at {addr}\n"
+            )),
+            Reply::Error(e) => Err(format!("remote error: {e}")),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// `revoke --remote`: sign the revocation against the local copy of
+    /// the credential, apply it locally, then deliver it to the daemon
+    /// (the delegation's home wallet), which pushes invalidations to
+    /// its subscribers.
+    fn revoke_remote(&mut self, addr: &str, args: &[String]) -> Result<String, String> {
+        let [prefix] = args else {
+            return Err("usage: revoke <id-prefix> (see `drbac list`)".into());
+        };
+        let matches: Vec<_> = self.wallet.with_graph(|g| {
+            g.iter()
+                .filter(|c| c.id().to_string().starts_with(prefix.as_str()))
+                .cloned()
+                .collect()
+        });
+        let cert = match matches.as_slice() {
+            [] => return Err(format!("no delegation matches #{prefix}")),
+            [one] => one.clone(),
+            many => {
+                return Err(format!(
+                    "ambiguous prefix #{prefix} ({} matches)",
+                    many.len()
+                ))
+            }
+        };
+        let issuer = self.signer_for(cert.delegation().issuer())?;
+        let revocation = SignedRevocation::revoke(&cert, &issuer, self.wallet.now())
+            .map_err(|e| e.to_string())?;
+        let local = self.wallet.revoke(&revocation).map_err(|e| e.to_string())?;
+        self.save()?;
+        let (transport, to) = self.transport_to(addr);
+        let outcome = RetryPolicy::standard().run(&transport, &to, &Request::Revoke(revocation));
+        match outcome.reply.map_err(|e| e.to_string())? {
+            Reply::Revoked(pushed) => Ok(format!(
+                "revoked #{} ({local} local notification(s), {pushed} at {addr})\n",
+                cert.id()
+            )),
+            Reply::Error(e) => Err(format!("remote error: {e}")),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
     }
 }

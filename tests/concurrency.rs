@@ -221,8 +221,8 @@ fn racing_provers_agree_with_a_single_threaded_oracle() {
 
     // Monitors collected by the provers, with a fired-callback counter
     // attached to each — the post-quiesce sweep checks them all.
-    let monitors: Arc<Mutex<Vec<(ProofMonitor, Arc<AtomicUsize>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
+    type WatchedMonitors = Arc<Mutex<Vec<(ProofMonitor, Arc<AtomicUsize>)>>>;
+    let monitors: WatchedMonitors = Arc::new(Mutex::new(Vec::new()));
 
     std::thread::scope(|scope| {
         // Writers: publish one user's credentials, revoking every third.

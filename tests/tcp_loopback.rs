@@ -1,0 +1,470 @@
+//! Loopback TCP parity suite: the flows `tests/end_to_end.rs` proves
+//! over `SimNet` — cross-wallet discovery, role-gated switchboard
+//! connect, revocation push — must behave identically when every
+//! wallet sits behind a real `WalletDaemon` socket and the agent's
+//! transport is `TcpTransport`. Plus the failure path the simulator
+//! cannot exercise: killing a daemon mid-subscription and watching the
+//! `SubscriberLink` reconnect, resubscribe, and keep delivering pushes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drbac::core::{
+    DiscoveryTag, LocalEntity, Node, Proof, ProofStep, SignedDelegation, SignedRevocation,
+    SimClock, SubjectFlag, Ticks,
+};
+use drbac::crypto::SchnorrGroup;
+use drbac::net::proto::{Reply, Request};
+use drbac::net::{
+    Directory, DiscoveryAgent, RetryPolicy, SimNet, SubscriberLink, Switchboard, TcpConfig,
+    TcpTransport, Transport, WalletDaemon,
+};
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Polls `cond` until it holds or `timeout` lapses.
+fn wait_until(timeout: Duration, cond: impl Fn() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+fn counter(name: &str) -> u64 {
+    drbac::obs::global().counter(name).get()
+}
+
+/// A three-org delegation chain `User -> Org0.p -> Org1.p ->
+/// Org2.resource`, each hop published in its subject's home wallet
+/// (addressed `w0`/`w1`/`w2`), plus the user's presented credential.
+struct Chain {
+    orgs: Vec<LocalEntity>,
+    user: LocalEntity,
+    wallets: Vec<Wallet>,
+    user_cert: Arc<SignedDelegation>,
+    clock: SimClock,
+}
+
+fn build_chain(seed: u64) -> Chain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let orgs: Vec<LocalEntity> = (0..3)
+        .map(|i| LocalEntity::generate(format!("Org{i}"), group.clone(), &mut rng))
+        .collect();
+    let user = LocalEntity::generate("User", group, &mut rng);
+    let wallets: Vec<Wallet> = (0..3)
+        .map(|i| Wallet::new(format!("w{i}").as_str(), clock.clone()))
+        .collect();
+    let tag = |i: usize| {
+        DiscoveryTag::new(format!("w{i}").as_str())
+            .with_ttl(Ticks(60))
+            .with_subject_flag(SubjectFlag::Search)
+    };
+    let user_cert = Arc::new(
+        orgs[0]
+            .delegate(Node::entity(&user), Node::role(orgs[0].role("p")))
+            .object_tag(tag(0))
+            .sign(&orgs[0])
+            .unwrap(),
+    );
+    wallets[0].publish(Arc::clone(&user_cert), vec![]).unwrap();
+    for i in 0..2 {
+        let object = if i == 1 {
+            orgs[2].role("resource")
+        } else {
+            orgs[i + 1].role("p")
+        };
+        wallets[i]
+            .publish(
+                orgs[i + 1]
+                    .delegate(Node::role(orgs[i].role("p")), Node::role(object))
+                    .subject_tag(tag(i))
+                    .object_tag(tag(i + 1))
+                    .sign(&orgs[i + 1])
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+    }
+    Chain {
+        orgs,
+        user,
+        wallets,
+        user_cert,
+        clock,
+    }
+}
+
+/// The discovery directory every variant starts from: the user's tag
+/// plus each org's home.
+fn directory_for(chain: &Chain) -> Directory {
+    let tag = |i: usize| {
+        DiscoveryTag::new(format!("w{i}").as_str())
+            .with_ttl(Ticks(60))
+            .with_subject_flag(SubjectFlag::Search)
+    };
+    let mut directory = Directory::new();
+    directory.register(Node::entity(&chain.user), tag(0));
+    for (i, org) in chain.orgs.iter().enumerate() {
+        directory.register_entity(org.id(), tag(i));
+    }
+    directory
+}
+
+/// Serves each chain wallet behind its own loopback daemon, returning
+/// the daemons plus a transport routed to them (`w<i>` → `127.0.0.1:p`).
+fn serve_chain(chain: &Chain) -> (Vec<WalletDaemon>, Arc<TcpTransport>) {
+    let transport = Arc::new(TcpTransport::new(TcpConfig::fast()));
+    let daemons: Vec<WalletDaemon> = chain
+        .wallets
+        .iter()
+        .map(|w| WalletDaemon::bind("127.0.0.1:0", w.clone(), TcpConfig::fast()).unwrap())
+        .collect();
+    for (i, d) in daemons.iter().enumerate() {
+        transport.add_route(format!("w{i}").as_str(), d.local_addr());
+    }
+    (daemons, transport)
+}
+
+/// Tag-directed discovery finds the same proof over SimNet and over
+/// loopback daemons: same decision, same chain shape, same endpoints,
+/// same set of wallets contacted.
+#[test]
+fn discovery_parity_simnet_vs_tcp() {
+    // SimNet shape.
+    let sim_chain = build_chain(41);
+    let net = SimNet::new(sim_chain.clock.clone(), Ticks(1));
+    for (i, w) in sim_chain.wallets.iter().enumerate() {
+        net.add_host(format!("w{i}").as_str(), w.clone());
+    }
+    let sim_local = Wallet::new("agent.sim", sim_chain.clock.clone());
+    let presented = Proof::from_steps(vec![ProofStep::new(Arc::clone(&sim_chain.user_cert))])
+        .unwrap();
+    sim_local.absorb_proof(&presented, &"user.device".into()).unwrap();
+    let mut sim_agent = DiscoveryAgent::new(net.clone(), sim_local, directory_for(&sim_chain));
+    let sim_outcome = sim_agent.discover(
+        &Node::entity(&sim_chain.user),
+        &Node::role(sim_chain.orgs[2].role("resource")),
+        &[],
+    );
+
+    // TCP shape: the same chain (same seed → same keys and certs),
+    // each wallet behind a real socket daemon.
+    let tcp_chain = build_chain(41);
+    let (daemons, transport) = serve_chain(&tcp_chain);
+    let tcp_local = Wallet::new("agent.tcp", tcp_chain.clock.clone());
+    let presented = Proof::from_steps(vec![ProofStep::new(Arc::clone(&tcp_chain.user_cert))])
+        .unwrap();
+    tcp_local.absorb_proof(&presented, &"user.device".into()).unwrap();
+    let mut tcp_agent = DiscoveryAgent::new(
+        Arc::clone(&transport),
+        tcp_local,
+        directory_for(&tcp_chain),
+    );
+    let tcp_outcome = tcp_agent.discover(
+        &Node::entity(&tcp_chain.user),
+        &Node::role(tcp_chain.orgs[2].role("resource")),
+        &[],
+    );
+
+    assert!(sim_outcome.found(), "simnet trace: {:?}", sim_outcome.trace);
+    assert!(tcp_outcome.found(), "tcp trace: {:?}", tcp_outcome.trace);
+    let sim_proof = sim_outcome.monitor.as_ref().unwrap().proof().clone();
+    let tcp_proof = tcp_outcome.monitor.as_ref().unwrap().proof().clone();
+    assert_eq!(sim_proof.chain_len(), tcp_proof.chain_len());
+    assert_eq!(sim_proof.subject(), tcp_proof.subject());
+    assert_eq!(sim_proof.object(), tcp_proof.object());
+    assert_eq!(sim_proof.to_bytes(), tcp_proof.to_bytes(), "same wire bytes");
+    assert_eq!(
+        sim_outcome.wallets_contacted, tcp_outcome.wallets_contacted,
+        "same wallets contacted"
+    );
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+/// Role-gated switchboard connect works unchanged over TCP, and a
+/// revocation delivered to the daemon pushes through the verifier's
+/// subscriber link and closes the channel.
+#[test]
+fn role_gated_connect_and_revocation_push_over_tcp() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let owner = LocalEntity::generate("Owner", group.clone(), &mut rng);
+    let member = LocalEntity::generate("Member", group, &mut rng);
+
+    let home = Wallet::new("home", clock.clone());
+    let cert = owner
+        .delegate(Node::entity(&member), Node::role(owner.role("r")))
+        .sign(&owner)
+        .unwrap();
+    let cert_id = cert.id();
+    home.publish(cert, vec![]).unwrap();
+
+    let daemon = WalletDaemon::bind("127.0.0.1:0", home, TcpConfig::fast()).unwrap();
+    let transport = Arc::new(TcpTransport::new(TcpConfig::fast()));
+    transport.add_route("home", daemon.local_addr());
+
+    // The verifier keeps its own wallet and a persistent push link so
+    // the daemon's revocation pushes reach it.
+    let verifier = Wallet::new("verifier", clock.clone());
+    let link = SubscriberLink::open("home", verifier.clone(), Arc::clone(&transport)).unwrap();
+
+    let switchboard = Switchboard::new();
+    let channel = switchboard
+        .connect_role_gated_remote(
+            &member,
+            &owner,
+            transport.as_ref(),
+            &"home".into(),
+            &verifier,
+            owner.role("r"),
+            &RetryPolicy::standard(),
+            clock.now(),
+            &mut rng,
+        )
+        .expect("role proven over TCP");
+    assert!(channel.is_open());
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            !daemon.subscribers_of(cert_id).is_empty()
+        }),
+        "connect registered a coherence subscription at the daemon"
+    );
+
+    // Revoke at the home daemon: the push must close the channel.
+    let revocation = {
+        let cert = daemon.wallet().get(cert_id).unwrap();
+        SignedRevocation::revoke(&cert, &owner, clock.now()).unwrap()
+    };
+    let reply = transport
+        .request(&"home".into(), Request::Revoke(revocation))
+        .unwrap();
+    assert!(matches!(reply, Reply::Revoked(_)));
+    assert!(
+        wait_until(Duration::from_secs(2), || !channel.is_open()),
+        "revocation push closed the role-gated channel"
+    );
+    link.close();
+    daemon.shutdown();
+}
+
+/// The revocation-push outcome is identical over SimNet and TCP: the
+/// subscriber's monitor invalidates and a fresh query denies.
+#[test]
+fn revocation_push_parity_simnet_vs_tcp() {
+    // --- SimNet shape -------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(43);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let net = SimNet::new(clock.clone(), Ticks(1));
+    let owner = LocalEntity::generate("Owner", group.clone(), &mut rng);
+    let member = LocalEntity::generate("Member", group.clone(), &mut rng);
+    let home = net.add_host("home", Wallet::new("home", clock.clone()));
+    let server = net.add_host("server", Wallet::new("server", clock.clone()));
+    let cert = Arc::new(
+        owner
+            .delegate(Node::entity(&member), Node::role(owner.role("r")))
+            .sign(&owner)
+            .unwrap(),
+    );
+    home.wallet().publish(Arc::clone(&cert), vec![]).unwrap();
+    let proof = Proof::from_steps(vec![ProofStep::new(Arc::clone(&cert))]).unwrap();
+    server.wallet().absorb_proof(&proof, home.addr()).unwrap();
+    net.request(
+        &"home".into(),
+        Request::Subscribe {
+            delegation: cert.id(),
+            subscriber: "server".into(),
+        },
+    )
+    .unwrap();
+    let sim_monitor = server
+        .wallet()
+        .query_direct(&Node::entity(&member), &Node::role(owner.role("r")), &[])
+        .unwrap();
+    assert!(sim_monitor.is_valid());
+    let revocation = SignedRevocation::revoke(&cert, &owner, clock.now()).unwrap();
+    net.request(&"home".into(), Request::Revoke(revocation)).unwrap();
+    net.run_until_idle();
+    let sim_invalidated = !sim_monitor.is_valid();
+    let sim_requery = server
+        .wallet()
+        .query_direct(&Node::entity(&member), &Node::role(owner.role("r")), &[])
+        .is_none();
+
+    // --- TCP shape (same keys: same seed) -----------------------------
+    let mut rng = StdRng::seed_from_u64(43);
+    let owner = LocalEntity::generate("Owner", group.clone(), &mut rng);
+    let member = LocalEntity::generate("Member", group.clone(), &mut rng);
+    let home = Wallet::new("home", clock.clone());
+    let subscriber = Wallet::new("server", clock.clone());
+    let cert = Arc::new(
+        owner
+            .delegate(Node::entity(&member), Node::role(owner.role("r")))
+            .sign(&owner)
+            .unwrap(),
+    );
+    home.publish(Arc::clone(&cert), vec![]).unwrap();
+    let daemon = WalletDaemon::bind("127.0.0.1:0", home, TcpConfig::fast()).unwrap();
+    let transport = Arc::new(TcpTransport::new(TcpConfig::fast()));
+    transport.add_route("home", daemon.local_addr());
+    let proof = Proof::from_steps(vec![ProofStep::new(Arc::clone(&cert))]).unwrap();
+    subscriber.absorb_proof(&proof, &"home".into()).unwrap();
+    let link = SubscriberLink::open("home", subscriber.clone(), Arc::clone(&transport)).unwrap();
+    link.track(cert.id());
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            !daemon.subscribers_of(cert.id()).is_empty()
+        }),
+        "subscription registered"
+    );
+    let tcp_monitor = subscriber
+        .query_direct(&Node::entity(&member), &Node::role(owner.role("r")), &[])
+        .unwrap();
+    assert!(tcp_monitor.is_valid());
+    let revocation = SignedRevocation::revoke(&cert, &owner, clock.now()).unwrap();
+    let reply = transport
+        .request(&"home".into(), Request::Revoke(revocation))
+        .unwrap();
+    assert!(matches!(reply, Reply::Revoked(_)));
+    let tcp_invalidated = wait_until(Duration::from_secs(2), || !tcp_monitor.is_valid());
+    let tcp_requery = subscriber
+        .query_direct(&Node::entity(&member), &Node::role(owner.role("r")), &[])
+        .is_none();
+
+    assert!(sim_invalidated && tcp_invalidated, "both pushes landed");
+    assert_eq!(sim_requery, tcp_requery, "both deny after revocation");
+    link.close();
+    daemon.shutdown();
+}
+
+/// Killing the daemon mid-subscription: the `SubscriberLink` notices,
+/// reconnects to the restarted daemon (same port), re-registers its
+/// push channel, resubscribes, and a post-restart revocation still
+/// reaches the subscriber. `drbac.net.tcp.reconnect.count` increments.
+#[test]
+fn daemon_kill_mid_subscription_reconnects_and_resubscribes() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let owner = LocalEntity::generate("Owner", group.clone(), &mut rng);
+    let member = LocalEntity::generate("Member", group, &mut rng);
+
+    let home = Wallet::new("home", clock.clone());
+    let cert = Arc::new(
+        owner
+            .delegate(Node::entity(&member), Node::role(owner.role("r")))
+            .sign(&owner)
+            .unwrap(),
+    );
+    home.publish(Arc::clone(&cert), vec![]).unwrap();
+
+    let daemon = WalletDaemon::bind("127.0.0.1:0", home.clone(), TcpConfig::fast()).unwrap();
+    let port = daemon.local_addr();
+    let transport = Arc::new(TcpTransport::new(TcpConfig::fast()));
+    transport.add_route("home", port);
+
+    let subscriber = Wallet::new("server", clock.clone());
+    let proof = Proof::from_steps(vec![ProofStep::new(Arc::clone(&cert))]).unwrap();
+    subscriber.absorb_proof(&proof, &"home".into()).unwrap();
+    let link = SubscriberLink::open("home", subscriber.clone(), Arc::clone(&transport)).unwrap();
+    link.track(cert.id());
+    assert!(wait_until(Duration::from_secs(2), || {
+        !daemon.subscribers_of(cert.id()).is_empty()
+    }));
+    let monitor = subscriber
+        .query_direct(&Node::entity(&member), &Node::role(owner.role("r")), &[])
+        .unwrap();
+    assert!(monitor.is_valid());
+
+    // Kill the daemon mid-subscription. Its subscriber registry (and
+    // the push link) die with it.
+    let reconnects_before = counter("drbac.net.tcp.reconnect.count");
+    daemon.shutdown();
+    drop(daemon);
+    // Stale pooled connections point at the dead daemon.
+    transport.drain_pool();
+
+    // Restart on the same port, serving the same (shared-state) wallet
+    // — the registry starts empty, like a SimNet host after crash.
+    let restarted = WalletDaemon::bind(port, home, TcpConfig::fast()).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            !restarted.subscribers_of(cert.id()).is_empty()
+        }),
+        "link reconnected and resubscribed at the restarted daemon"
+    );
+    assert!(
+        counter("drbac.net.tcp.reconnect.count") > reconnects_before,
+        "reconnect counter incremented"
+    );
+
+    // A revocation issued *after* the restart still reaches the
+    // subscriber over the re-established push link.
+    let revocation = SignedRevocation::revoke(&cert, &owner, clock.now()).unwrap();
+    let reply = transport
+        .request(&"home".into(), Request::Revoke(revocation))
+        .unwrap();
+    assert!(matches!(reply, Reply::Revoked(_)));
+    assert!(
+        wait_until(Duration::from_secs(2), || !monitor.is_valid()),
+        "post-restart revocation push invalidated the subscriber's monitor"
+    );
+    link.close();
+    restarted.shutdown();
+}
+
+/// A daemon that is fed garbage — partial frames, wrong magic, a huge
+/// length prefix — stays alive and keeps serving well-formed clients.
+#[test]
+fn daemon_survives_garbage_connections() {
+    use std::io::Write as _;
+
+    let clock = SimClock::new();
+    let wallet = Wallet::new("home", clock);
+    let daemon = WalletDaemon::bind("127.0.0.1:0", wallet, TcpConfig::fast()).unwrap();
+    let addr = daemon.local_addr();
+
+    // Garbage: wrong magic.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    drop(s);
+    // Garbage: valid magic, absurd length prefix.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"dRBW");
+    frame.push(1); // version
+    frame.push(1); // kind: request
+    frame.extend_from_slice(&u32::MAX.to_be_bytes()); // oversized length
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    s.write_all(&frame).unwrap();
+    drop(s);
+    // Torn frame: header promises bytes that never arrive.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"dRBW");
+    frame.push(1);
+    frame.push(1);
+    frame.extend_from_slice(&1024u32.to_be_bytes());
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    s.write_all(&frame).unwrap(); // ...and no payload
+    drop(s);
+
+    // A well-formed client still gets served.
+    let transport = TcpTransport::new(TcpConfig::fast());
+    transport.add_route("home", addr);
+    let reply = transport
+        .request(&"home".into(), Request::FetchDeclarations)
+        .unwrap();
+    assert!(matches!(reply, Reply::Declarations(_)));
+    daemon.shutdown();
+}
