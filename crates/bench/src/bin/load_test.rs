@@ -1,0 +1,326 @@
+//! Records the daemon load benchmark into `BENCH_daemon.json`: request
+//! throughput and client-observed / daemon-observed latency percentiles
+//! for N loopback wallet daemons under M concurrent clients driving a
+//! seeded mixed workload (~80% direct queries, ~10% publishes, ~10%
+//! revocations of the client's own earlier publishes).
+//!
+//! Every daemon runs in-process, so the global metrics registry holds
+//! both sides of each exchange: `drbac.net.tcp.request.ns` is the
+//! client's send→decode round trip and `drbac.net.tcp.service.ns` is
+//! the daemon's frame-rx→reply-tx service time. The gap between their
+//! percentiles is loopback socket + framing overhead.
+//!
+//! Usage: `load_test [--smoke] [--seed N] [--out FILE]`. Smoke mode
+//! (one daemon, 4 clients, ~2s) is what `scripts/check.sh` runs; the
+//! committed artifact comes from a full run, which measures at least
+//! two client-concurrency levels against two daemons.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use drbac_core::{LocalEntity, Node, SimClock, SignedRevocation};
+use drbac_crypto::SchnorrGroup;
+use drbac_net::proto::{Reply, Request};
+use drbac_net::{TcpConfig, TcpTransport, Transport, WalletDaemon};
+use drbac_obs::HistogramSnapshot;
+use drbac_wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DEFAULT_SEED: u64 = 2002;
+const USERS: usize = 4;
+const DEPTH: usize = 3;
+
+/// One daemon's workload fixture: the owner signs the ladder (and the
+/// load-generated publishes/revocations), the keys are every provable
+/// (subject, object) pair.
+struct World {
+    owner: LocalEntity,
+    keys: Vec<(Node, Node)>,
+}
+
+/// Publishes the `USERS × DEPTH` role-ladder workload (the same shape
+/// as `proof_engine_record`) into `wallet`.
+fn build_world(wallet: &Wallet, seed: u64) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = SchnorrGroup::test_256();
+    let owner = LocalEntity::generate("Owner", g.clone(), &mut rng);
+    let mut keys = Vec::new();
+    for u in 0..USERS {
+        let user = LocalEntity::generate(format!("U{u}"), g.clone(), &mut rng);
+        wallet
+            .publish(
+                owner
+                    .delegate(
+                        Node::entity(&user),
+                        Node::role(owner.role(&format!("lad{u}d0"))),
+                    )
+                    .sign(&owner)
+                    .unwrap(),
+                vec![],
+            )
+            .unwrap();
+        for d in 1..DEPTH {
+            wallet
+                .publish(
+                    owner
+                        .delegate(
+                            Node::role(owner.role(&format!("lad{u}d{}", d - 1))),
+                            Node::role(owner.role(&format!("lad{u}d{d}"))),
+                        )
+                        .sign(&owner)
+                        .unwrap(),
+                    vec![],
+                )
+                .unwrap();
+        }
+        for d in 0..DEPTH {
+            keys.push((
+                Node::entity(&user),
+                Node::role(owner.role(&format!("lad{u}d{d}"))),
+            ));
+        }
+    }
+    World { owner, keys }
+}
+
+/// One measured level: `clients` threads × `ops` requests each against
+/// `n_daemons` fresh loopback daemons.
+struct LevelResult {
+    clients: usize,
+    daemons: usize,
+    ops: u64,
+    queries: u64,
+    publishes: u64,
+    revokes: u64,
+    errors: u64,
+    elapsed_ns: u128,
+    ops_per_sec: f64,
+    request_ns: HistogramSnapshot,
+    service_ns: HistogramSnapshot,
+}
+
+fn run_level(n_daemons: usize, clients: usize, ops_per_client: usize, seed: u64) -> LevelResult {
+    // Fresh daemons + a cleared registry per level, so the scraped
+    // histograms describe exactly this level's traffic.
+    drbac_obs::global().reset();
+    let clock = SimClock::new();
+    let (worlds, daemons): (Vec<World>, Vec<WalletDaemon>) = (0..n_daemons)
+        .map(|d| {
+            let wallet = Wallet::new(format!("lt{d}").as_str(), clock.clone());
+            let world = build_world(&wallet, seed ^ (d as u64).wrapping_mul(0x9e37_79b9));
+            // The wallet is shared state: the daemon serves the same
+            // store the world was published into.
+            let daemon = WalletDaemon::bind("127.0.0.1:0", wallet, TcpConfig::fast()).unwrap();
+            (world, daemon)
+        })
+        .unzip();
+    let addrs: Vec<std::net::SocketAddr> = daemons.iter().map(WalletDaemon::local_addr).collect();
+
+    let queries = AtomicU64::new(0);
+    let publishes = AtomicU64::new(0);
+    let revokes = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let worlds = &worlds;
+            let addrs = &addrs;
+            let clock = clock.clone();
+            let (queries, publishes, revokes, errors) = (&queries, &publishes, &revokes, &errors);
+            scope.spawn(move || {
+                // Each client owns its transport (and so its connection
+                // pool): M clients means M concurrent sockets per daemon.
+                let transport = TcpTransport::new(TcpConfig::fast());
+                for (d, addr) in addrs.iter().enumerate() {
+                    transport.add_route(format!("lt{d}").as_str(), *addr);
+                }
+                let mut rng = StdRng::seed_from_u64(seed ^ ((c as u64) << 32));
+                // Certs this client published and may later revoke.
+                let mut published: Vec<(usize, Arc<drbac_core::SignedDelegation>)> = Vec::new();
+                for i in 0..ops_per_client {
+                    let d = rng.gen_range(0..worlds.len());
+                    let to = drbac_core::WalletAddr::from(format!("lt{d}").as_str());
+                    let roll: u32 = rng.gen_range(0..10);
+                    let reply = if roll < 8 {
+                        // Direct query over a provable ladder pair.
+                        let (subject, object) =
+                            worlds[d].keys[rng.gen_range(0..worlds[d].keys.len())].clone();
+                        queries.fetch_add(1, Ordering::Relaxed);
+                        transport.request(
+                            &to,
+                            Request::DirectQuery {
+                                subject,
+                                object,
+                                constraints: vec![],
+                            },
+                        )
+                    } else if roll == 8 || published.is_empty() {
+                        // Publish a fresh owner-signed delegation.
+                        let owner = &worlds[d].owner;
+                        let cert = Arc::new(
+                            owner
+                                .delegate(
+                                    Node::role(owner.role(&format!("lt-c{c}-i{i}"))),
+                                    Node::role(owner.role("load")),
+                                )
+                                .sign(owner)
+                                .unwrap(),
+                        );
+                        published.push((d, Arc::clone(&cert)));
+                        publishes.fetch_add(1, Ordering::Relaxed);
+                        transport.request(
+                            &to,
+                            Request::Publish {
+                                cert,
+                                supports: vec![],
+                            },
+                        )
+                    } else {
+                        // Revoke one of our own earlier publishes, at
+                        // the daemon that holds it.
+                        let (pd, cert) = published.swap_remove(rng.gen_range(0..published.len()));
+                        let to = drbac_core::WalletAddr::from(format!("lt{pd}").as_str());
+                        let revocation =
+                            SignedRevocation::revoke(&cert, &worlds[pd].owner, clock.now())
+                                .unwrap();
+                        revokes.fetch_add(1, Ordering::Relaxed);
+                        transport.request(&to, Request::Revoke(revocation))
+                    };
+                    match reply {
+                        Ok(r) if !r.is_error() => {}
+                        Ok(Reply::Error(_)) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {}
+                    }
+                }
+            });
+        }
+    });
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let snapshot = drbac_obs::global().snapshot();
+    let hist = |name: &str| {
+        snapshot
+            .histograms
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| drbac_obs::global().histogram(name).snapshot())
+    };
+    let result = LevelResult {
+        clients,
+        daemons: n_daemons,
+        ops: (clients * ops_per_client) as u64,
+        queries: queries.load(Ordering::Relaxed),
+        publishes: publishes.load(Ordering::Relaxed),
+        revokes: revokes.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed_ns,
+        ops_per_sec: (clients * ops_per_client) as f64 / (elapsed_ns as f64 / 1e9),
+        request_ns: hist("drbac.net.tcp.request.ns"),
+        service_ns: hist("drbac.net.tcp.service.ns"),
+    };
+    for d in daemons {
+        d.shutdown();
+    }
+    result
+}
+
+fn json_hist(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+        h.count, h.p50, h.p90, h.p99, h.p999, h.max
+    )
+}
+
+fn json_level(l: &LevelResult) -> String {
+    format!(
+        "    {{\"clients\": {}, \"daemons\": {}, \"ops\": {}, \"queries\": {}, \
+         \"publishes\": {}, \"revokes\": {}, \"errors\": {}, \"elapsed_ms\": {:.1}, \
+         \"ops_per_sec\": {:.1},\n     \"request_ns\": {},\n     \"service_ns\": {}}}",
+        l.clients,
+        l.daemons,
+        l.ops,
+        l.queries,
+        l.publishes,
+        l.revokes,
+        l.errors,
+        l.elapsed_ns as f64 / 1e6,
+        l.ops_per_sec,
+        json_hist(&l.request_ns),
+        json_hist(&l.service_ns),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seed = DEFAULT_SEED;
+    let mut out = String::from("BENCH_daemon.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = it.next().expect("--out FILE").clone(),
+            "--smoke" => {}
+            other => {
+                eprintln!("usage: load_test [--smoke] [--seed N] [--out FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Smoke: one daemon × 4 clients, small op count (~2s on a slow
+    // container). Full: two daemons at two concurrency levels.
+    let plan: Vec<(usize, usize, usize)> = if smoke {
+        vec![(1, 4, 60)]
+    } else {
+        vec![(2, 4, 250), (2, 16, 250)]
+    };
+
+    let levels: Vec<LevelResult> = plan
+        .iter()
+        .map(|&(daemons, clients, ops)| run_level(daemons, clients, ops, seed))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"daemon_load\",\n  \"seed\": {seed},\n  \"smoke\": {smoke},\n  \
+         \"workload\": {{\"users_per_daemon\": {USERS}, \"ladder_depth\": {DEPTH}, \
+         \"mix\": \"80% direct-query / 10% publish / 10% revoke-own\"}},\n  \
+         \"levels\": [\n{}\n  ]\n}}\n",
+        levels.iter().map(json_level).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    print!("{json}");
+
+    for l in &levels {
+        assert!(l.errors == 0, "{} requests failed at {} clients", l.errors, l.clients);
+        assert!(
+            l.request_ns.count >= l.ops,
+            "client request histogram undercounted: {} < {}",
+            l.request_ns.count,
+            l.ops
+        );
+        assert!(
+            l.service_ns.count >= l.ops,
+            "daemon service histogram undercounted: {} < {}",
+            l.service_ns.count,
+            l.ops
+        );
+        assert!(l.request_ns.p50 > 0 && l.service_ns.p50 > 0, "percentiles are non-zero");
+        assert!(
+            l.request_ns.p50 >= l.service_ns.p50 / 2,
+            "client-observed latency should not undercut daemon service time"
+        );
+    }
+    if !smoke {
+        assert!(levels.len() >= 2, "full run must measure ≥2 concurrency levels");
+    }
+    eprintln!(
+        "acceptance: {} level(s), all requests succeeded, histogram counts cover every op",
+        levels.len()
+    );
+}

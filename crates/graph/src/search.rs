@@ -149,10 +149,13 @@ pub fn direct_query_on<G: GraphView + ?Sized>(
     object: &Node,
     opts: &SearchOptions,
 ) -> (Option<Proof>, SearchStats) {
+    let start = std::time::Instant::now();
     let mut engine = Engine::new(graph, opts);
     let found = engine
         .search(subject, Some(object), Direction::Forward)
         .remove(object);
+    drbac_obs::static_histogram!("drbac.graph.search.direct.ns")
+        .record(start.elapsed().as_nanos() as u64);
     (found, engine.stats)
 }
 

@@ -22,16 +22,16 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use drbac_core::{DelegationId, WalletAddr};
 use drbac_wallet::{DelegationEvent, InvalidationReason, Wallet};
 use parking_lot::Mutex;
 
-use crate::proto::{OneWay, Reply, Request};
+use crate::proto::{HealthReport, OneWay, Reply, Request};
 use crate::sim::NetError;
 use crate::tcp::{TcpConfig, TcpTransport};
 use crate::transport::{RetryPolicy, Transport};
@@ -53,6 +53,10 @@ struct DaemonShared {
     /// Streams currently open, so shutdown can unblock their readers.
     conns: Mutex<Vec<TcpStream>>,
     closed: AtomicBool,
+    /// When the daemon started accepting (for health uptime).
+    start: Instant,
+    /// Requests served since start (all kinds).
+    served: AtomicU64,
 }
 
 impl DaemonShared {
@@ -125,6 +129,15 @@ impl DaemonShared {
                     .filter(|c| !self.wallet.is_revoked(id) && !c.delegation().is_expired(now));
                 Reply::Delegation(live)
             }
+            Request::Stats => Reply::Stats(drbac_obs::global().snapshot()),
+            Request::Health => Reply::Health(HealthReport {
+                ok: !self.closed.load(Ordering::SeqCst),
+                wallet: self.wallet.addr().to_string(),
+                uptime_ns: self.start.elapsed().as_nanos() as u64,
+                delegations: self.wallet.len() as u64,
+                subscribers: self.push_links.lock().len() as u64,
+                served_requests: self.served.load(Ordering::Relaxed),
+            }),
         }
     }
 
@@ -203,6 +216,8 @@ impl WalletDaemon {
             seen_events: Mutex::new(HashSet::new()),
             conns: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
+            start: Instant::now(),
+            served: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let write_timeout = config.write_timeout;
@@ -322,12 +337,34 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<DaemonShared>) {
         drbac_obs::static_counter!("drbac.net.tcp.frame.rx.count").inc();
         match frame.kind {
             FrameKind::Request => {
+                // Service time is frame-rx → reply-tx: the clock starts
+                // the moment the request frame is fully read and stops
+                // after the reply frame is written back.
+                let rx = Instant::now();
+                // Adopt the client's trace context (if any) so daemon
+                // spans stitch into the same distributed trace.
+                if let Some(ctx) = frame.trace {
+                    drbac_obs::set_current_trace(ctx.trace_id, ctx.parent_span);
+                }
                 let reply = match wire::decode_request(&frame.payload) {
-                    Ok(req) => shared.handle(req),
+                    Ok(req) => {
+                        let span = drbac_obs::span!(
+                            "drbac.net.tcp.serve",
+                            "req" => req.kind(),
+                        );
+                        let reply = shared.handle(req);
+                        drop(span);
+                        reply
+                    }
                     Err(e) => Reply::Error(format!("undecodable request: {e}")),
                 };
+                shared.served.fetch_add(1, Ordering::Relaxed);
                 let payload = wire::encode_reply(&reply);
-                if wire::write_frame(&mut stream, FrameKind::Reply, &payload).is_err() {
+                let sent = wire::write_frame(&mut stream, FrameKind::Reply, &payload).is_ok();
+                drbac_obs::static_histogram!("drbac.net.tcp.service.ns")
+                    .record(rx.elapsed().as_nanos() as u64);
+                drbac_obs::clear_current_trace();
+                if !sent {
                     break;
                 }
                 drbac_obs::static_counter!("drbac.net.tcp.frame.tx.count").inc();

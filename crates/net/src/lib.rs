@@ -57,6 +57,7 @@ pub use daemon::{SubscriberLink, WalletDaemon};
 pub use discovery::{
     Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode, TagLookup,
 };
+pub use proto::HealthReport;
 pub use push::{PushHub, PushPublisher};
 pub use service::{ServiceClosed, WalletClient, WalletService};
 pub use sim::{FaultPlan, NetError, NetStats, SimNet, StoreHandle, WalletHost};

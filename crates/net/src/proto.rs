@@ -74,6 +74,11 @@ pub enum Request {
     /// refresh, paper §4.2.1: a delegation "is valid [for TTL] following
     /// validity confirmation from its home wallet").
     FetchDelegation(DelegationId),
+    /// Scrape the remote host's metrics/histogram snapshot (`drbac
+    /// stats --remote`). Observability only — carries no credentials.
+    Stats,
+    /// Liveness + basic inventory probe (`drbac health`).
+    Health,
 }
 
 impl Request {
@@ -105,6 +110,7 @@ impl Request {
                 Request::Revoke(r) => r.to_bytes().len(),
                 Request::FetchDeclarations => 0,
                 Request::FetchDelegation(_) => 32,
+                Request::Stats | Request::Health => 0,
             }
     }
 
@@ -121,6 +127,8 @@ impl Request {
             Request::Revoke(_) => "revoke",
             Request::FetchDeclarations => "fetch-declarations",
             Request::FetchDelegation(_) => "fetch-delegation",
+            Request::Stats => "stats",
+            Request::Health => "health",
         }
     }
 }
@@ -154,6 +162,8 @@ impl fmt::Display for Request {
             Request::Revoke(r) => write!(f, "{r}"),
             Request::FetchDeclarations => f.write_str("fetch-declarations"),
             Request::FetchDelegation(id) => write!(f, "fetch-delegation #{id}"),
+            Request::Stats => f.write_str("stats"),
+            Request::Health => f.write_str("health"),
         }
     }
 }
@@ -176,6 +186,11 @@ pub enum Reply {
     /// The credential, if the wallet still holds it as valid (`None`
     /// means revoked, expired, or never known — drop the cached copy).
     Delegation(Option<Arc<SignedDelegation>>),
+    /// The host's metrics/histogram snapshot (answer to
+    /// [`Request::Stats`]).
+    Stats(drbac_obs::Snapshot),
+    /// Answer to [`Request::Health`].
+    Health(HealthReport),
     /// The request failed.
     Error(String),
 }
@@ -197,9 +212,31 @@ impl Reply {
                 Reply::Revoked(_) => 8,
                 Reply::Declarations(ds) => ds.iter().map(|d| d.to_bytes().len()).sum(),
                 Reply::Delegation(c) => c.as_ref().map(|c| c.to_bytes().len()).unwrap_or(0),
+                Reply::Stats(s) => {
+                    s.counters.len() * 48 + s.gauges.len() * 48 + s.histograms.len() * 96
+                }
+                Reply::Health(_) => 64,
                 Reply::Error(m) => m.len(),
             }
     }
+}
+
+/// A daemon's answer to [`Request::Health`]: liveness plus just enough
+/// inventory to tell an empty daemon from a busy one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `true` when the daemon considers itself able to serve.
+    pub ok: bool,
+    /// The wallet address the daemon serves.
+    pub wallet: String,
+    /// Nanoseconds since the daemon started accepting connections.
+    pub uptime_ns: u64,
+    /// Delegations currently held by the wallet.
+    pub delegations: u64,
+    /// Registered push subscribers.
+    pub subscribers: u64,
+    /// Requests served since start (all kinds, including this probe).
+    pub served_requests: u64,
 }
 
 fn node_len(node: &Node) -> usize {

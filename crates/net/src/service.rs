@@ -137,6 +137,9 @@ impl WalletService {
             Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
                 Reply::Error("push subscriptions are served by SimNet hosts".into())
             }
+            Request::Stats | Request::Health => {
+                Reply::Error("stats/health are served by TCP daemons".into())
+            }
         }
     }
 

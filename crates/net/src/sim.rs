@@ -319,6 +319,12 @@ impl WalletHost {
                 });
                 Reply::Delegation(live)
             }
+            // The simulator shares one process (and one global metrics
+            // registry) across all hosts, so a per-host scrape would
+            // mislead; only real daemons answer these.
+            Request::Stats | Request::Health => {
+                Reply::Error("stats/health are served by TCP daemons".into())
+            }
         }
     }
 

@@ -172,15 +172,23 @@ impl TcpTransport {
         Ok(stream)
     }
 
-    /// One request/reply exchange on an open stream.
+    /// One request/reply exchange on an open stream. While tracing is
+    /// on, the request frame carries this span's trace context so the
+    /// daemon's spans stitch into the same distributed trace.
     fn exchange(
         &self,
         stream: &mut TcpStream,
         to: &WalletAddr,
         req: &Request,
     ) -> Result<Reply, NetError> {
+        let span = drbac_obs::span!("drbac.net.tcp.request", "req" => req.kind());
+        let start = std::time::Instant::now();
+        let trace = (span.trace_id() != 0).then_some(wire::TraceContext {
+            trace_id: span.trace_id(),
+            parent_span: span.id(),
+        });
         let payload = wire::encode_request(req);
-        wire::write_frame(stream, FrameKind::Request, &payload)
+        wire::write_frame_traced(stream, FrameKind::Request, &payload, trace)
             .and_then(|()| stream.flush().map_err(WireError::Io))
             .map_err(|e| map_wire_error(e, to))?;
         drbac_obs::static_counter!("drbac.net.tcp.frame.tx.count").inc();
@@ -192,8 +200,11 @@ impl TcpTransport {
                 frame.kind
             )));
         }
-        wire::decode_reply(&frame.payload)
-            .map_err(|e| NetError::Protocol(format!("undecodable reply: {e}")))
+        let reply = wire::decode_reply(&frame.payload)
+            .map_err(|e| NetError::Protocol(format!("undecodable reply: {e}")))?;
+        drbac_obs::static_histogram!("drbac.net.tcp.request.ns")
+            .record(start.elapsed().as_nanos() as u64);
+        Ok(reply)
     }
 }
 

@@ -14,12 +14,26 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic   b"dRBW"
-//! 4       1     version 0x01
+//! 4       1     version 0x01 (bare) or 0x02 (with extension block)
 //! 5       1     kind    1=request 2=reply 3=push 4=push-register
 //! 6       4     len     payload length, u32 big-endian (max 16 MiB)
 //! 10      4     crc     CRC-32 (IEEE) of the payload bytes
-//! 14      len   payload canonical encoding of the message
+//! --- version 0x02 only: extension block between header and payload ---
+//! 14      1     ext_count  number of TLV extensions (max 16)
+//!         per extension:
+//!         1     tag     1=trace-context (unknown tags are skipped)
+//!         1     elen    extension byte length
+//!         elen  ebody   tag 1: trace_id u64 BE ++ parent_span u64 BE
+//! --- then ---
+//!         len   payload canonical encoding of the message
 //! ```
+//!
+//! Version 0x01 frames have no extension block; senders only emit
+//! version 0x02 when a trace context is attached, so a peer that
+//! predates tracing keeps interoperating until a trace actually
+//! crosses to it (and then fails cleanly with `BadVersion`). Decoders
+//! here accept both versions and skip unknown extension tags, so newer
+//! peers can add extensions without breaking us.
 //!
 //! # Invariants
 //!
@@ -60,8 +74,18 @@ use crate::proto::{OneWay, Reply, Request};
 /// Leading magic of every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"dRBW";
 
-/// Protocol version this codec speaks.
+/// Base protocol version (no extension block).
 pub const WIRE_VERSION: u8 = 1;
+
+/// Protocol version carrying a TLV extension block (trace context).
+pub const WIRE_VERSION_TRACED: u8 = 2;
+
+/// Extension tag: distributed trace context (16 bytes — trace_id u64
+/// BE followed by parent_span u64 BE).
+pub const EXT_TRACE_CONTEXT: u8 = 1;
+
+/// Upper bound on extensions per frame; more is a protocol violation.
+pub const MAX_FRAME_EXTS: usize = 16;
 
 /// Upper bound on a frame payload (16 MiB). A length prefix above this
 /// is treated as a protocol violation, not an allocation request — the
@@ -108,11 +132,25 @@ impl FrameKind {
     }
 }
 
+/// Distributed trace context carried in a frame's extension block:
+/// which trace the message belongs to and which peer-side span it hangs
+/// under. See `drbac-obs`'s `set_current_trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Fleet-unique id of the distributed trace (never 0 on the wire).
+    pub trace_id: u64,
+    /// The sender-side span that emitted this frame (0 for none).
+    pub parent_span: u64,
+}
+
 /// A decoded frame: kind tag plus raw payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// What the payload is.
     pub kind: FrameKind,
+    /// Trace context from the frame's extension block, if the sender
+    /// attached one (version 0x02 frames only).
+    pub trace: Option<TraceContext>,
     /// The payload's canonical encoding (CRC already verified).
     pub payload: Vec<u8>,
 }
@@ -190,16 +228,45 @@ impl From<DecodeError> for WireError {
 /// [`WireError::Oversized`] if the payload exceeds [`MAX_FRAME_LEN`];
 /// [`WireError::Io`] if the stream fails.
 pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    write_frame_traced(w, kind, payload, None)
+}
+
+/// Writes one frame, attaching `trace` in a version-0x02 extension
+/// block when present. Without a trace this emits a plain version-0x01
+/// frame, so tracing-off peers keep interoperating with old decoders.
+///
+/// # Errors
+///
+/// Same as [`write_frame`].
+pub fn write_frame_traced<W: Write>(
+    w: &mut W,
+    kind: FrameKind,
+    payload: &[u8],
+    trace: Option<TraceContext>,
+) -> Result<(), WireError> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(WireError::Oversized(payload.len() as u64));
     }
     let mut header = [0u8; FRAME_HEADER_LEN];
     header[..4].copy_from_slice(&FRAME_MAGIC);
-    header[4] = WIRE_VERSION;
+    header[4] = if trace.is_some() {
+        WIRE_VERSION_TRACED
+    } else {
+        WIRE_VERSION
+    };
     header[5] = kind.to_byte();
     header[6..10].copy_from_slice(&(payload.len() as u32).to_be_bytes());
     header[10..14].copy_from_slice(&crc32(payload).to_be_bytes());
     w.write_all(&header)?;
+    if let Some(ctx) = trace {
+        let mut ext = [0u8; 19];
+        ext[0] = 1; // one extension
+        ext[1] = EXT_TRACE_CONTEXT;
+        ext[2] = 16;
+        ext[3..11].copy_from_slice(&ctx.trace_id.to_be_bytes());
+        ext[11..19].copy_from_slice(&ctx.parent_span.to_be_bytes());
+        w.write_all(&ext)?;
+    }
     w.write_all(payload)?;
     Ok(())
 }
@@ -217,7 +284,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     if header[..4] != FRAME_MAGIC {
         return Err(WireError::BadMagic([header[0], header[1], header[2], header[3]]));
     }
-    if header[4] != WIRE_VERSION {
+    if header[4] != WIRE_VERSION && header[4] != WIRE_VERSION_TRACED {
         return Err(WireError::BadVersion(header[4]));
     }
     let kind = FrameKind::from_byte(header[5]).ok_or(WireError::UnknownKind(header[5]))?;
@@ -226,13 +293,45 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
         return Err(WireError::Oversized(len as u64));
     }
     let expected = u32::from_be_bytes(header[10..14].try_into().expect("4 bytes"));
+    let mut trace = None;
+    if header[4] == WIRE_VERSION_TRACED {
+        let mut count = [0u8; 1];
+        r.read_exact(&mut count)?;
+        let count = count[0] as usize;
+        if count > MAX_FRAME_EXTS {
+            return Err(WireError::Oversized(count as u64));
+        }
+        for _ in 0..count {
+            let mut tl = [0u8; 2];
+            r.read_exact(&mut tl)?;
+            let mut body = vec![0u8; tl[1] as usize];
+            r.read_exact(&mut body)?;
+            // Known tag with the expected shape → adopt; anything else
+            // (future tags, future shapes of known tags) is skipped so
+            // newer peers can extend frames without breaking us.
+            if tl[0] == EXT_TRACE_CONTEXT && body.len() == 16 {
+                let trace_id = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+                let parent_span = u64::from_be_bytes(body[8..].try_into().expect("8 bytes"));
+                if trace_id != 0 {
+                    trace = Some(TraceContext {
+                        trace_id,
+                        parent_span,
+                    });
+                }
+            }
+        }
+    }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     let found = crc32(&payload);
     if found != expected {
         return Err(WireError::Crc { expected, found });
     }
-    Ok(Frame { kind, payload })
+    Ok(Frame {
+        kind,
+        trace,
+        payload,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -249,6 +348,8 @@ const REQ_UNSUBSCRIBE: u8 = 7;
 const REQ_REVOKE: u8 = 8;
 const REQ_FETCH_DECLARATIONS: u8 = 9;
 const REQ_FETCH_DELEGATION: u8 = 10;
+const REQ_STATS: u8 = 11;
+const REQ_HEALTH: u8 = 12;
 
 fn encode_id(w: &mut Writer, id: &DelegationId) {
     w.bytes(&id.0);
@@ -325,6 +426,8 @@ impl Encode for Request {
                 w.u8(REQ_FETCH_DELEGATION);
                 encode_id(w, id);
             }
+            Request::Stats => w.u8(REQ_STATS),
+            Request::Health => w.u8(REQ_HEALTH),
         }
     }
 }
@@ -363,6 +466,8 @@ impl Decode for Request {
             REQ_REVOKE => Ok(Request::Revoke(SignedRevocation::from_bytes(r.bytes()?)?)),
             REQ_FETCH_DECLARATIONS => Ok(Request::FetchDeclarations),
             REQ_FETCH_DELEGATION => Ok(Request::FetchDelegation(decode_id(r)?)),
+            REQ_STATS => Ok(Request::Stats),
+            REQ_HEALTH => Ok(Request::Health),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }
@@ -376,6 +481,104 @@ const REP_REVOKED: u8 = 5;
 const REP_DECLARATIONS: u8 = 6;
 const REP_DELEGATION: u8 = 7;
 const REP_ERROR: u8 = 8;
+const REP_STATS: u8 = 9;
+const REP_HEALTH: u8 = 10;
+
+/// Encodes a metrics snapshot. Free function rather than an `Encode`
+/// impl because `Snapshot` is a `drbac-obs` type and `Encode` a
+/// `drbac-core` trait — neither is local here. BTreeMap iteration
+/// order makes the encoding canonical.
+fn encode_snapshot(w: &mut Writer, s: &drbac_obs::Snapshot) {
+    w.u64(s.counters.len() as u64);
+    for (name, value) in &s.counters {
+        w.str(name);
+        w.u64(*value);
+    }
+    w.u64(s.gauges.len() as u64);
+    for (name, value) in &s.gauges {
+        w.str(name);
+        w.u64(*value as u64); // two's complement round trip
+    }
+    w.u64(s.histograms.len() as u64);
+    for (name, h) in &s.histograms {
+        w.str(name);
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u64(h.max);
+        w.u64(h.p50);
+        w.u64(h.p90);
+        w.u64(h.p99);
+        w.u64(h.p999);
+    }
+}
+
+fn decode_snapshot(r: &mut Reader<'_>) -> Result<drbac_obs::Snapshot, DecodeError> {
+    fn checked_len(r: &Reader<'_>, n: u64) -> Result<usize, DecodeError> {
+        let n = usize::try_from(n).map_err(|_| DecodeError::UnexpectedEof)?;
+        // Every entry costs at least one byte, so a count beyond the
+        // remaining input is a lie — reject before allocating.
+        if n > r.remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        Ok(n)
+    }
+    let mut snap = drbac_obs::Snapshot::default();
+    let raw = r.u64()?;
+    let n = checked_len(r, raw)?;
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        snap.counters.insert(name, r.u64()?);
+    }
+    let raw = r.u64()?;
+    let n = checked_len(r, raw)?;
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        snap.gauges.insert(name, r.u64()? as i64);
+    }
+    let raw = r.u64()?;
+    let n = checked_len(r, raw)?;
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        snap.histograms.insert(
+            name,
+            drbac_obs::HistogramSnapshot {
+                count: r.u64()?,
+                sum: r.u64()?,
+                max: r.u64()?,
+                p50: r.u64()?,
+                p90: r.u64()?,
+                p99: r.u64()?,
+                p999: r.u64()?,
+            },
+        );
+    }
+    Ok(snap)
+}
+
+fn encode_health(w: &mut Writer, h: &crate::proto::HealthReport) {
+    w.u8(u8::from(h.ok));
+    w.str(&h.wallet);
+    w.u64(h.uptime_ns);
+    w.u64(h.delegations);
+    w.u64(h.subscribers);
+    w.u64(h.served_requests);
+}
+
+fn decode_health(r: &mut Reader<'_>) -> Result<crate::proto::HealthReport, DecodeError> {
+    let ok = match r.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(DecodeError::InvalidTag(t)),
+    };
+    Ok(crate::proto::HealthReport {
+        ok,
+        wallet: r.str()?.to_string(),
+        uptime_ns: r.u64()?,
+        delegations: r.u64()?,
+        subscribers: r.u64()?,
+        served_requests: r.u64()?,
+    })
+}
 
 impl Encode for Reply {
     fn encode(&self, w: &mut Writer) {
@@ -408,6 +611,14 @@ impl Encode for Reply {
             Reply::Error(m) => {
                 w.u8(REP_ERROR);
                 w.str(m);
+            }
+            Reply::Stats(s) => {
+                w.u8(REP_STATS);
+                encode_snapshot(w, s);
+            }
+            Reply::Health(h) => {
+                w.u8(REP_HEALTH);
+                encode_health(w, h);
             }
         }
     }
@@ -443,6 +654,8 @@ impl Decode for Reply {
                 Ok(Reply::Delegation(cert.map(Arc::new)))
             }
             REP_ERROR => Ok(Reply::Error(r.str()?.to_string())),
+            REP_STATS => Ok(Reply::Stats(decode_snapshot(r)?)),
+            REP_HEALTH => Ok(Reply::Health(decode_health(r)?)),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }
@@ -589,9 +802,146 @@ mod tests {
     fn frame_round_trip() {
         let mut buf = Vec::new();
         write_frame(&mut buf, FrameKind::Request, b"hello").unwrap();
+        assert_eq!(buf[4], WIRE_VERSION, "trace-less frames stay version 1");
         let frame = read_frame(&mut buf.as_slice()).unwrap();
         assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.trace, None);
         assert_eq!(frame.payload, b"hello");
+    }
+
+    #[test]
+    fn traced_frame_round_trip() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_cafe_f00d,
+            parent_span: 42,
+        };
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, FrameKind::Request, b"hello", Some(ctx)).unwrap();
+        assert_eq!(buf[4], WIRE_VERSION_TRACED);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.trace, Some(ctx));
+        assert_eq!(frame.payload, b"hello");
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped() {
+        // Hand-build a v2 frame with an unknown ext followed by a trace
+        // context — the decoder must skip the former and keep the latter.
+        let payload = b"payload";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.push(WIRE_VERSION_TRACED);
+        buf.push(1); // kind: request
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&crc32(payload).to_be_bytes());
+        buf.push(2); // two extensions
+        buf.push(0xEE); // unknown tag
+        buf.push(3);
+        buf.extend_from_slice(&[1, 2, 3]);
+        buf.push(EXT_TRACE_CONTEXT);
+        buf.push(16);
+        buf.extend_from_slice(&7u64.to_be_bytes());
+        buf.extend_from_slice(&9u64.to_be_bytes());
+        buf.extend_from_slice(payload);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(
+            frame.trace,
+            Some(TraceContext {
+                trace_id: 7,
+                parent_span: 9
+            })
+        );
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn future_version_fails_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[4] = 3; // a version from the future
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadVersion(3))
+        ));
+    }
+
+    #[test]
+    fn oversized_extension_count_is_rejected() {
+        let payload = b"p";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.push(WIRE_VERSION_TRACED);
+        buf.push(1);
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&crc32(payload).to_be_bytes());
+        buf.push(255); // far over MAX_FRAME_EXTS
+        buf.extend_from_slice(payload);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Oversized(255))
+        ));
+    }
+
+    #[test]
+    fn stats_and_health_payloads_round_trip() {
+        let mut snap = drbac_obs::Snapshot::default();
+        snap.counters.insert("drbac.a.count".into(), 3);
+        snap.gauges.insert("drbac.b.gauge".into(), -7);
+        snap.histograms.insert(
+            "drbac.c.ns".into(),
+            drbac_obs::HistogramSnapshot {
+                count: 10,
+                sum: 1000,
+                max: 400,
+                p50: 90,
+                p90: 300,
+                p99: 400,
+                p999: 400,
+            },
+        );
+        for req in [Request::Stats, Request::Health] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap().kind(), req.kind());
+        }
+        let replies = vec![
+            Reply::Stats(snap),
+            Reply::Health(crate::proto::HealthReport {
+                ok: true,
+                wallet: "coalition.example:7070".into(),
+                uptime_ns: 123_456,
+                delegations: 12,
+                subscribers: 2,
+                served_requests: 99,
+            }),
+        ];
+        for reply in replies {
+            let bytes = encode_reply(&reply);
+            let decoded = decode_reply(&bytes).unwrap();
+            assert_eq!(encode_reply(&decoded), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn snapshot_negative_gauge_round_trips() {
+        let mut snap = drbac_obs::Snapshot::default();
+        snap.gauges.insert("g".into(), i64::MIN);
+        let bytes = encode_reply(&Reply::Stats(snap));
+        match decode_reply(&bytes).unwrap() {
+            Reply::Stats(s) => assert_eq!(s.gauges["g"], i64::MIN),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_lying_counts() {
+        // A snapshot claiming 2^32 counters in a tiny payload must be
+        // rejected before allocation, not trusted.
+        let mut w = Writer::tagged(REPLY_TAG);
+        w.u8(REP_STATS);
+        w.u64(1 << 32);
+        let bytes = w.finish();
+        assert!(decode_reply(&bytes).is_err());
     }
 
     #[test]

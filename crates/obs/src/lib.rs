@@ -38,8 +38,9 @@ pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use trace::{
-    clear_recorder, enabled, install_recorder, FieldValue, Recorder, RingRecorder, Span,
-    TraceEvent, TraceKind,
+    clear_current_trace, clear_recorder, current_trace_id, enabled, install_recorder,
+    set_current_trace, FieldValue, JsonlFileRecorder, Recorder, RingRecorder, Span, TraceEvent,
+    TraceKind,
 };
 
 use std::sync::OnceLock;

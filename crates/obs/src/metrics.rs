@@ -67,22 +67,76 @@ impl Gauge {
 /// bucket 2 holds 2..=3, and so on up to `u64::MAX`.
 const BUCKETS: usize = 65;
 
-/// A log₂-bucketed histogram of `u64` observations (typically
-/// nanoseconds). Recording is two relaxed atomic adds plus one max-CAS.
-pub struct Histogram {
+/// Write shards per histogram. Like the registry's name shards, these
+/// exist so concurrent recorders (daemon connection handlers, prover
+/// pools) do not all hammer one cache line; each thread is striped onto
+/// a fixed shard. Snapshots merge the shards deterministically (index
+/// order, saturating adds), so the reported totals and quantiles do not
+/// depend on which thread recorded where.
+const HIST_SHARDS: usize = 8;
+
+/// One write stripe of a [`Histogram`].
+struct HistShard {
     count: AtomicU64,
     sum: AtomicU64,
-    max: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Adds `v` to an atomic with saturation instead of wrap-around, so a
+/// sum fed pathological samples (`u64::MAX` nanoseconds) pins at the
+/// ceiling rather than lying small.
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    if v == 0 {
+        return;
+    }
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// The shard index this thread records into, assigned round-robin on
+/// first touch so a thread pool spreads evenly across the stripes.
+fn my_shard() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % HIST_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// nanoseconds), write-sharded by thread. Recording is two relaxed
+/// atomic adds, one saturating CAS loop, and one max-CAS — all on the
+/// recording thread's own stripe, so concurrent recorders do not
+/// contend. Bucket math saturates: `0` and `u64::MAX` are valid
+/// samples, and overflowing totals pin at `u64::MAX` instead of
+/// wrapping or panicking.
+pub struct Histogram {
+    shards: [HistShard; HIST_SHARDS],
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Self {
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| HistShard::default()),
             max: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -90,14 +144,15 @@ impl Default for Histogram {
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Histogram")
-            .field("count", &self.count.load(Ordering::Relaxed))
-            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("count", &self.count())
             .finish_non_exhaustive()
     }
 }
 
 impl Histogram {
     fn bucket_of(value: u64) -> usize {
+        // 0 → bucket 0, u64::MAX → bucket 64: always in range, no
+        // shift or index can overflow whatever the sample.
         (64 - value.leading_zeros()) as usize
     }
 
@@ -113,10 +168,11 @@ impl Histogram {
     }
 
     pub fn record(&self, value: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        let shard = &self.shards[my_shard()];
+        saturating_fetch_add(&shard.count, 1);
+        saturating_fetch_add(&shard.sum, value);
         self.max.fetch_max(value, Ordering::Relaxed);
-        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        shard.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_duration(&self, d: Duration) {
@@ -140,25 +196,38 @@ impl Histogram {
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.count.load(Ordering::Relaxed)))
     }
 
     pub fn reset(&self) {
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+            for b in &shard.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
         }
+        self.max.store(0, Ordering::Relaxed);
     }
 
+    /// Merges every write shard (fixed index order, saturating adds —
+    /// the result is independent of which threads recorded where) and
+    /// summarizes the merged distribution. Quantiles are upper bounds
+    /// of the log₂ bucket containing the requested rank.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            sum = sum.saturating_add(shard.sum.load(Ordering::Relaxed));
+            for (merged, b) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *merged = merged.saturating_add(b.load(Ordering::Relaxed));
+            }
+        }
+        let count = buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = buckets.iter().sum();
+            .fold(0u64, |acc, n| acc.saturating_add(*n));
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -166,7 +235,7 @@ impl Histogram {
             let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
             for (i, n) in buckets.iter().enumerate() {
-                seen += n;
+                seen = seen.saturating_add(*n);
                 if seen >= rank {
                     return Self::bucket_upper(i);
                 }
@@ -175,11 +244,12 @@ impl Histogram {
         };
         HistogramSnapshot {
             count,
-            sum: self.sum.load(Ordering::Relaxed),
+            sum,
             max: self.max.load(Ordering::Relaxed),
             p50: quantile(0.50),
             p90: quantile(0.90),
             p99: quantile(0.99),
+            p999: quantile(0.999),
         }
     }
 }
@@ -194,6 +264,7 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+    pub p999: u64,
 }
 
 impl HistogramSnapshot {
@@ -371,18 +442,19 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<52} {:>10} {:>12} {:>12} {:>12} {:>12}",
-                "histogram", "count", "mean", "p50", "p90", "p99"
+                "{:<52} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "p999"
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{name:<52} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    "{name:<52} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                     h.count,
                     format_scaled(h.mean() as u64),
                     format_scaled(h.p50),
                     format_scaled(h.p90),
                     format_scaled(h.p99),
+                    format_scaled(h.p999),
                 );
             }
         }
@@ -459,6 +531,72 @@ mod tests {
         assert_eq!(s.max, u64::MAX);
         assert_eq!(s.p50, 0);
         assert_eq!(s.p99, u64::MAX);
+        assert_eq!(s.p999, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = Histogram::default();
+        // Three samples at the ceiling would wrap a naive u64 sum twice
+        // over; the histogram must pin at u64::MAX instead.
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(s.max, u64::MAX);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_math_covers_the_whole_u64_domain() {
+        // Every power-of-two boundary (and its neighbours) lands in a
+        // bucket without panicking, and the quantile upper bound never
+        // undershoots the sample.
+        let h = Histogram::default();
+        for bit in 0..64u32 {
+            let v = 1u64 << bit;
+            for sample in [v.saturating_sub(1), v, v.saturating_add(1)] {
+                let one = Histogram::default();
+                one.record(sample);
+                let s = one.snapshot();
+                assert_eq!(s.count, 1);
+                assert!(s.p50 >= sample, "p50 {} < sample {}", s.p50, sample);
+                assert!(s.p999 >= sample);
+            }
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().count, 64);
+    }
+
+    #[test]
+    fn sharded_recording_merges_deterministically() {
+        // The same multiset of samples recorded by different thread
+        // layouts must yield an identical snapshot: the cross-shard
+        // merge is a fixed-order saturating sum, not thread-dependent.
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * 37 % 4096).collect();
+        let single = Histogram::default();
+        for &v in &samples {
+            single.record(v);
+        }
+        let sharded = Arc::new(Histogram::default());
+        let workers: Vec<_> = samples
+            .chunks(125)
+            .map(|chunk| {
+                let h = Arc::clone(&sharded);
+                let chunk = chunk.to_vec();
+                thread::spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(single.snapshot(), sharded.snapshot());
     }
 
     #[test]

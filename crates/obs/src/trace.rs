@@ -114,6 +114,12 @@ pub struct TraceEvent {
     pub seq: u64,
     /// Monotonic nanoseconds since the first trace touch in this process.
     pub ts_ns: u64,
+    /// Id of the trace this record belongs to (0 for none). Unlike
+    /// `span`/`parent`, a trace id is meaningful *across* processes:
+    /// it is minted once at the root span and propagated over the wire
+    /// (see `drbac-net`'s trace-context frame extension), so spans on
+    /// both sides of a socket stitch into one distributed trace.
+    pub trace_id: u64,
     pub kind: TraceKind,
     pub name: &'static str,
     /// Id of the span this record belongs to (0 for a root-level event).
@@ -146,6 +152,56 @@ fn epoch() -> Instant {
 
 thread_local! {
     static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// (trace_id, remote_parent_span): the distributed trace context of
+    /// this thread. `trace_id` is minted at the first root span (or
+    /// adopted from the wire via [`set_current_trace`]);
+    /// `remote_parent_span` is the peer-side span a server-side root
+    /// span should hang under.
+    static TRACE_CTX: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a process-unique (and, with overwhelming probability,
+/// fleet-unique) trace id: a per-process random-ish seed mixed with a
+/// counter through splitmix64, never zero.
+fn mint_trace_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        nanos ^ (std::process::id() as u64).rotate_left(32)
+    });
+    loop {
+        let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        if z != 0 {
+            return z;
+        }
+    }
+}
+
+/// Adopts a trace context received from a peer: subsequent root spans
+/// on this thread join trace `trace_id` and hang under the peer's
+/// `parent_span`. Pair with [`clear_current_trace`] once the request
+/// that carried the context has been served.
+pub fn set_current_trace(trace_id: u64, parent_span: u64) {
+    TRACE_CTX.with(|c| c.set((trace_id, parent_span)));
+}
+
+/// Drops any adopted (or minted) trace context on this thread.
+pub fn clear_current_trace() {
+    TRACE_CTX.with(|c| c.set((0, 0)));
+}
+
+/// The trace id active on this thread (0 when none).
+pub fn current_trace_id() -> u64 {
+    TRACE_CTX.with(|c| c.get().0)
 }
 
 /// Whether a recorder is installed. The only cost instrumentation pays on
@@ -188,6 +244,7 @@ pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
     dispatch(TraceEvent {
         seq: SEQ.fetch_add(1, Ordering::Relaxed),
         ts_ns: epoch().elapsed().as_nanos() as u64,
+        trace_id: current_trace_id(),
         kind: TraceKind::Event,
         name,
         span: parent,
@@ -203,6 +260,10 @@ pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
 pub struct Span {
     id: u64,
     parent: u64,
+    trace_id: u64,
+    /// Whether this span minted the thread's trace id (and must clear
+    /// it on drop).
+    minted_trace: bool,
     name: &'static str,
     start: Option<Instant>,
 }
@@ -214,6 +275,8 @@ impl Span {
         Self {
             id: 0,
             parent: 0,
+            trace_id: 0,
+            minted_trace: false,
             name: "",
             start: None,
         }
@@ -226,11 +289,26 @@ impl Span {
             return Self::disabled();
         }
         let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
-        let parent = current_parent();
+        let mut parent = current_parent();
+        // Join the thread's distributed trace; a root span with no
+        // context yet mints the trace id (and owns clearing it). A root
+        // span under an adopted context hangs beneath the peer's span.
+        let (ctx_trace, remote_parent) = TRACE_CTX.with(|c| c.get());
+        let (trace_id, minted_trace) = if ctx_trace != 0 {
+            if parent == 0 {
+                parent = remote_parent;
+            }
+            (ctx_trace, false)
+        } else {
+            let minted = mint_trace_id();
+            TRACE_CTX.with(|c| c.set((minted, 0)));
+            (minted, true)
+        };
         SPAN_STACK.with(|s| s.borrow_mut().push(id));
         dispatch(TraceEvent {
             seq: SEQ.fetch_add(1, Ordering::Relaxed),
             ts_ns: epoch().elapsed().as_nanos() as u64,
+            trace_id,
             kind: TraceKind::SpanStart,
             name,
             span: id,
@@ -241,6 +319,8 @@ impl Span {
         Self {
             id,
             parent,
+            trace_id,
+            minted_trace,
             name,
             start: Some(Instant::now()),
         }
@@ -251,6 +331,17 @@ impl Span {
         self.id != 0
     }
 
+    /// This span's id (0 while disabled) — what a peer should use as
+    /// its remote parent when the span crosses a socket.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The distributed trace this span belongs to (0 while disabled).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
     /// Attaches a point event to this span specifically.
     pub fn event(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
         if self.id == 0 || !enabled() {
@@ -259,6 +350,7 @@ impl Span {
         dispatch(TraceEvent {
             seq: SEQ.fetch_add(1, Ordering::Relaxed),
             ts_ns: epoch().elapsed().as_nanos() as u64,
+            trace_id: self.trace_id,
             kind: TraceKind::Event,
             name,
             span: self.id,
@@ -280,6 +372,13 @@ impl Drop for Span {
                 stack.truncate(pos);
             }
         });
+        if self.minted_trace {
+            TRACE_CTX.with(|c| {
+                if c.get().0 == self.trace_id {
+                    c.set((0, 0));
+                }
+            });
+        }
         let elapsed = self
             .start
             .map(|t| t.elapsed().as_nanos() as u64)
@@ -287,6 +386,7 @@ impl Drop for Span {
         dispatch(TraceEvent {
             seq: SEQ.fetch_add(1, Ordering::Relaxed),
             ts_ns: epoch().elapsed().as_nanos() as u64,
+            trace_id: self.trace_id,
             kind: TraceKind::SpanEnd,
             name: self.name,
             span: self.id,
@@ -357,13 +457,50 @@ impl Recorder for RingRecorder {
     }
 }
 
+/// Streams trace records to a file as JSON lines, one per record,
+/// flushed per write so `drbac trace --follow` can tail it live.
+pub struct JsonlFileRecorder {
+    file: Mutex<std::fs::File>,
+}
+
+impl JsonlFileRecorder {
+    /// Creates (truncating) `path` and returns a recorder writing to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Creates the recorder and installs it globally.
+    pub fn install(path: &std::path::Path) -> std::io::Result<Arc<Self>> {
+        let rec = Arc::new(Self::create(path)?);
+        install_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        Ok(rec)
+    }
+}
+
+impl Recorder for JsonlFileRecorder {
+    fn record(&self, event: &TraceEvent) {
+        use std::io::Write as _;
+        let mut line = String::new();
+        append_jsonl(&mut line, event);
+        let mut file = self.file.lock();
+        // Tracing is best-effort: a full disk must not take the daemon
+        // down with it.
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+}
+
 /// Appends one trace record as a JSON line.
 fn append_jsonl(out: &mut String, event: &TraceEvent) {
     let _ = write!(
         out,
-        "{{\"seq\":{},\"ts_ns\":{},\"kind\":\"{}\",\"name\":\"{}\",\"span\":{},\"parent\":{}",
+        "{{\"seq\":{},\"ts_ns\":{},\"trace\":{},\"kind\":\"{}\",\"name\":\"{}\",\"span\":{},\"parent\":{}",
         event.seq,
         event.ts_ns,
+        event.trace_id,
         event.kind.as_str(),
         escape_json(event.name),
         event.span,
@@ -512,6 +649,98 @@ mod tests {
         assert!(jsonl.contains("\"b\":true"));
         assert!(jsonl.ends_with('\n'));
         assert_eq!(jsonl.lines().count(), 1);
+    }
+
+    #[test]
+    fn root_span_mints_one_trace_id_shared_by_descendants() {
+        let _guard = serial();
+        clear_current_trace();
+        let ring = RingRecorder::install(64);
+        {
+            let outer = Span::enter("outer", Vec::new());
+            assert_ne!(outer.trace_id(), 0);
+            {
+                let _inner = Span::enter("inner", Vec::new());
+                emit_event("hop", Vec::new());
+            }
+        }
+        clear_recorder();
+        let events = ring.drain();
+        let trace = events[0].trace_id;
+        assert_ne!(trace, 0, "root span mints a nonzero trace id");
+        assert!(
+            events.iter().all(|e| e.trace_id == trace),
+            "all spans/events in the tree share the root's trace id"
+        );
+        assert_eq!(
+            current_trace_id(),
+            0,
+            "minted context is cleared when the root span drops"
+        );
+    }
+
+    #[test]
+    fn adopted_context_threads_through_spans() {
+        let _guard = serial();
+        clear_current_trace();
+        let ring = RingRecorder::install(64);
+        set_current_trace(0xfeed_beef, 42);
+        {
+            let span = Span::enter("served", Vec::new());
+            assert_eq!(span.trace_id(), 0xfeed_beef);
+        }
+        clear_current_trace();
+        clear_recorder();
+        let events = ring.drain();
+        assert_eq!(events[0].trace_id, 0xfeed_beef, "adopted trace id is used");
+        assert_eq!(
+            events[0].parent, 42,
+            "root span hangs under the peer's remote parent span"
+        );
+        assert_eq!(
+            current_trace_id(),
+            0,
+            "adopted context stays until explicitly cleared, then goes"
+        );
+    }
+
+    #[test]
+    fn distinct_roots_get_distinct_trace_ids() {
+        let _guard = serial();
+        clear_current_trace();
+        let ring = RingRecorder::install(64);
+        {
+            let _a = Span::enter("a", Vec::new());
+        }
+        {
+            let _b = Span::enter("b", Vec::new());
+        }
+        clear_recorder();
+        let events = ring.drain();
+        let a = events.iter().find(|e| e.name == "a").unwrap().trace_id;
+        let b = events.iter().find(|e| e.name == "b").unwrap().trace_id;
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "independent root spans are independent traces");
+    }
+
+    #[test]
+    fn jsonl_file_recorder_streams_flushed_lines() {
+        let _guard = serial();
+        clear_current_trace();
+        let dir = std::env::temp_dir().join(format!("drbac-obs-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let _rec = JsonlFileRecorder::install(&path).unwrap();
+        {
+            let _span = Span::enter("filed", Vec::new());
+        }
+        clear_recorder();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(text.lines().count(), 2, "span start + span end");
+        assert!(text.contains("\"name\":\"filed\""));
+        assert!(text.contains("\"trace\":"));
     }
 
     #[test]

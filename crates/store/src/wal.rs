@@ -557,7 +557,9 @@ impl WalletStore {
         drbac_obs::static_counter!("drbac.store.append.count").inc();
         drbac_obs::static_counter!("drbac.store.append.bytes.total").add(frame.len() as u64);
         if inner.unsynced >= self.config.group_commit {
+            let timer = drbac_obs::static_histogram!("drbac.store.fsync.ns").start_timer();
             inner.log.sync()?;
+            drop(timer);
             inner.unsynced = 0;
             drbac_obs::static_counter!("drbac.store.fsync.count").inc();
         }
@@ -572,7 +574,9 @@ impl WalletStore {
     pub fn sync(&self) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
         if inner.unsynced > 0 {
+            let timer = drbac_obs::static_histogram!("drbac.store.fsync.ns").start_timer();
             inner.log.sync()?;
+            drop(timer);
             inner.unsynced = 0;
             drbac_obs::static_counter!("drbac.store.fsync.count").inc();
         }

@@ -602,12 +602,15 @@ impl Wallet {
         constraints: &[AttrConstraint],
         now: Timestamp,
     ) -> (Option<(Proof, drbac_core::AttrSummary)>, SearchStats) {
+        let start = std::time::Instant::now();
         let cache_enabled = self.state.cache_enabled.load(Ordering::SeqCst);
         let key = QueryKey::new(subject, object, constraints);
         if cache_enabled {
             if let Some(found) = self.state.proof_cache.get(&key, now) {
                 drbac_obs::static_counter!("drbac.wallet.query.cache_hit.count").inc();
                 drbac_obs::static_counter!("drbac.graph.proof_cache.hit.count").inc();
+                drbac_obs::static_histogram!("drbac.wallet.query.warm.ns")
+                    .record(start.elapsed().as_nanos() as u64);
                 return (found, SearchStats::default());
             }
         }
@@ -626,6 +629,8 @@ impl Wallet {
         if cache_enabled {
             self.state.proof_cache.insert(key, answer.clone(), epoch);
         }
+        drbac_obs::static_histogram!("drbac.wallet.query.cold.ns")
+            .record(start.elapsed().as_nanos() as u64);
         (answer, stats)
     }
 

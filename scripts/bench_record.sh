@@ -1,18 +1,44 @@
 #!/usr/bin/env bash
-# Records the concurrent proof-engine benchmark into
-# BENCH_proof_engine.json (repo root): proof-query throughput at 1/2/4/8
-# prover threads, cold vs warm proof cache.
+# Records the benchmark artifacts at the repo root:
+#   proof  -> BENCH_proof_engine.json  (proof-query throughput at
+#             1/2/4/8 prover threads, cold vs warm proof cache)
+#   daemon -> BENCH_daemon.json        (loopback daemon throughput and
+#             latency percentiles under concurrent mixed load)
 #
-# Usage: scripts/bench_record.sh [--smoke]
-#   --smoke   tiny query counts, no acceptance thresholds — used by
+# Usage: scripts/bench_record.sh [proof|daemon|all] [--smoke]
+#   --smoke   tiny op counts, no acceptance thresholds — used by
 #             scripts/check.sh to keep the pipeline honest and fast.
+#             Smoke runs write to throwaway paths so the committed
+#             full-run artifacts are never clobbered.
 #
-# A full run (no flag) also enforces the acceptance thresholds: warm
-# throughput ≥2x from 1 to 4 threads, cold single-thread within 10% of
-# the pre-refactor baseline.
+# A full run (no flag) also enforces each benchmark's acceptance
+# thresholds (see the respective bin's doc comment).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p drbac-bench --bin proof_engine_record
-target/release/proof_engine_record "${1:-}"
+target="all"
+smoke=""
+for arg in "$@"; do
+    case "$arg" in
+        proof|daemon|all) target="$arg" ;;
+        --smoke) smoke="--smoke" ;;
+        *) echo "usage: scripts/bench_record.sh [proof|daemon|all] [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+if [[ "$target" == "proof" || "$target" == "all" ]]; then
+    cargo build --release -p drbac-bench --bin proof_engine_record
+    target/release/proof_engine_record $smoke
+fi
+
+if [[ "$target" == "daemon" || "$target" == "all" ]]; then
+    cargo build --release -p drbac-bench --bin load_test
+    if [[ -n "$smoke" ]]; then
+        out="$(mktemp /tmp/bench_daemon_smoke.XXXXXX.json)"
+        target/release/load_test --smoke --out "$out"
+        rm -f "$out"
+    else
+        target/release/load_test
+    fi
+fi

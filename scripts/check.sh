@@ -26,8 +26,8 @@ for seed in 1 2 3; do
     DRBAC_CHAOS_SEED=$seed cargo test -q --test concurrency --test proof_cache
 done
 
-echo "== proof-engine bench (smoke) =="
-scripts/bench_record.sh --smoke >/dev/null
+echo "== bench smoke (proof engine + daemon load) =="
+scripts/bench_record.sh all --smoke >/dev/null
 test -s BENCH_proof_engine.json
 
 echo "== durable store (unit suite + on-disk verify) =="
@@ -58,6 +58,13 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 "$DRBAC" --home "$STORE_HOME" --remote "127.0.0.1:$PORT" query Maria BigISP.member | grep -q GRANTED
+
+echo "== observability (remote stats/health against the live daemon) =="
+"$DRBAC" health "127.0.0.1:$PORT" | grep -q '^ok '
+# The queries above were served over TCP, so the daemon-side service
+# histogram must have a non-zero count in the remote scrape.
+"$DRBAC" stats --remote "127.0.0.1:$PORT" \
+    | grep -E 'drbac\.net\.tcp\.service\.ns +[1-9]' >/dev/null
 kill "$SERVE_PID" 2>/dev/null
 trap 'rm -rf "$STORE_HOME"' EXIT
 

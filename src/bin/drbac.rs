@@ -74,6 +74,16 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
     if command == "store" {
         return store_command(&home, rest);
     }
+    // `health` probes a live daemon and needs no local context at all.
+    if command == "health" {
+        return health_command(rest);
+    }
+    // `stats --remote` scrapes a daemon's metrics; also context-free.
+    if command == "stats" {
+        if let Some(addr) = remote.as_deref() {
+            return stats_remote(addr);
+        }
+    }
     let mut ctx = Context::load(&home)?;
     ctx.wallet.wallet().set_search_workers(workers);
     // `--remote` routes wallet operations to a `drbac serve` daemon
@@ -85,7 +95,7 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
             "declare" => ctx.declare_remote(&addr, rest),
             "revoke" => ctx.revoke_remote(&addr, rest),
             other => Err(format!(
-                "--remote applies to query/delegate/declare/revoke, not {other:?}"
+                "--remote applies to query/delegate/declare/revoke/stats, not {other:?}"
             )),
         };
     }
@@ -114,7 +124,9 @@ fn usage() -> String {
      (--workers N / DRBAC_WORKERS sizes the parallel proof-search pool; default 1)\n\
      (--remote ADDR / DRBAC_REMOTE routes query/delegate/declare/revoke to a daemon)\n\
      commands:\n\
-     \x20 serve <host:port>                     serve this wallet as a TCP daemon\n\
+     \x20 serve <host:port> [--trace-out FILE]  serve this wallet as a TCP daemon\n\
+     \x20                                       (--trace-out streams spans as JSONL for\n\
+     \x20                                       `drbac trace --follow`)\n\
      \x20 keygen <Name>                         create an identity\n\
      \x20 entities                              list known entities\n\
      \x20 delegate '<[S -> O ...] Issuer>'      sign & publish a delegation\n\
@@ -128,7 +140,11 @@ fn usage() -> String {
      \x20 import-cert <file>                    verify & publish a received credential\n\
      \x20 stats [--chaos [seed]]                run the BigISP/AirNet scenario; print metrics\n\
      \x20                                       (--chaos injects seeded request loss/jitter)\n\
+     \x20 stats --remote HOST:PORT              scrape a live daemon's metrics snapshot\n\
+     \x20 health <host:port>                    probe a live daemon (exit 1 when unreachable)\n\
      \x20 trace [file.jsonl]                    as `stats`, also recording a JSONL trace\n\
+     \x20 trace --follow <file.jsonl> [trace-id] tail a daemon's trace export live,\n\
+     \x20                                       optionally filtered to one trace id\n\
      \x20 store inspect                         list the write-ahead log's records\n\
      \x20 store verify                          read-only integrity check (exit 1 if damaged)\n\
      \x20 store compact                         snapshot the wallet and drop covered records\n"
@@ -158,14 +174,65 @@ fn run_scenario_stats(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `drbac stats --remote HOST:PORT` — scrape a live daemon's
+/// metrics/histogram snapshot over the wire and render it like local
+/// `stats` output.
+fn stats_remote(addr: &str) -> Result<String, String> {
+    let transport = TcpTransport::new(TcpConfig::default());
+    let outcome = RetryPolicy::standard().run(&transport, &addr.into(), &Request::Stats);
+    match outcome.reply.map_err(|e| e.to_string())? {
+        Reply::Stats(snapshot) => Ok(format!(
+            "== metrics scraped from {addr} ==\n{}",
+            snapshot.render_table()
+        )),
+        Reply::Error(e) => Err(format!("remote error: {e}")),
+        other => Err(format!("unexpected reply: {other:?}")),
+    }
+}
+
+/// `drbac health <host:port>` — one liveness probe; exits nonzero when
+/// the daemon is unreachable or unhealthy, so scripts can gate on it.
+fn health_command(args: &[String]) -> Result<String, String> {
+    let [addr] = args else {
+        return Err("usage: health <host:port>".into());
+    };
+    let transport = TcpTransport::new(TcpConfig::default());
+    let outcome = RetryPolicy::standard().run(&transport, &addr.as_str().into(), &Request::Health);
+    match outcome.reply.map_err(|e| format!("{addr} unreachable: {e}"))? {
+        Reply::Health(h) => {
+            let line = format!(
+                "{} wallet={} uptime={:.1}s delegations={} subscribers={} served={}\n",
+                if h.ok { "ok" } else { "NOT OK" },
+                h.wallet,
+                h.uptime_ns as f64 / 1e9,
+                h.delegations,
+                h.subscribers,
+                h.served_requests
+            );
+            if h.ok {
+                Ok(line)
+            } else {
+                Err(line)
+            }
+        }
+        Reply::Error(e) => Err(format!("remote error: {e}")),
+        other => Err(format!("unexpected reply: {other:?}")),
+    }
+}
+
 /// As [`run_scenario_stats`], additionally installing a ring-buffer trace
 /// recorder and dumping the span/event stream as JSON lines — to the
-/// given file, or inline when no file is named.
+/// given file, or inline when no file is named. With `--follow` it
+/// instead tails a daemon's JSONL trace export (see `serve
+/// --trace-out`) live, optionally filtered to one trace id.
 fn run_scenario_trace(args: &[String]) -> Result<String, String> {
+    if args.first().map(String::as_str) == Some("--follow") {
+        return trace_follow(&args[1..]);
+    }
     let file = match args {
         [] => None,
         [path] => Some(path.clone()),
-        _ => return Err("usage: trace [file.jsonl]".into()),
+        _ => return Err("usage: trace [file.jsonl] | trace --follow <file.jsonl> [trace-id]".into()),
     };
     let recorder = drbac::obs::RingRecorder::install(65536);
     let result = run_coalition_walkthrough(None);
@@ -188,6 +255,94 @@ fn run_scenario_trace(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `drbac trace --follow <file.jsonl> [trace-id] [--for SECONDS]` —
+/// tails a JSONL trace export (written by `serve --trace-out` or
+/// `trace file.jsonl`) live, like `tail -f`. With a trace id only the
+/// lines of that distributed trace are shown, so a stitched
+/// cross-daemon trace can be inspected end to end. `--for` bounds the
+/// follow (for scripts); otherwise it runs until ctrl-c or until the
+/// file is removed.
+fn trace_follow(args: &[String]) -> Result<String, String> {
+    use std::io::{BufRead, Seek, Write as _};
+
+    let mut rest: Vec<String> = args.to_vec();
+    let mut deadline = None;
+    if let Some(pos) = rest.iter().position(|a| a == "--for") {
+        if pos + 1 >= rest.len() {
+            return Err("--for requires a duration in seconds".into());
+        }
+        let secs: f64 = rest
+            .remove(pos + 1)
+            .parse()
+            .map_err(|_| "--for wants seconds, e.g. --for 2".to_string())?;
+        rest.remove(pos);
+        deadline = Some(std::time::Instant::now() + std::time::Duration::from_secs_f64(secs));
+    }
+    let (path, trace_id) = match rest.as_slice() {
+        [path] => (path.clone(), None),
+        [path, id] => (
+            path.clone(),
+            Some(
+                id.parse::<u64>()
+                    .map_err(|_| format!("trace id must be an integer, got {id:?}"))?,
+            ),
+        ),
+        _ => return Err("usage: trace --follow <file.jsonl> [trace-id] [--for SECONDS]".into()),
+    };
+    // Only this trace's records pass the filter; the field is emitted
+    // right after ts_ns so the substring match is unambiguous.
+    let needle = trace_id.map(|id| format!("\"trace\":{id},"));
+    let mut offset: u64 = 0;
+    let mut shown = 0u64;
+    let stdout = std::io::stdout();
+    loop {
+        match fs::File::open(&path) {
+            Ok(mut file) => {
+                let len = file
+                    .metadata()
+                    .map_err(|e| format!("stat {path}: {e}"))?
+                    .len();
+                if len < offset {
+                    offset = 0; // truncated/rotated: start over
+                }
+                if len > offset {
+                    file.seek(std::io::SeekFrom::Start(offset))
+                        .map_err(|e| format!("seek {path}: {e}"))?;
+                    let mut reader = std::io::BufReader::new(file);
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        let n = reader
+                            .read_line(&mut line)
+                            .map_err(|e| format!("read {path}: {e}"))?;
+                        // A partial last line (no newline yet) stays
+                        // unconsumed; we re-read it once it completes.
+                        if n == 0 || !line.ends_with('\n') {
+                            break;
+                        }
+                        offset += n as u64;
+                        if needle.as_ref().is_none_or(|n| line.contains(n.as_str())) {
+                            let mut out = stdout.lock();
+                            let _ = out.write_all(line.as_bytes());
+                            let _ = out.flush();
+                            shown += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) if offset > 0 => {
+                // We had been following it: the export is gone, stop.
+                return Ok(format!("trace export {path} disappeared ({e}); {shown} line(s) shown\n"));
+            }
+            Err(_) => {} // not created yet: keep waiting
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return Ok(format!("followed {path} ({shown} line(s) shown)\n"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
 }
 
 /// Figure 2 end to end: build the coalition, establish Maria's access,
@@ -797,9 +952,24 @@ impl Context {
     /// daemon. Remote mutations journal through the same write-ahead
     /// store as local commands; stop with ctrl-c.
     fn serve(&self, args: &[String]) -> Result<String, String> {
-        let [addr] = args else {
-            return Err("usage: serve <host:port> (e.g. serve 127.0.0.1:7070)".into());
+        const USAGE: &str = "usage: serve <host:port> [--trace-out FILE] (e.g. serve 127.0.0.1:7070)";
+        let mut rest: Vec<String> = args.to_vec();
+        let mut trace_out = None;
+        if let Some(pos) = rest.iter().position(|a| a == "--trace-out") {
+            if pos + 1 >= rest.len() {
+                return Err("--trace-out requires a file path".into());
+            }
+            trace_out = Some(rest.remove(pos + 1));
+            rest.remove(pos);
+        }
+        let [addr] = rest.as_slice() else {
+            return Err(USAGE.into());
         };
+        if let Some(path) = &trace_out {
+            drbac::obs::JsonlFileRecorder::install(Path::new(path))
+                .map_err(|e| format!("create trace export {path}: {e}"))?;
+            eprintln!("streaming trace JSONL to {path} (tail with `drbac trace --follow {path}`)");
+        }
         let daemon = WalletDaemon::bind(
             addr.as_str(),
             self.wallet.wallet().clone(),

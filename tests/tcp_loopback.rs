@@ -423,6 +423,141 @@ fn daemon_kill_mid_subscription_reconnects_and_resubscribes() {
     restarted.shutdown();
 }
 
+/// Stats and Health are served over the wire: a live daemon answers
+/// `Request::Health` with its inventory and `Request::Stats` with a
+/// snapshot whose service-time histogram covers the requests it served.
+#[test]
+fn stats_and_health_served_over_the_wire() {
+    let mut rng = StdRng::seed_from_u64(45);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let owner = LocalEntity::generate("Owner", group.clone(), &mut rng);
+    let member = LocalEntity::generate("Member", group, &mut rng);
+
+    let home = Wallet::new("home.stats", clock);
+    home.publish(
+        owner
+            .delegate(Node::entity(&member), Node::role(owner.role("r")))
+            .sign(&owner)
+            .unwrap(),
+        vec![],
+    )
+    .unwrap();
+    let daemon = WalletDaemon::bind("127.0.0.1:0", home, TcpConfig::fast()).unwrap();
+    let transport = TcpTransport::new(TcpConfig::fast());
+    transport.add_route("home.stats", daemon.local_addr());
+
+    // Serve a real query first so the service histogram has traffic.
+    let reply = transport
+        .request(
+            &"home.stats".into(),
+            Request::DirectQuery {
+                subject: Node::entity(&member),
+                object: Node::role(owner.role("r")),
+                constraints: vec![],
+            },
+        )
+        .unwrap();
+    assert!(matches!(reply, Reply::Proofs(ref p) if !p.is_empty()));
+
+    let Reply::Health(health) = transport
+        .request(&"home.stats".into(), Request::Health)
+        .unwrap()
+    else {
+        panic!("expected a health report");
+    };
+    assert!(health.ok);
+    assert_eq!(health.wallet, "home.stats");
+    assert_eq!(health.delegations, 1);
+    assert!(health.served_requests >= 1, "the query was counted");
+
+    let Reply::Stats(snapshot) = transport
+        .request(&"home.stats".into(), Request::Stats)
+        .unwrap()
+    else {
+        panic!("expected a stats snapshot");
+    };
+    let service = snapshot
+        .histograms
+        .get("drbac.net.tcp.service.ns")
+        .expect("scraped snapshot carries the daemon service-time histogram");
+    assert!(service.count >= 1, "service histogram covers the query");
+    assert!(service.max > 0, "service time is non-zero");
+    daemon.shutdown();
+}
+
+/// One distributed trace spans both processes' roles: the client's
+/// request span and the daemon's serve span carry the same trace id,
+/// and the serve span hangs beneath the request span.
+#[test]
+fn query_trace_spans_client_and_daemon_sides() {
+    let mut rng = StdRng::seed_from_u64(46);
+    let group = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    let owner = LocalEntity::generate("Owner", group.clone(), &mut rng);
+    let member = LocalEntity::generate("Member", group, &mut rng);
+
+    let home = Wallet::new("home.traced", clock);
+    home.publish(
+        owner
+            .delegate(Node::entity(&member), Node::role(owner.role("r")))
+            .sign(&owner)
+            .unwrap(),
+        vec![],
+    )
+    .unwrap();
+    let daemon = WalletDaemon::bind("127.0.0.1:0", home, TcpConfig::fast()).unwrap();
+    let transport = TcpTransport::new(TcpConfig::fast());
+    transport.add_route("home.traced", daemon.local_addr());
+
+    let recorder = drbac::obs::RingRecorder::install(4096);
+    let reply = transport
+        .request(
+            &"home.traced".into(),
+            Request::DirectQuery {
+                subject: Node::entity(&member),
+                object: Node::role(owner.role("r")),
+                constraints: vec![],
+            },
+        )
+        .unwrap();
+    assert!(matches!(reply, Reply::Proofs(ref p) if !p.is_empty()));
+    // The serve span is emitted on the daemon's connection thread;
+    // give it a beat to land in the ring.
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            recorder
+                .events()
+                .iter()
+                .any(|e| e.name == "drbac.net.tcp.serve")
+        }),
+        "daemon-side serve span was recorded"
+    );
+    let events = recorder.events();
+    drbac::obs::clear_recorder();
+
+    let request_start = events
+        .iter()
+        .find(|e| {
+            e.kind == drbac::obs::TraceKind::SpanStart && e.name == "drbac.net.tcp.request"
+        })
+        .expect("client-side request span");
+    let serve_start = events
+        .iter()
+        .find(|e| e.kind == drbac::obs::TraceKind::SpanStart && e.name == "drbac.net.tcp.serve")
+        .expect("daemon-side serve span");
+    assert_ne!(request_start.trace_id, 0, "the root span minted a trace id");
+    assert_eq!(
+        request_start.trace_id, serve_start.trace_id,
+        "one trace id spans both sides of the exchange"
+    );
+    assert_eq!(
+        serve_start.parent, request_start.span,
+        "the serve span hangs beneath the client's request span"
+    );
+    daemon.shutdown();
+}
+
 /// A daemon that is fed garbage — partial frames, wrong magic, a huge
 /// length prefix — stays alive and keeps serving well-formed clients.
 #[test]

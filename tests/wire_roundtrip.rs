@@ -274,6 +274,131 @@ mod frame {
         }
     }
 
+    // -- traced (version-2) frames and the Stats/Health payloads -------
+
+    use drbac::net::proto::{Reply, Request};
+    use drbac::net::wire::{
+        decode_reply, decode_request, encode_reply, encode_request, write_frame_traced,
+        TraceContext, WIRE_VERSION_TRACED,
+    };
+    use drbac::store::crc32;
+
+    fn encode_traced(kind: FrameKind, payload: &[u8], ctx: TraceContext) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, kind, payload, Some(ctx)).unwrap();
+        buf
+    }
+
+    #[test]
+    fn torn_traced_frame_every_truncation_errors() {
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            parent_span: 0x99aa_bbcc_ddee_ff00,
+        };
+        let frame = encode_traced(FrameKind::Request, b"stats probe", ctx);
+        assert_eq!(frame[4], WIRE_VERSION_TRACED);
+        for len in 0..frame.len() {
+            let err = read_frame(&mut &frame[..len]).expect_err("torn traced frame must error");
+            assert!(
+                matches!(err, WireError::Io(_)),
+                "truncation to {len} bytes surfaced {err:?}, expected unexpected-EOF"
+            );
+        }
+        let decoded = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(decoded.trace, Some(ctx));
+    }
+
+    #[test]
+    fn traced_frame_payload_corruption_is_caught_by_crc() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 0,
+        };
+        let frame = encode_traced(FrameKind::Request, b"health probe", ctx);
+        // Everything after the header + 19-byte ext block is payload.
+        for pos in FRAME_HEADER_LEN + 19..frame.len() {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                matches!(read_frame(&mut bad.as_slice()).unwrap_err(), WireError::Crc { .. }),
+                "traced-frame payload flip at {pos} escaped the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn old_peer_v1_frames_still_decode_without_trace() {
+        // A sender that predates tracing emits version-1 frames; they
+        // must decode exactly as before, with no trace context.
+        let payload = encode_request(&Request::Stats);
+        let buf = encode_frame(FrameKind::Request, &payload);
+        assert_eq!(buf[4], 1, "trace-less sends stay version 1");
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.trace, None);
+        assert!(matches!(
+            decode_request(&frame.payload).unwrap(),
+            Request::Stats
+        ));
+    }
+
+    #[test]
+    fn stats_and_health_frames_survive_a_full_wire_pass() {
+        // Requests are payload-free; replies carry the snapshot /
+        // report. Canonical re-encode equality proves lossless decode.
+        for req in [Request::Stats, Request::Health] {
+            let buf = encode_frame(FrameKind::Request, &encode_request(&req));
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            let decoded = decode_request(&frame.payload).unwrap();
+            assert_eq!(encode_request(&decoded), encode_request(&req));
+        }
+
+        let mut snap = drbac::obs::Snapshot::default();
+        snap.counters.insert("drbac.net.tcp.accept.count".into(), 3);
+        snap.gauges.insert("drbac.store.segments".into(), -2);
+        snap.histograms.insert(
+            "drbac.net.tcp.service.ns".into(),
+            drbac::obs::HistogramSnapshot {
+                count: 240,
+                sum: 1 << 30,
+                max: 6_383_575,
+                p50: 16_383,
+                p90: 262_143,
+                p99: 2_097_151,
+                p999: 8_388_607,
+            },
+        );
+        let health = drbac::net::HealthReport {
+            ok: true,
+            wallet: "w0".into(),
+            uptime_ns: 812_345_678,
+            delegations: 12,
+            subscribers: 2,
+            served_requests: 240,
+        };
+        for reply in [Reply::Stats(snap), Reply::Health(health)] {
+            let buf = encode_frame(FrameKind::Reply, &encode_reply(&reply));
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            let decoded = decode_reply(&frame.payload).unwrap();
+            assert_eq!(encode_reply(&decoded), encode_reply(&reply));
+        }
+    }
+
+    #[test]
+    fn stats_reply_corruption_never_panics() {
+        // Flip each byte of an encoded Stats reply: the decoder must
+        // return (Ok or Err), never panic or over-allocate.
+        let mut snap = drbac::obs::Snapshot::default();
+        snap.counters.insert("c".into(), u64::MAX);
+        snap.histograms
+            .insert("h".into(), drbac::obs::HistogramSnapshot::default());
+        let bytes = encode_reply(&Reply::Stats(snap));
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0xff;
+            let _ = decode_reply(&bad);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -284,6 +409,35 @@ mod frame {
             if let Ok(frame) = read_frame(&mut bytes.as_slice()) {
                 prop_assert!(frame.payload.len() <= MAX_FRAME_LEN);
             }
+        }
+
+        /// Arbitrary extension blocks spliced into a version-2 header
+        /// never panic the reader — unknown tags are skipped, malformed
+        /// blocks error cleanly.
+        #[test]
+        fn prop_extension_blocks_never_panic(ext in prop::collection::vec(any::<u8>(), 0..64)) {
+            let payload = b"p";
+            let mut buf = Vec::new();
+            buf.extend_from_slice(b"dRBW");
+            buf.push(WIRE_VERSION_TRACED);
+            buf.push(1); // kind: request
+            buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&crc32(payload).to_be_bytes());
+            buf.extend_from_slice(&ext);
+            buf.extend_from_slice(payload);
+            if let Ok(frame) = read_frame(&mut buf.as_slice()) {
+                prop_assert_eq!(frame.payload, payload.to_vec());
+            }
+        }
+
+        /// Any trace context round-trips bit-exact through the ext
+        /// block (trace_id 0 means "no trace" and is never emitted).
+        #[test]
+        fn prop_trace_context_round_trips(trace_id in 1u64..=u64::MAX, parent_span in any::<u64>()) {
+            let ctx = TraceContext { trace_id, parent_span };
+            let buf = encode_traced(FrameKind::Request, b"q", ctx);
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(frame.trace, Some(ctx));
         }
 
         /// Any payload round-trips through the framing layer intact.
