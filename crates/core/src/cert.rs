@@ -1,6 +1,7 @@
 //! Signed delegation certificates.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use drbac_crypto::{sha256, PublicKey, Signature};
 use serde::{Deserialize, Serialize};
@@ -54,11 +55,36 @@ impl fmt::Debug for DelegationId {
 /// assert!(cert.verify(Timestamp(0)).is_ok());
 /// # Ok::<(), drbac_core::ValidationError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SignedDelegation {
     delegation: Delegation,
     issuer_key: PublicKey,
     signature: Signature,
+    /// Memoized content-addressed id. Computing a [`DelegationId`] means
+    /// re-serializing the body and hashing it, and the graph search asks
+    /// for the id of every edge it touches (revocation filtering), so the
+    /// first computation is cached here. Not part of the wire form or of
+    /// equality.
+    #[serde(skip)]
+    cached_id: OnceLock<DelegationId>,
+    /// Digest of the full credential (body, key, signature) at the time a
+    /// signature check last *succeeded*. Signature validity is immutable —
+    /// only expiry is a function of `now` — so once a credential instance
+    /// has verified, revalidating it (every cold proof query re-walks the
+    /// same admitted certs) only needs to re-hash and compare. The digest
+    /// keying means any mutation of body, key, or signature misses the
+    /// memo and takes the full check; clones of a verified instance keep
+    /// it. Not part of the wire form or of equality.
+    #[serde(skip)]
+    sig_ok_digest: OnceLock<[u8; 32]>,
+}
+
+impl PartialEq for SignedDelegation {
+    fn eq(&self, other: &Self) -> bool {
+        self.delegation == other.delegation
+            && self.issuer_key == other.issuer_key
+            && self.signature == other.signature
+    }
 }
 
 impl SignedDelegation {
@@ -80,6 +106,8 @@ impl SignedDelegation {
             delegation,
             issuer_key: issuer.public_key().clone(),
             signature,
+            cached_id: OnceLock::new(),
+            sig_ok_digest: OnceLock::new(),
         })
     }
 
@@ -93,9 +121,11 @@ impl SignedDelegation {
         &self.issuer_key
     }
 
-    /// The content-addressed id.
+    /// The content-addressed id (memoized after the first call).
     pub fn id(&self) -> DelegationId {
-        DelegationId::of(&self.delegation)
+        *self
+            .cached_id
+            .get_or_init(|| DelegationId::of(&self.delegation))
     }
 
     /// Serializes the full credential (body, issuer key, signature) into
@@ -127,6 +157,12 @@ impl SignedDelegation {
     /// delegation has not expired at `now`. (Third-party *authority* is a
     /// proof-level property; see [`crate::ProofValidator`].)
     ///
+    /// The signature check — the expensive part — is memoized per
+    /// instance: once it has succeeded, later calls re-hash the
+    /// credential and compare against the digest recorded at that
+    /// success, falling back to the full group-exponentiation check on
+    /// any mismatch. Expiry is re-evaluated against `now` on every call.
+    ///
     /// # Errors
     ///
     /// [`ValidationError`] for the first failed check.
@@ -138,11 +174,15 @@ impl SignedDelegation {
                 got: signer,
             });
         }
-        if !self
-            .issuer_key
-            .verify(&self.delegation.wire_bytes(), &self.signature)
-        {
-            return Err(ValidationError::BadSignature);
+        let digest = sha256(&self.to_bytes());
+        if self.sig_ok_digest.get() != Some(&digest) {
+            if !self
+                .issuer_key
+                .verify(&self.delegation.wire_bytes(), &self.signature)
+            {
+                return Err(ValidationError::BadSignature);
+            }
+            let _ = self.sig_ok_digest.set(digest);
         }
         if let Some(at) = self.delegation.expires() {
             if now > at {
@@ -170,6 +210,8 @@ impl crate::wire::Decode for SignedDelegation {
             delegation,
             issuer_key,
             signature,
+            cached_id: OnceLock::new(),
+            sig_ok_digest: OnceLock::new(),
         })
     }
 }
@@ -251,6 +293,39 @@ mod tests {
             cert.verify(Timestamp(101)),
             Err(ValidationError::Expired { .. })
         ));
+    }
+
+    #[test]
+    fn verify_memoizes_signature_success_across_clones() {
+        let a = local("A", 1);
+        let b = local("B", 2);
+        let cert = a
+            .delegate(Node::entity(&b), Node::role(a.role("r")))
+            .sign(&a)
+            .unwrap();
+        assert!(cert.sig_ok_digest.get().is_none());
+        assert!(cert.verify(Timestamp(0)).is_ok());
+        assert!(cert.sig_ok_digest.get().is_some());
+
+        // A clone of a verified instance keeps the memo and still verifies.
+        let cloned = cert.clone();
+        assert!(cloned.sig_ok_digest.get().is_some());
+        assert!(cloned.verify(Timestamp(0)).is_ok());
+
+        // Tampering with a *verified* clone misses the digest and is
+        // caught by the full signature check.
+        let mut tampered = cert.clone();
+        tampered.delegation.serial = 7;
+        assert_eq!(
+            tampered.verify(Timestamp(0)),
+            Err(ValidationError::BadSignature)
+        );
+
+        // The wire round-trip drops the memo: a deserialized credential
+        // is unverified until checked here.
+        let rt = SignedDelegation::from_bytes(&cert.to_bytes()).unwrap();
+        assert!(rt.sig_ok_digest.get().is_none());
+        assert!(rt.verify(Timestamp(0)).is_ok());
     }
 
     #[test]

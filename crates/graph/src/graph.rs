@@ -48,6 +48,11 @@ pub struct DelegationGraph {
     pub(crate) supports: HashMap<(EntityId, Node), Proof>,
     pub(crate) declarations: DeclarationSet,
     pub(crate) revoked: BTreeSet<DelegationId>,
+    /// Node ⇄ dense-id table used by the interned search accessors
+    /// ([`crate::GraphView::edges_from_ids`]). Populated lazily as
+    /// searches touch nodes; carries no authority of its own, so clones
+    /// and snapshots may start it fresh.
+    pub(crate) interner: crate::intern::NodeInterner,
 }
 
 impl DelegationGraph {
@@ -201,6 +206,11 @@ impl DelegationGraph {
     /// Iterates over every stored delegation.
     pub fn iter(&self) -> impl Iterator<Item = &Arc<SignedDelegation>> {
         self.by_id.values()
+    }
+
+    /// The node intern table (see [`crate::NodeInterner`]).
+    pub(crate) fn node_interner(&self) -> &crate::intern::NodeInterner {
+        &self.interner
     }
 
     /// Structural metrics over the stored graph (diagnostics and

@@ -17,6 +17,8 @@
 //!   and available against any [`GraphView`] (see [`direct_query_on`]);
 //! * monotonicity-based pruning of constrained searches (§4.2.3), with
 //!   [`SearchStats`] so experiments can measure its effect;
+//! * dense node interning ([`NodeInterner`]) so the search hot path
+//!   compares and hashes `u32` ids instead of cloning [`drbac_core::Node`]s;
 //! * optional parallel frontier expansion
 //!   ([`SearchOptions::with_workers`]) with results identical to the
 //!   sequential search.
@@ -24,13 +26,17 @@
 //! See [`DelegationGraph`] for a worked example.
 
 mod graph;
+mod intern;
+#[doc(hidden)]
+pub mod reference;
 mod search;
 mod sharded;
 mod view;
 
 pub use graph::{DelegationGraph, GraphMetrics};
+pub use intern::{FastIdHasher, FastMap, FastSet, NodeId, NodeInterner};
 pub use search::{
     direct_query_on, object_query_on, subject_query_on, SearchOptions, SearchStats,
 };
 pub use sharded::ShardedGraph;
-pub use view::GraphView;
+pub use view::{GraphView, InternedEdge};

@@ -3,29 +3,52 @@
 //!
 //! The engine is generic over [`GraphView`] so the same traversal runs
 //! against the single-threaded [`DelegationGraph`] and the concurrent
-//! [`crate::ShardedGraph`]. With `workers > 1` the breadth-first frontier
-//! is expanded level-synchronously by a bounded worker pool: workers claim
-//! states from the current level with an atomic cursor and compute the
-//! frontier-independent part of each edge (attribute absorption,
-//! constraint pruning, support resolution, proof assembly), then a
-//! sequential merge replays dominance checks, frontier updates, and result
-//! insertion in exactly the order the single-threaded search would have
-//! used — so query *results* are identical for any worker count. Only the
-//! work counters may grow (speculative support resolution for edges the
-//! merge later dominance-prunes, and whole-level expansion where the
-//! sequential search would have returned mid-level).
+//! [`crate::ShardedGraph`]. Three structural choices keep the cold path
+//! allocation-light:
+//!
+//! * **Interned ids.** Nodes are dense `u32` ids from the graph-owned
+//!   [`crate::NodeInterner`]; frontier dedup, result keying, and
+//!   edge-endpoint comparisons are integer ops, never `Node` hashing or
+//!   cloning.
+//! * **Parent-pointer proofs.** Reached states form an arena; each state
+//!   records only `(predecessor, step)`. Full [`Proof`]s are materialized
+//!   once, for final answers, by walking the predecessor chain — the old
+//!   per-edge clone-and-concat of whole proofs (O(depth²) per path) is
+//!   gone.
+//! * **Batched frontier expansion.** With `workers > 1`, a queue batch is
+//!   expanded by a bounded pool: workers claim chunks of states through
+//!   an atomic cursor and return their candidate lists through their join
+//!   handles (no shared mutex to poison; a worker panic is re-raised with
+//!   its original payload). Batches smaller than a threshold are expanded
+//!   inline, so tiny frontiers never pay thread hand-off. A sequential
+//!   merge then replays dominance checks, frontier updates, and result
+//!   insertion in exactly the order the single-threaded search would have
+//!   used — so query *results* are identical at every pool size. Only the
+//!   work counters may differ (speculative support resolution for edges
+//!   the merge later dominance-prunes, and whole-batch expansion where
+//!   the sequential search would have returned mid-batch).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use drbac_core::{
-    AttrAccumulator, AttrConstraint, AttrOp, DeclarationSet, DelegationId, EntityId, Node, Proof,
-    ProofStep, SignedDelegation, Timestamp,
+    AttrAccumulator, AttrConstraint, AttrOp, AttrRef, DeclarationSet, DelegationId, EntityId, Node,
+    Proof, ProofStep, SignedDelegation, Timestamp,
 };
 
+use crate::intern::{FastMap, FastSet, NodeId};
 use crate::view::GraphView;
 use crate::DelegationGraph;
+
+/// Queue batches smaller than this are expanded inline by the merging
+/// thread even when `workers > 1`: for one or two states, thread hand-off
+/// costs more than the expansion itself.
+const PAR_MIN_BATCH: usize = 3;
+/// States claimed per atomic-cursor bump during batched expansion.
+const PAR_CHUNK: usize = 4;
+/// Sentinel predecessor index of the root state.
+const NO_PRED: u32 = u32::MAX;
 
 /// Parameters of a graph search.
 #[derive(Debug, Clone)]
@@ -111,32 +134,155 @@ impl SearchStats {
 
 /// Search direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Direction {
+pub(crate) enum Direction {
     Forward,
     Reverse,
 }
 
-struct Engine<'g, G: GraphView + ?Sized> {
+pub(crate) struct Engine<'g, G: GraphView + ?Sized> {
     graph: &'g G,
     opts: &'g SearchOptions,
     decls: DeclarationSet,
     stats: SearchStats,
 }
 
-/// One search state: a node plus the proof and accumulation that reach it.
-struct State {
-    node: Node,
-    proof: Proof,
+/// One reached search state in the arena: the interned node, the
+/// predecessor state, and the proof step that got here. A full [`Proof`]
+/// exists only after [`materialize`] walks the predecessor chain.
+struct StateRec {
+    node: NodeId,
+    /// Arena index of the predecessor ([`NO_PRED`] for the root).
+    pred: u32,
+    /// The step taken into this state (`None` for the root).
+    step: Option<ProofStep>,
+    /// Primary-chain length so far.
+    depth: u32,
+    /// Transitive-trust slack: the minimum over all chain steps of
+    /// `max_extension_depth - position` (`u64::MAX` = unlimited). Updated
+    /// in O(1) per edge; a reverse prepend shifts every position, which
+    /// is exactly a decrement of the whole minimum.
+    slack: u64,
+    /// Attribute accumulation in discovery order (used for pruning and
+    /// dominance, exactly as the pre-interning engine did).
     acc: AttrAccumulator,
 }
 
-/// Frontier-independent expansion of one edge, produced by a worker and
-/// consumed by the sequential merge.
+/// Frontier-independent expansion of one edge, produced by
+/// [`Engine::expand_state`] and consumed by the sequential merge. Note
+/// what is *not* here: no cloned proof — the merge links the candidate to
+/// its parent state by index.
 struct Candidate {
-    next_node: Node,
+    far: NodeId,
+    step: ProofStep,
     acc: AttrAccumulator,
-    proof: Proof,
+    /// Effective values per constraint (the frontier's comparison key).
+    vals: Box<[f64]>,
+    slack: u64,
     satisfies: bool,
+}
+
+/// Per-state expansion results tagged with the state's position in its
+/// batch, so the sequential merge can restore submission order after the
+/// workers hand their chunks back.
+type IndexedCandidates = Vec<(usize, Vec<Candidate>)>;
+
+/// Pareto frontier of accumulations seen per node. Unconstrained searches
+/// degrade to a plain visited set (any previous visit dominates). For
+/// constrained searches each node keeps its non-dominated effective-value
+/// vectors sorted descending by first component, so a dominance probe
+/// early-exits at the first entry that can no longer dominate — replacing
+/// the old linear scan over full accumulators that degraded quadratically
+/// on attribute-heavy fanout.
+struct Frontier {
+    /// `(attr, base)` per constraint, precomputed once per search.
+    bases: Vec<(AttrRef, f64)>,
+    seen: FastMap<NodeId, Vec<Box<[f64]>>>,
+}
+
+impl Frontier {
+    fn new(constraints: &[AttrConstraint], decls: &DeclarationSet) -> Self {
+        let bases = constraints
+            .iter()
+            .map(|c| {
+                let base = decls
+                    .base(&c.attr)
+                    .unwrap_or_else(|| natural_base(c.attr.op()));
+                (c.attr.clone(), base)
+            })
+            .collect();
+        Frontier {
+            bases,
+            seen: FastMap::default(),
+        }
+    }
+
+    /// The effective value of `acc` under every constrained attribute.
+    fn vals(&self, acc: &AttrAccumulator) -> Box<[f64]> {
+        self.bases
+            .iter()
+            .map(|(attr, base)| acc.effective(attr, *base))
+            .collect()
+    }
+
+    /// `true` if a previously admitted accumulation dominates `vals` at
+    /// `node`. Sound against a stale snapshot: admitted entries are only
+    /// ever displaced by entries that dominate them, so "dominated once"
+    /// stays true forever.
+    fn is_dominated(&self, node: NodeId, vals: &[f64]) -> bool {
+        let Some(entries) = self.seen.get(&node) else {
+            return false;
+        };
+        if self.bases.is_empty() {
+            return true; // visited-set semantics
+        }
+        for entry in entries {
+            if entry[0] < vals[0] {
+                break; // sorted descending: nothing further can dominate
+            }
+            if entry.iter().zip(vals).all(|(a, b)| a >= b) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Admits `vals` at `node`, evicting entries it dominates. Only
+    /// called after [`Frontier::is_dominated`] returned `false`.
+    fn admit(&mut self, node: NodeId, vals: Box<[f64]>) {
+        let entries = self.seen.entry(node).or_default();
+        if self.bases.is_empty() {
+            return; // key presence is the whole visited mark
+        }
+        // Entries with a larger first component cannot be dominated by
+        // `vals`; only the tail needs filtering.
+        let keep = entries.partition_point(|e| e[0] > vals[0]);
+        let tail = entries.split_off(keep);
+        entries.extend(
+            tail.into_iter()
+                .filter(|e| !vals.iter().zip(e.iter()).all(|(a, b)| a >= b)),
+        );
+        let pos = entries.partition_point(|e| e[0] >= vals[0]);
+        entries.insert(pos, vals);
+    }
+}
+
+/// Materializes the proof reaching `arena[idx]` by walking predecessor
+/// links. Forward chains are collected object-end first and reversed;
+/// reverse chains come out already in subject→object order.
+fn materialize(arena: &[StateRec], idx: u32, dir: Direction, start: &Node) -> Proof {
+    let mut steps = Vec::new();
+    let mut cur = idx as usize;
+    while let Some(step) = &arena[cur].step {
+        steps.push(step.clone());
+        cur = arena[cur].pred as usize;
+    }
+    if steps.is_empty() {
+        return Proof::trivial(start.clone());
+    }
+    if matches!(dir, Direction::Forward) {
+        steps.reverse();
+    }
+    Proof::from_steps(steps).expect("linked by construction")
 }
 
 /// Direct query (§4.1) against any [`GraphView`]: does a proof
@@ -151,9 +297,12 @@ pub fn direct_query_on<G: GraphView + ?Sized>(
 ) -> (Option<Proof>, SearchStats) {
     let start = std::time::Instant::now();
     let mut engine = Engine::new(graph, opts);
-    let found = engine
-        .search(subject, Some(object), Direction::Forward)
-        .remove(object);
+    let (arena, results) = engine.search(subject, Some(object), Direction::Forward);
+    let found = graph
+        .interner()
+        .get(object)
+        .and_then(|id| results.get(&id).copied())
+        .map(|idx| materialize(&arena, idx, Direction::Forward, subject));
     drbac_obs::static_histogram!("drbac.graph.search.direct.ns")
         .record(start.elapsed().as_nanos() as u64);
     (found, engine.stats)
@@ -168,8 +317,12 @@ pub fn subject_query_on<G: GraphView + ?Sized>(
     opts: &SearchOptions,
 ) -> (Vec<Proof>, SearchStats) {
     let mut engine = Engine::new(graph, opts);
-    let reached = engine.search(subject, None, Direction::Forward);
-    let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
+    let (arena, results) = engine.search(subject, None, Direction::Forward);
+    let mut proofs: Vec<Proof> = results
+        .values()
+        .filter(|&&idx| idx != 0) // the root's trivial proof is not an answer
+        .map(|&idx| materialize(&arena, idx, Direction::Forward, subject))
+        .collect();
     proofs.sort_by_cached_key(|p| order_key(p, p.object()));
     (proofs, engine.stats)
 }
@@ -183,8 +336,12 @@ pub fn object_query_on<G: GraphView + ?Sized>(
     opts: &SearchOptions,
 ) -> (Vec<Proof>, SearchStats) {
     let mut engine = Engine::new(graph, opts);
-    let reached = engine.search(object, None, Direction::Reverse);
-    let mut proofs: Vec<Proof> = reached.into_values().filter(|p| !p.is_trivial()).collect();
+    let (arena, results) = engine.search(object, None, Direction::Reverse);
+    let mut proofs: Vec<Proof> = results
+        .values()
+        .filter(|&&idx| idx != 0)
+        .map(|&idx| materialize(&arena, idx, Direction::Reverse, object))
+        .collect();
     proofs.sort_by_cached_key(|p| order_key(p, p.subject()));
     (proofs, engine.stats)
 }
@@ -193,7 +350,7 @@ pub fn object_query_on<G: GraphView + ?Sized>(
 /// proofs lead), then the proof's full delegation-id set, then the far
 /// endpoint as a tiebreak. Independent of hash-map iteration order and
 /// shard count, so oracle tests and benches are stable.
-fn order_key(p: &Proof, endpoint: &Node) -> (usize, Vec<DelegationId>, String) {
+pub(crate) fn order_key(p: &Proof, endpoint: &Node) -> (usize, Vec<DelegationId>, String) {
     let ids: Vec<DelegationId> = p.delegation_ids().into_iter().collect();
     (p.chain_len(), ids, endpoint.to_string())
 }
@@ -258,7 +415,7 @@ impl DelegationGraph {
 }
 
 impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
-    fn new(graph: &'g G, opts: &'g SearchOptions) -> Self {
+    pub(crate) fn new(graph: &'g G, opts: &'g SearchOptions) -> Self {
         Engine {
             graph,
             opts,
@@ -327,281 +484,230 @@ impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
 
     /// Breadth-first search from `start`. Forward direction follows
     /// subject→object edges; reverse follows object→subject. Returns the
-    /// best (first-found, non-dominated) proof per reached node. If
-    /// `target` is given, stops as soon as a satisfying proof reaches it.
+    /// state arena plus the first-found (non-dominated, satisfying) state
+    /// per reached node; callers materialize the proofs they need. If
+    /// `target` is given, stops as soon as a satisfying state reaches it.
     fn search(
         &mut self,
         start: &Node,
         target: Option<&Node>,
         dir: Direction,
-    ) -> HashMap<Node, Proof> {
-        if self.opts.workers > 1 {
-            self.search_level_parallel(start, target, dir)
-        } else {
-            self.search_sequential(start, target, dir)
-        }
-    }
+    ) -> (Vec<StateRec>, FastMap<NodeId, u32>) {
+        let interner = self.graph.interner();
+        let start_id = interner.intern(start);
+        let target_id = target.map(|t| interner.intern(t));
 
-    fn search_sequential(
-        &mut self,
-        start: &Node,
-        target: Option<&Node>,
-        dir: Direction,
-    ) -> HashMap<Node, Proof> {
-        let mut results: HashMap<Node, Proof> = HashMap::new();
-        // Pareto frontier of accumulations seen per node (constrained
-        // searches); plain visited set otherwise.
-        let mut frontier: HashMap<Node, Vec<AttrAccumulator>> = HashMap::new();
-        let mut queue: VecDeque<State> = VecDeque::new();
-
-        let initial = State {
-            node: start.clone(),
-            proof: Proof::trivial(start.clone()),
+        let mut frontier = Frontier::new(&self.opts.constraints, &self.decls);
+        let mut arena: Vec<StateRec> = vec![StateRec {
+            node: start_id,
+            pred: NO_PRED,
+            step: None,
+            depth: 0,
+            slack: u64::MAX,
             acc: AttrAccumulator::new(),
-        };
-        frontier
-            .entry(start.clone())
-            .or_default()
-            .push(initial.acc.clone());
-        results.insert(start.clone(), initial.proof.clone());
-        queue.push_back(initial);
-
-        while let Some(state) = queue.pop_front() {
-            self.stats.nodes_expanded += 1;
-            if state.proof.chain_len() >= self.opts.max_depth {
-                continue;
-            }
-            let edges = match dir {
-                Direction::Forward => self.graph.edges_from(&state.node, self.opts.now),
-                Direction::Reverse => self.graph.edges_to(&state.node, self.opts.now),
-            };
-            for cert in edges {
-                self.stats.edges_considered += 1;
-                let next_node = match dir {
-                    Direction::Forward => cert.delegation().object().clone(),
-                    Direction::Reverse => cert.delegation().subject().clone(),
-                };
-
-                let mut acc = state.acc.clone();
-                for clause in cert.delegation().clauses() {
-                    acc.absorb_clause(clause);
-                }
-                if self.opts.prune_by_constraints
-                    && !self.opts.constraints.is_empty()
-                    && !acc.satisfies(&self.opts.constraints, &self.decls)
-                {
-                    continue;
-                }
-
-                // Dominance check against the node's frontier.
-                if frontier.get(&next_node).is_some_and(|seen| {
-                    seen.iter()
-                        .any(|prev| dominates(prev, &acc, &self.opts.constraints, &self.decls))
-                }) {
-                    continue;
-                }
-
-                // Resolve supports; an unusable edge is skipped.
-                let Some(step) = self.build_step(&cert, &mut Vec::new(), 0) else {
-                    continue;
-                };
-
-                let proof = match dir {
-                    Direction::Forward => {
-                        let tail = Proof::from_steps(vec![step]).expect("single step");
-                        state
-                            .proof
-                            .clone()
-                            .concat(tail)
-                            .expect("linked by construction")
-                    }
-                    Direction::Reverse => {
-                        let head = Proof::from_steps(vec![step]).expect("single step");
-                        head.concat(state.proof.clone())
-                            .expect("linked by construction")
-                    }
-                };
-                // Transitive-trust limits: drop chains the validator
-                // would reject (forward appends can only break the new
-                // step; reverse prepends shift every position).
-                if !proof.respects_extension_depths() {
-                    continue;
-                }
-
-                // Only a usable step may join the frontier; an edge whose
-                // support cannot be resolved (or whose chain violates a
-                // depth limit) must not dominance-prune a later viable
-                // path with the same accumulation.
-                let seen = frontier.entry(next_node.clone()).or_default();
-                seen.retain(|prev| !dominates(&acc, prev, &self.opts.constraints, &self.decls));
-                seen.push(acc.clone());
-
-                // A proof only counts as an answer if it satisfies the
-                // constraints; accumulation is monotone, so a violating
-                // prefix can never recover (this keeps unpruned searches
-                // in agreement with pruned ones).
-                if proof
-                    .accumulate()
-                    .satisfies(&self.opts.constraints, &self.decls)
-                {
-                    results
-                        .entry(next_node.clone())
-                        .or_insert_with(|| proof.clone());
-                    if target == Some(&next_node) {
-                        results.insert(next_node, proof);
-                        return results;
-                    }
-                }
-
-                self.stats.states_enqueued += 1;
-                queue.push_back(State {
-                    node: next_node,
-                    proof,
-                    acc,
-                });
-            }
-        }
-        results
-    }
-
-    /// Level-synchronous parallel variant of
-    /// [`Engine::search_sequential`]: each BFS level is expanded by a
-    /// worker pool, then merged sequentially in the exact order the
-    /// sequential search would have used, so results are identical.
-    fn search_level_parallel(
-        &mut self,
-        start: &Node,
-        target: Option<&Node>,
-        dir: Direction,
-    ) -> HashMap<Node, Proof> {
-        let mut results: HashMap<Node, Proof> = HashMap::new();
-        let mut frontier: HashMap<Node, Vec<AttrAccumulator>> = HashMap::new();
-        let mut queue: VecDeque<State> = VecDeque::new();
-
-        let initial = State {
-            node: start.clone(),
-            proof: Proof::trivial(start.clone()),
-            acc: AttrAccumulator::new(),
-        };
-        frontier
-            .entry(start.clone())
-            .or_default()
-            .push(initial.acc.clone());
-        results.insert(start.clone(), initial.proof.clone());
-        queue.push_back(initial);
+        }];
+        let root_vals = frontier.vals(&arena[0].acc);
+        frontier.admit(start_id, root_vals);
+        let mut results: FastMap<NodeId, u32> = FastMap::default();
+        results.insert(start_id, 0);
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(0);
 
         while !queue.is_empty() {
-            let level: Vec<State> = queue.drain(..).collect();
-            let expansions: Vec<Vec<Candidate>> = if level.len() == 1 {
-                vec![self.expand_state(&level[0], dir)]
+            if self.opts.workers <= 1 || queue.len() < PAR_MIN_BATCH {
+                // Inline expansion: exactly the sequential order, one
+                // state at a time.
+                let idx = queue.pop_front().expect("nonempty");
+                let cands = self.expand_state(&arena, idx, dir, &frontier);
+                if self
+                    .merge(
+                        idx,
+                        cands,
+                        &mut arena,
+                        &mut frontier,
+                        &mut results,
+                        &mut queue,
+                        target_id,
+                    )
+                    .is_some()
+                {
+                    return (arena, results);
+                }
             } else {
-                self.expand_level(&level, dir)
-            };
-            // Sequential merge, replaying the frontier-dependent steps in
-            // (state, edge) order — exactly the order the sequential
-            // search visits them.
-            for candidates in expansions {
-                for cand in candidates {
-                    if frontier.get(&cand.next_node).is_some_and(|seen| {
-                        seen.iter().any(|prev| {
-                            dominates(prev, &cand.acc, &self.opts.constraints, &self.decls)
-                        })
-                    }) {
-                        continue;
+                let batch: Vec<u32> = queue.drain(..).collect();
+                let expansions = self.expand_batch(&arena, &batch, dir, &frontier);
+                for (i, cands) in expansions.into_iter().enumerate() {
+                    if self
+                        .merge(
+                            batch[i],
+                            cands,
+                            &mut arena,
+                            &mut frontier,
+                            &mut results,
+                            &mut queue,
+                            target_id,
+                        )
+                        .is_some()
+                    {
+                        return (arena, results);
                     }
-                    let seen = frontier.entry(cand.next_node.clone()).or_default();
-                    seen.retain(|prev| {
-                        !dominates(&cand.acc, prev, &self.opts.constraints, &self.decls)
-                    });
-                    seen.push(cand.acc.clone());
-                    if cand.satisfies {
-                        results
-                            .entry(cand.next_node.clone())
-                            .or_insert_with(|| cand.proof.clone());
-                        if target == Some(&cand.next_node) {
-                            results.insert(cand.next_node, cand.proof);
-                            return results;
-                        }
-                    }
-                    self.stats.states_enqueued += 1;
-                    queue.push_back(State {
-                        node: cand.next_node,
-                        proof: cand.proof,
-                        acc: cand.acc,
-                    });
                 }
             }
         }
-        results
+        (arena, results)
     }
 
-    /// Expands every state of one BFS level on a bounded worker pool.
-    /// Workers claim states through an atomic cursor (cheap work
-    /// stealing: an idle worker takes the next unclaimed state, so uneven
-    /// expansion costs balance out) and never touch shared search state.
-    fn expand_level(&mut self, level: &[State], dir: Direction) -> Vec<Vec<Candidate>> {
-        drbac_obs::static_counter!("drbac.graph.search.parallel_level.count").inc();
-        let workers = self.opts.workers.min(level.len());
+    /// Replays the frontier-dependent part of expansion — dominance
+    /// checks, frontier admission, result insertion, enqueueing — in the
+    /// exact order the sequential search would have used. Returns the
+    /// arena index of a satisfying target state, ending the search.
+    #[allow(clippy::too_many_arguments)]
+    fn merge(
+        &mut self,
+        parent: u32,
+        cands: Vec<Candidate>,
+        arena: &mut Vec<StateRec>,
+        frontier: &mut Frontier,
+        results: &mut FastMap<NodeId, u32>,
+        queue: &mut VecDeque<u32>,
+        target: Option<NodeId>,
+    ) -> Option<u32> {
+        for cand in cands {
+            if frontier.is_dominated(cand.far, &cand.vals) {
+                continue;
+            }
+            frontier.admit(cand.far, cand.vals);
+            let idx = u32::try_from(arena.len()).expect("arena full");
+            let depth = arena[parent as usize].depth + 1;
+            arena.push(StateRec {
+                node: cand.far,
+                pred: parent,
+                step: Some(cand.step),
+                depth,
+                slack: cand.slack,
+                acc: cand.acc,
+            });
+            // A proof only counts as an answer if it satisfies the
+            // constraints; accumulation is monotone, so a violating
+            // prefix can never recover (this keeps unpruned searches
+            // in agreement with pruned ones).
+            if cand.satisfies {
+                if target == Some(cand.far) {
+                    // Overwrite: when the target is the start node, the
+                    // root's trivial proof occupies the slot, but the
+                    // answer is the cycle proof that just arrived.
+                    results.insert(cand.far, idx);
+                    return Some(idx);
+                }
+                results.entry(cand.far).or_insert(idx);
+            }
+            self.stats.states_enqueued += 1;
+            queue.push_back(idx);
+        }
+        None
+    }
+
+    /// Expands every state of one queue batch on a bounded worker pool.
+    /// Workers claim chunks of states through an atomic cursor (cheap
+    /// work stealing: an idle worker takes the next unclaimed chunk, so
+    /// uneven expansion costs balance out) and hand their candidates back
+    /// through their join handles — there is no shared collection mutex,
+    /// so a panicking worker cannot poison anything; its original panic
+    /// payload is re-raised here after every worker has been joined.
+    fn expand_batch(
+        &mut self,
+        arena: &[StateRec],
+        batch: &[u32],
+        dir: Direction,
+        frontier: &Frontier,
+    ) -> Vec<Vec<Candidate>> {
+        drbac_obs::static_counter!("drbac.graph.search.parallel_batch.count").inc();
+        let workers = self.opts.workers.min(batch.len());
         let cursor = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, Vec<Candidate>, SearchStats)>> =
-            Mutex::new(Vec::with_capacity(level.len()));
         let graph = self.graph;
         let opts = self.opts;
         let decls = &self.decls;
+        let mut outputs: Vec<(IndexedCandidates, SearchStats)> = Vec::with_capacity(workers);
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut local = Engine {
-                        graph,
-                        opts,
-                        decls: decls.clone(),
-                        stats: SearchStats::default(),
-                    };
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= level.len() {
-                            break;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Engine {
+                            graph,
+                            opts,
+                            decls: decls.clone(),
+                            stats: SearchStats::default(),
+                        };
+                        let mut out: IndexedCandidates = Vec::new();
+                        loop {
+                            let begin = cursor.fetch_add(PAR_CHUNK, Ordering::Relaxed);
+                            if begin >= batch.len() {
+                                break;
+                            }
+                            let end = (begin + PAR_CHUNK).min(batch.len());
+                            for (i, &state) in batch[begin..end].iter().enumerate() {
+                                let i = begin + i;
+                                out.push((i, local.expand_state(arena, state, dir, frontier)));
+                            }
                         }
-                        let candidates = local.expand_state(&level[idx], dir);
-                        let stats = std::mem::take(&mut local.stats);
-                        collected.lock().unwrap().push((idx, candidates, stats));
+                        (out, local.stats)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(output) => outputs.push(output),
+                    Err(payload) => {
+                        // Keep the first worker's payload; the rest have
+                        // already been joined, so nothing leaks.
+                        panic_payload.get_or_insert(payload);
                     }
-                });
+                }
             }
         });
-        let mut collected = collected.into_inner().unwrap();
-        collected.sort_by_key(|(idx, _, _)| *idx);
-        let mut expansions = Vec::with_capacity(collected.len());
-        for (_, candidates, stats) in collected {
-            self.stats.absorb(stats);
-            expansions.push(candidates);
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
         }
-        expansions
+        let mut collected: IndexedCandidates = Vec::with_capacity(batch.len());
+        for (out, stats) in outputs {
+            self.stats.absorb(stats);
+            collected.extend(out);
+        }
+        collected.sort_unstable_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, cands)| cands).collect()
     }
 
     /// The frontier-independent part of expanding one state: fetch edges,
-    /// absorb attributes, constraint-prune, resolve supports, assemble
-    /// the candidate proof. Support resolution is speculative here — the
-    /// merge may still dominance-prune the candidate — which can only
-    /// increase the work counters, never change results.
-    fn expand_state(&mut self, state: &State, dir: Direction) -> Vec<Candidate> {
+    /// absorb attributes, constraint-prune, dominance-prune against the
+    /// (possibly stale — see [`Frontier::is_dominated`]) frontier, check
+    /// transitive-trust limits, resolve supports. Support resolution is
+    /// speculative under `workers > 1` — the merge may still
+    /// dominance-prune the candidate — which can only increase the work
+    /// counters, never change results.
+    fn expand_state(
+        &mut self,
+        arena: &[StateRec],
+        idx: u32,
+        dir: Direction,
+        frontier: &Frontier,
+    ) -> Vec<Candidate> {
         self.stats.nodes_expanded += 1;
-        if state.proof.chain_len() >= self.opts.max_depth {
+        let state = &arena[idx as usize];
+        if state.depth as usize >= self.opts.max_depth {
             return Vec::new();
         }
         let edges = match dir {
-            Direction::Forward => self.graph.edges_from(&state.node, self.opts.now),
-            Direction::Reverse => self.graph.edges_to(&state.node, self.opts.now),
+            Direction::Forward => self.graph.edges_from_ids(state.node, self.opts.now),
+            Direction::Reverse => self.graph.edges_to_ids(state.node, self.opts.now),
         };
         let mut out = Vec::new();
-        for cert in edges {
+        for edge in edges {
             self.stats.edges_considered += 1;
-            let next_node = match dir {
-                Direction::Forward => cert.delegation().object().clone(),
-                Direction::Reverse => cert.delegation().subject().clone(),
-            };
+            let delegation = edge.cert.delegation();
+
             let mut acc = state.acc.clone();
-            for clause in cert.delegation().clauses() {
+            for clause in delegation.clauses() {
                 acc.absorb_clause(clause);
             }
             if self.opts.prune_by_constraints
@@ -610,44 +716,108 @@ impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
             {
                 continue;
             }
-            let Some(step) = self.build_step(&cert, &mut Vec::new(), 0) else {
-                continue;
-            };
-            let proof = match dir {
-                Direction::Forward => {
-                    let tail = Proof::from_steps(vec![step]).expect("single step");
-                    state
-                        .proof
-                        .clone()
-                        .concat(tail)
-                        .expect("linked by construction")
-                }
-                Direction::Reverse => {
-                    let head = Proof::from_steps(vec![step]).expect("single step");
-                    head.concat(state.proof.clone())
-                        .expect("linked by construction")
-                }
-            };
-            if !proof.respects_extension_depths() {
+
+            let vals = frontier.vals(&acc);
+            if frontier.is_dominated(edge.far, &vals) {
                 continue;
             }
-            let satisfies = proof
-                .accumulate()
-                .satisfies(&self.opts.constraints, &self.decls);
+
+            // Transitive-trust limits, maintained incrementally: drop
+            // chains the validator would reject (forward appends can only
+            // break the new step; reverse prepends shift every position,
+            // i.e. decrement the chain's slack).
+            let limit = delegation.max_extension_depth();
+            let (depth_ok, slack) = match dir {
+                Direction::Forward => {
+                    let pos = u64::from(state.depth);
+                    match limit {
+                        Some(l) if pos > l => (false, 0),
+                        Some(l) => (true, state.slack.min(l - pos)),
+                        None => (true, state.slack),
+                    }
+                }
+                Direction::Reverse => {
+                    if state.slack == 0 {
+                        (false, 0)
+                    } else {
+                        let shifted = state.slack - 1;
+                        (
+                            true,
+                            match limit {
+                                Some(l) => shifted.min(l),
+                                None => shifted,
+                            },
+                        )
+                    }
+                }
+            };
+            if !depth_ok {
+                continue;
+            }
+
+            // Resolve supports; an unusable edge is skipped. Only a
+            // usable step may later join the frontier: an edge whose
+            // support cannot be resolved must not dominance-prune a
+            // viable path with the same accumulation.
+            let Some(step) = self.build_step(&edge.cert, &mut Vec::new(), 0) else {
+                continue;
+            };
+
+            let satisfies = self.chain_satisfies(arena, idx, &step, &acc, dir);
             out.push(Candidate {
-                next_node,
+                far: edge.far,
+                step,
                 acc,
-                proof,
+                vals,
+                slack,
                 satisfies,
             });
         }
         out
     }
 
+    /// Whether the chain ending in `step` (on top of `arena[parent]`)
+    /// satisfies the constraints, evaluated in the same clause order as
+    /// [`Proof::accumulate`] — object end first — so answers are
+    /// bit-identical to materializing the proof and accumulating it.
+    fn chain_satisfies(
+        &self,
+        arena: &[StateRec],
+        parent: u32,
+        step: &ProofStep,
+        acc: &AttrAccumulator,
+        dir: Direction,
+    ) -> bool {
+        if self.opts.constraints.is_empty() {
+            return true;
+        }
+        match dir {
+            // Reverse discovery already runs object→subject, so the
+            // incremental accumulator is in `accumulate()` order.
+            Direction::Reverse => acc.satisfies(&self.opts.constraints, &self.decls),
+            // Forward discovery is subject→object; walking the parent
+            // chain from the new step visits clauses object-end first.
+            Direction::Forward => {
+                let mut chain_acc = AttrAccumulator::new();
+                for clause in step.cert().delegation().clauses() {
+                    chain_acc.absorb_clause(clause);
+                }
+                let mut cur = parent as usize;
+                while let Some(s) = &arena[cur].step {
+                    for clause in s.cert().delegation().clauses() {
+                        chain_acc.absorb_clause(clause);
+                    }
+                    cur = arena[cur].pred as usize;
+                }
+                chain_acc.satisfies(&self.opts.constraints, &self.decls)
+            }
+        }
+    }
+
     /// Wraps a credential in a proof step, attaching support proofs for
     /// third-party authority and foreign attribute clauses. Provided
     /// supports are preferred; otherwise a recursive search runs.
-    fn build_step(
+    pub(crate) fn build_step(
         &mut self,
         cert: &Arc<SignedDelegation>,
         resolving: &mut Vec<(EntityId, Node)>,
@@ -709,6 +879,8 @@ impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
 
     /// A minimal forward search used only for support resolution (no
     /// attribute constraints; supports authorize, they don't modulate).
+    /// Same parent-pointer scheme as the main search: the one support
+    /// proof that is returned is assembled at the end.
     fn support_search(
         &mut self,
         start: &Node,
@@ -716,35 +888,70 @@ impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
         resolving: &mut Vec<(EntityId, Node)>,
         depth: usize,
     ) -> Option<Proof> {
-        let mut visited: HashSet<Node> = HashSet::new();
-        let mut queue: VecDeque<(Node, Proof)> = VecDeque::new();
-        visited.insert(start.clone());
-        queue.push_back((start.clone(), Proof::trivial(start.clone())));
-        while let Some((node, proof)) = queue.pop_front() {
+        struct SupRec {
+            node: NodeId,
+            pred: u32,
+            step: Option<ProofStep>,
+            depth: u32,
+        }
+        let interner = self.graph.interner();
+        let start_id = interner.intern(start);
+        let target_id = interner.intern(target);
+        let mut arena: Vec<SupRec> = vec![SupRec {
+            node: start_id,
+            pred: NO_PRED,
+            step: None,
+            depth: 0,
+        }];
+        let mut visited: FastSet<NodeId> = FastSet::default();
+        visited.insert(start_id);
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(0);
+        while let Some(idx) = queue.pop_front() {
             self.stats.nodes_expanded += 1;
-            if proof.chain_len() >= self.opts.max_depth {
+            let (node, state_depth) = {
+                let s = &arena[idx as usize];
+                (s.node, s.depth)
+            };
+            if state_depth as usize >= self.opts.max_depth {
                 continue;
             }
-            let edges = self.graph.edges_from(&node, self.opts.now);
-            for cert in edges {
+            for edge in self.graph.edges_from_ids(node, self.opts.now) {
                 self.stats.edges_considered += 1;
-                let next = cert.delegation().object().clone();
-                if visited.contains(&next) {
+                if visited.contains(&edge.far) {
                     continue;
                 }
-                let Some(step) = self.build_step(&cert, resolving, depth + 1) else {
+                // Forward append: only the new step can break its own
+                // transitive-trust limit.
+                if edge
+                    .cert
+                    .delegation()
+                    .max_extension_depth()
+                    .is_some_and(|l| u64::from(state_depth) > l)
+                {
+                    continue;
+                }
+                let Some(step) = self.build_step(&edge.cert, resolving, depth + 1) else {
                     continue;
                 };
-                let tail = Proof::from_steps(vec![step]).expect("single step");
-                let next_proof = proof.clone().concat(tail).expect("linked");
-                if !next_proof.respects_extension_depths() {
-                    continue;
+                if edge.far == target_id {
+                    let mut steps = vec![step];
+                    let mut cur = idx as usize;
+                    while let Some(s) = &arena[cur].step {
+                        steps.push(s.clone());
+                        cur = arena[cur].pred as usize;
+                    }
+                    steps.reverse();
+                    return Some(Proof::from_steps(steps).expect("linked"));
                 }
-                if &next == target {
-                    return Some(next_proof);
-                }
-                visited.insert(next.clone());
-                queue.push_back((next, next_proof));
+                visited.insert(edge.far);
+                arena.push(SupRec {
+                    node: edge.far,
+                    pred: idx,
+                    step: Some(step),
+                    depth: state_depth + 1,
+                });
+                queue.push_back(u32::try_from(arena.len() - 1).expect("arena full"));
             }
         }
         None
@@ -754,8 +961,10 @@ impl<'g, G: GraphView + ?Sized> Engine<'g, G> {
 /// `a` dominates `b` if, for every constrained attribute, `a`'s effective
 /// value is at least `b`'s — i.e. `b` cannot satisfy anything `a` cannot.
 /// With no constraints all accumulations are equivalent, so any previous
-/// visit dominates.
-fn dominates(
+/// visit dominates. (The live engine compares precomputed effective-value
+/// vectors — see [`Frontier`] — this form is kept for the reference
+/// engine and tests.)
+pub(crate) fn dominates(
     a: &AttrAccumulator,
     b: &AttrAccumulator,
     constraints: &[AttrConstraint],
@@ -772,14 +981,13 @@ fn dominates(
     })
 }
 
-fn natural_base(op: AttrOp) -> f64 {
+pub(crate) fn natural_base(op: AttrOp) -> f64 {
     match op {
         AttrOp::Subtract => 0.0,
         AttrOp::Scale => 1.0,
         AttrOp::Min => f64::INFINITY,
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1556,6 +1764,152 @@ mod tests {
             let ka = order_key(&w[0], w[0].object());
             let kb = order_key(&w[1], w[1].object());
             assert!(ka <= kb, "sorted by (chain_len, ids, endpoint)");
+        }
+    }
+
+    /// A view that injects a panic while expanding one specific node,
+    /// standing in for any worker-thread fault (bug, OOM-adjacent abort in
+    /// a dependency, etc.).
+    struct PoisonedView<'a> {
+        inner: &'a DelegationGraph,
+        poison: Node,
+    }
+
+    impl GraphView for PoisonedView<'_> {
+        fn interner(&self) -> &crate::intern::NodeInterner {
+            GraphView::interner(self.inner)
+        }
+
+        fn edges_from_ids(&self, node: crate::intern::NodeId, now: Timestamp) -> Vec<crate::view::InternedEdge> {
+            if GraphView::interner(self.inner).resolve(node) == self.poison {
+                panic!("injected fault while expanding poisoned node");
+            }
+            self.inner.edges_from_ids(node, now)
+        }
+
+        fn edges_to_ids(&self, node: crate::intern::NodeId, now: Timestamp) -> Vec<crate::view::InternedEdge> {
+            self.inner.edges_to_ids(node, now)
+        }
+
+        fn support_for(&self, issuer: EntityId, right: &Node) -> Option<Proof> {
+            self.inner.support_for(issuer, right)
+        }
+
+        fn id_revoked(&self, id: DelegationId) -> bool {
+            GraphView::id_revoked(self.inner, id)
+        }
+
+        fn declaration_set(&self) -> DeclarationSet {
+            self.inner.declaration_set()
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        // Regression: a panicking search worker used to poison the shared
+        // collection mutex, so the caller's unwrap reported an opaque
+        // `PoisonError` instead of the worker's own panic. The batched
+        // design has no shared mutex; the payload must surface verbatim.
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let target = f.a.role("target");
+        for i in 0..4 {
+            let mid = f.a.role(&format!("mid{i}"));
+            g.insert(
+                f.a.delegate(Node::entity(&f.maria), Node::role(mid.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+            g.insert(
+                f.a.delegate(Node::role(mid), Node::role(target.clone()))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+        }
+        let view = PoisonedView {
+            inner: &g,
+            poison: Node::role(f.a.role("mid2")),
+        };
+        let o = opts().with_workers(4);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            direct_query_on(&view, &Node::entity(&f.maria), &Node::role(target.clone()), &o)
+        }))
+        .expect_err("worker panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected fault"),
+            "caller must see the worker's own payload, got: {msg:?}"
+        );
+        // The graph itself holds no poisoned state: the same parallel
+        // query against the unpoisoned view still succeeds.
+        let (proof, _) = g.direct_query(&Node::entity(&f.maria), &Node::role(target), &o);
+        assert!(proof.is_some());
+    }
+
+    #[test]
+    fn incomparable_attribute_fanout_keeps_pareto_alternatives() {
+        // Ten parallel edges whose (BW, CPU) pairs are pairwise
+        // incomparable (BW falls as CPU rises): none may dominance-prune
+        // another, and every threshold pair picks out exactly its edge.
+        let f = fx();
+        let mut g = DelegationGraph::new();
+        let bw = f.a.attr("BW", AttrOp::Min);
+        let cpu = f.a.attr("CPU", AttrOp::Min);
+        g.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+        g.insert_declaration(&AttrDeclaration::new(cpu.clone(), 1000.0).unwrap());
+        let hub = f.a.role("hub");
+        let target = f.a.role("target");
+        for i in 0..10u32 {
+            g.insert(
+                f.a.delegate(Node::entity(&f.maria), Node::role(hub.clone()))
+                    .with_attr(bw.clone(), 1000.0 - 10.0 * f64::from(i))
+                    .unwrap()
+                    .with_attr(cpu.clone(), 10.0 + 10.0 * f64::from(i))
+                    .unwrap()
+                    .serial(u64::from(i))
+                    .sign(&f.a)
+                    .unwrap(),
+            );
+        }
+        g.insert(
+            f.a.delegate(Node::role(hub.clone()), Node::role(target.clone()))
+                .sign(&f.a)
+                .unwrap(),
+        );
+
+        // Loose thresholds admit every edge: all ten incomparable
+        // accumulations must coexist on the hub's frontier.
+        let loose = opts()
+            .with_constraint(AttrConstraint::at_least(bw.clone(), 910.0))
+            .with_constraint(AttrConstraint::at_least(cpu.clone(), 10.0));
+        let (proof, stats) =
+            g.direct_query(&Node::entity(&f.maria), &Node::role(target.clone()), &loose);
+        assert!(proof.is_some());
+        assert!(
+            stats.states_enqueued >= 10,
+            "all incomparable arrivals survive the frontier: {stats:?}"
+        );
+
+        // Tight threshold pairs are satisfied by exactly one edge each.
+        for j in [0u32, 4, 9] {
+            let o = opts()
+                .with_constraint(AttrConstraint::at_least(
+                    bw.clone(),
+                    1000.0 - 10.0 * f64::from(j),
+                ))
+                .with_constraint(AttrConstraint::at_least(
+                    cpu.clone(),
+                    10.0 + 10.0 * f64::from(j),
+                ));
+            let (proof, _) =
+                g.direct_query(&Node::entity(&f.maria), &Node::role(target.clone()), &o);
+            let proof = proof.unwrap_or_else(|| panic!("edge {j} satisfies both constraints"));
+            let acc = proof.accumulate();
+            assert_eq!(acc.effective(&bw, 1000.0), 1000.0 - 10.0 * f64::from(j));
+            assert_eq!(acc.effective(&cpu, 1000.0), 10.0 + 10.0 * f64::from(j));
         }
     }
 }

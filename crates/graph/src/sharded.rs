@@ -25,7 +25,6 @@
 
 use std::collections::BTreeSet;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -35,8 +34,9 @@ use drbac_core::{
     Timestamp,
 };
 
+use crate::intern::{namespace_hash, FastMap, NodeId, NodeInterner};
 use crate::search::{direct_query_on, object_query_on, subject_query_on};
-use crate::view::GraphView;
+use crate::view::{GraphView, InternedEdge};
 use crate::{DelegationGraph, GraphMetrics, SearchOptions, SearchStats};
 
 /// Default number of edge/id shards.
@@ -44,8 +44,11 @@ const DEFAULT_SHARDS: usize = 16;
 
 #[derive(Debug, Default)]
 struct EdgeShard {
-    by_subject: HashMap<Node, Vec<Arc<SignedDelegation>>>,
-    by_object: HashMap<Node, Vec<Arc<SignedDelegation>>>,
+    /// Adjacency keyed by interned subject id; each entry carries the
+    /// object endpoint pre-interned so searches never hash a `Node`.
+    by_subject: FastMap<NodeId, Vec<InternedEdge>>,
+    /// Adjacency keyed by interned object id; `far` is the subject.
+    by_object: FastMap<NodeId, Vec<InternedEdge>>,
     supports: HashMap<(EntityId, Node), Proof>,
 }
 
@@ -63,6 +66,10 @@ pub struct ShardedGraph {
     edge_shards: Box<[RwLock<EdgeShard>]>,
     id_shards: Box<[RwLock<IdShard>]>,
     declarations: RwLock<DeclarationSet>,
+    /// Node ⇄ dense-id table. Append-only, so ids held by an in-flight
+    /// search stay valid across concurrent writes; the cached namespace
+    /// hash makes shard routing a table lookup.
+    interner: NodeInterner,
 }
 
 impl Default for ShardedGraph {
@@ -84,6 +91,7 @@ impl ShardedGraph {
             edge_shards: (0..n).map(|_| RwLock::new(EdgeShard::default())).collect(),
             id_shards: (0..n).map(|_| RwLock::new(IdShard::default())).collect(),
             declarations: RwLock::new(DeclarationSet::default()),
+            interner: NodeInterner::new(),
         }
     }
 
@@ -92,14 +100,15 @@ impl ShardedGraph {
         self.edge_shards.len()
     }
 
-    fn edge_shard_of(&self, node: &Node) -> &RwLock<EdgeShard> {
-        self.edge_shard_of_entity(node.namespace())
+    /// Shard routing by interned id: the namespace hash was computed once
+    /// at intern time, so this is a table lookup, not a fingerprint hash.
+    fn edge_shard_of_id(&self, id: NodeId) -> &RwLock<EdgeShard> {
+        let idx = (self.interner.ns_hash(id) as usize) % self.edge_shards.len();
+        &self.edge_shards[idx]
     }
 
     fn edge_shard_of_entity(&self, entity: EntityId) -> &RwLock<EdgeShard> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        entity.hash(&mut h);
-        let idx = (h.finish() as usize) % self.edge_shards.len();
+        let idx = (namespace_hash(entity) as usize) % self.edge_shards.len();
         &self.edge_shards[idx]
     }
 
@@ -136,20 +145,23 @@ impl ShardedGraph {
             }
             ids.by_id.insert(id, Arc::clone(&cert));
         }
-        let subject = cert.delegation().subject().clone();
-        let object = cert.delegation().object().clone();
-        self.edge_shard_of(&subject)
+        let subject = self.interner.intern(cert.delegation().subject());
+        let object = self.interner.intern(cert.delegation().object());
+        self.edge_shard_of_id(subject)
             .write()
             .by_subject
             .entry(subject)
             .or_default()
-            .push(Arc::clone(&cert));
-        self.edge_shard_of(&object)
+            .push(InternedEdge {
+                cert: Arc::clone(&cert),
+                far: object,
+            });
+        self.edge_shard_of_id(object)
             .write()
             .by_object
             .entry(object)
             .or_default()
-            .push(cert);
+            .push(InternedEdge { cert, far: subject });
         id
     }
 
@@ -232,18 +244,18 @@ impl ShardedGraph {
     /// Returns the removed credential, if present.
     pub fn remove(&self, id: DelegationId) -> Option<Arc<SignedDelegation>> {
         let cert = self.id_shard_of(id).write().by_id.remove(&id)?;
-        let subject = cert.delegation().subject();
-        let object = cert.delegation().object();
+        let subject = self.interner.intern(cert.delegation().subject());
+        let object = self.interner.intern(cert.delegation().object());
         {
-            let mut shard = self.edge_shard_of(subject).write();
-            if let Some(v) = shard.by_subject.get_mut(subject) {
-                v.retain(|c| c.id() != id);
+            let mut shard = self.edge_shard_of_id(subject).write();
+            if let Some(v) = shard.by_subject.get_mut(&subject) {
+                v.retain(|e| e.cert.id() != id);
             }
         }
         {
-            let mut shard = self.edge_shard_of(object).write();
-            if let Some(v) = shard.by_object.get_mut(object) {
-                v.retain(|c| c.id() != id);
+            let mut shard = self.edge_shard_of_id(object).write();
+            if let Some(v) = shard.by_object.get_mut(&object) {
+                v.retain(|e| e.cert.id() != id);
             }
         }
         Some(cert)
@@ -317,10 +329,16 @@ impl ShardedGraph {
         for shard in self.edge_shards.iter() {
             let guard = shard.read();
             for (k, v) in &guard.by_subject {
-                by_subject.insert(k.clone(), v.clone());
+                by_subject.insert(
+                    self.interner.resolve(*k),
+                    v.iter().map(|e| Arc::clone(&e.cert)).collect(),
+                );
             }
             for (k, v) in &guard.by_object {
-                by_object.insert(k.clone(), v.clone());
+                by_object.insert(
+                    self.interner.resolve(*k),
+                    v.iter().map(|e| Arc::clone(&e.cert)).collect(),
+                );
             }
             for (k, v) in &guard.supports {
                 supports.insert(k.clone(), v.clone());
@@ -342,6 +360,7 @@ impl ShardedGraph {
             supports,
             declarations: self.declarations.read().clone(),
             revoked,
+            interner: NodeInterner::new(),
         }
     }
 
@@ -374,28 +393,28 @@ impl ShardedGraph {
 }
 
 impl GraphView for ShardedGraph {
-    fn edges_from(&self, node: &Node, now: Timestamp) -> Vec<Arc<SignedDelegation>> {
-        let certs: Vec<Arc<SignedDelegation>> = {
-            let shard = self.edge_shard_of(node);
-            let guard = self.read_edges(shard);
-            guard.by_subject.get(node).cloned().unwrap_or_default()
-        };
-        certs
-            .into_iter()
-            .filter(|c| !c.delegation().is_expired(now) && !self.is_revoked(c.id()))
-            .collect()
+    fn interner(&self) -> &NodeInterner {
+        &self.interner
     }
 
-    fn edges_to(&self, node: &Node, now: Timestamp) -> Vec<Arc<SignedDelegation>> {
-        let certs: Vec<Arc<SignedDelegation>> = {
-            let shard = self.edge_shard_of(node);
+    fn edges_from_ids(&self, node: NodeId, now: Timestamp) -> Vec<InternedEdge> {
+        let mut edges: Vec<InternedEdge> = {
+            let shard = self.edge_shard_of_id(node);
             let guard = self.read_edges(shard);
-            guard.by_object.get(node).cloned().unwrap_or_default()
+            guard.by_subject.get(&node).cloned().unwrap_or_default()
         };
-        certs
-            .into_iter()
-            .filter(|c| !c.delegation().is_expired(now) && !self.is_revoked(c.id()))
-            .collect()
+        edges.retain(|e| !e.cert.delegation().is_expired(now) && !self.is_revoked(e.cert.id()));
+        edges
+    }
+
+    fn edges_to_ids(&self, node: NodeId, now: Timestamp) -> Vec<InternedEdge> {
+        let mut edges: Vec<InternedEdge> = {
+            let shard = self.edge_shard_of_id(node);
+            let guard = self.read_edges(shard);
+            guard.by_object.get(&node).cloned().unwrap_or_default()
+        };
+        edges.retain(|e| !e.cert.delegation().is_expired(now) && !self.is_revoked(e.cert.id()));
+        edges
     }
 
     fn support_for(&self, issuer: EntityId, right: &Node) -> Option<Proof> {

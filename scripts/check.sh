@@ -28,7 +28,10 @@ done
 
 echo "== bench smoke (proof engine + daemon load) =="
 scripts/bench_record.sh all --smoke >/dev/null
-test -s BENCH_proof_engine.json
+test -s target/BENCH_proof_engine.smoke.json
+
+echo "== perf guard (cold proof search vs committed artifact) =="
+target/release/proof_engine_record --guard
 
 echo "== durable store (unit suite + on-disk verify) =="
 cargo test -q -p drbac-store

@@ -269,7 +269,27 @@ fn racing_provers_agree_with_a_single_threaded_oracle() {
         }
     });
 
-    // Quiesced. Build the oracle: a fresh wallet on the same clock with
+    // Quiesced. A pathological schedule can starve the writers until the
+    // provers have burned all their iterations on negative answers (each
+    // cold negative is microseconds on a small graph), leaving no
+    // monitors collected during the race — so take one guaranteed
+    // post-quiesce monitor per user; the revocation sweep below then
+    // always has watched proofs to check.
+    let role = Node::role(owner.role("race"));
+    for user in &users {
+        if let Some(monitor) = wallet.query_direct(&Node::entity(user.as_ref()), &role, &[]) {
+            let fired = Arc::new(AtomicUsize::new(0));
+            {
+                let fired = Arc::clone(&fired);
+                monitor.on_invalidate(move |_| {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            monitors.lock().unwrap().push((monitor, fired));
+        }
+    }
+
+    // Build the oracle: a fresh wallet on the same clock with
     // the cache off and a single-threaded search pool, fed the exported
     // image (credentials, supports, and revocation marks).
     let oracle = Wallet::new("oracle", clock);
@@ -278,7 +298,6 @@ fn racing_provers_agree_with_a_single_threaded_oracle() {
     let report = oracle.import_bytes(&wallet.export_bytes()).unwrap();
     assert_eq!(report.credentials, users.len() * per_user);
 
-    let role = Node::role(owner.role("race"));
     for user in &users {
         let subject = Node::entity(user.as_ref());
         // Grant/deny decisions agree (the racing wallet answers through
@@ -363,4 +382,189 @@ fn racing_provers_agree_with_a_single_threaded_oracle() {
         }
     }
     assert!(checked > 0, "the sweep invalidated at least one monitored proof");
+}
+
+/// Cross-seed, cross-pool-size engine oracle: the optimized search
+/// engine (interned ids, parent-pointer proof assembly, batched frontier
+/// expansion) must produce **byte-identical** proofs to the preserved
+/// pre-interning reference engine (`drbac::graph::reference`) on
+/// randomized tangled graphs — for every query form, with and without
+/// constraints, at every worker-pool size. Seeds come from
+/// `DRBAC_CHAOS_SEED` (default 2002) plus two derived values, so CI runs
+/// with different seeds cover different graph shapes.
+#[test]
+fn optimized_engine_matches_reference_engine_byte_for_byte() {
+    use drbac::core::{AttrConstraint, AttrDeclaration, AttrOp, Timestamp};
+    use drbac::graph::{direct_query_on, object_query_on, reference, subject_query_on};
+    use drbac::graph::{DelegationGraph, SearchOptions};
+    use rand::Rng;
+
+    let base: u64 = std::env::var("DRBAC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2002);
+    let g = SchnorrGroup::test_256();
+
+    for seed in [base, base ^ 0x9e37, base.wrapping_add(17)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let owner = LocalEntity::generate("Own", g.clone(), &mut rng);
+        let partner = LocalEntity::generate("Par", g.clone(), &mut rng);
+        let maria = LocalEntity::generate("Maria", g.clone(), &mut rng);
+        let bw = owner.attr("BW", AttrOp::Min);
+        let mut graph = DelegationGraph::new();
+        graph.insert_declaration(&AttrDeclaration::new(bw.clone(), 1000.0).unwrap());
+
+        // Random layered mesh: 12 roles, 40 random edges (possible
+        // cycles, parallel edges, dead ends), a third of them carrying
+        // attributes, a fifth carrying transitive-trust limits.
+        let roles: Vec<Node> = (0..12)
+            .map(|i| Node::role(owner.role(&format!("s{seed}r{i}"))))
+            .collect();
+        let mut nodes: Vec<Node> = vec![Node::entity(&maria)];
+        nodes.extend(roles.iter().cloned());
+        for serial in 0..40u64 {
+            let from = nodes[rng.gen_range(0..nodes.len())].clone();
+            let to = roles[rng.gen_range(0..roles.len())].clone();
+            if from == to {
+                continue;
+            }
+            let mut b = owner.delegate(from, to).serial(serial);
+            if rng.gen_range(0..3u32) == 0 {
+                b = b.with_attr(bw.clone(), rng.gen_range(50.0..900.0)).unwrap();
+            }
+            if rng.gen_range(0..5u32) == 0 {
+                b = b.max_extension_depth(rng.gen_range(0..3u64));
+            }
+            graph.insert(b.sign(&owner).unwrap());
+        }
+        // A third-party edge whose support is discoverable in the graph.
+        graph.insert(
+            owner
+                .delegate(
+                    Node::entity(&partner),
+                    Node::role_admin(owner.role(&format!("s{seed}r0"))),
+                )
+                .serial(100)
+                .sign(&owner)
+                .unwrap(),
+        );
+        graph.insert(
+            partner
+                .delegate(Node::entity(&maria), roles[0].clone())
+                .serial(101)
+                .sign(&partner)
+                .unwrap(),
+        );
+
+        let subject = Node::entity(&maria);
+        let variants = [
+            SearchOptions::at(Timestamp(0)),
+            SearchOptions::at(Timestamp(0))
+                .with_constraint(AttrConstraint::at_least(bw.clone(), 200.0)),
+        ];
+        for opts in &variants {
+            let bytes = |p: &Proof| p.to_bytes();
+            for workers in [1usize, 2, 4, 8] {
+                let o = opts.clone().with_workers(workers);
+                for target in &nodes {
+                    let (want, _) = reference::direct_query_ref(&graph, &subject, target, opts);
+                    let (got, _) = direct_query_on(&graph, &subject, target, &o);
+                    assert_eq!(
+                        want.as_ref().map(bytes),
+                        got.as_ref().map(bytes),
+                        "seed {seed} workers {workers}: direct_query({target}) diverged"
+                    );
+                }
+                let (want, _) = reference::subject_query_ref(&graph, &subject, opts);
+                let (got, _) = subject_query_on(&graph, &subject, &o);
+                assert_eq!(
+                    want.iter().map(bytes).collect::<Vec<_>>(),
+                    got.iter().map(bytes).collect::<Vec<_>>(),
+                    "seed {seed} workers {workers}: subject_query diverged"
+                );
+                for target in &roles {
+                    let (want, _) = reference::object_query_ref(&graph, target, opts);
+                    let (got, _) = object_query_on(&graph, target, &o);
+                    assert_eq!(
+                        want.iter().map(bytes).collect::<Vec<_>>(),
+                        got.iter().map(bytes).collect::<Vec<_>>(),
+                        "seed {seed} workers {workers}: object_query({target}) diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Singleflight: a flash crowd of identical cold queries against one
+/// wallet must coalesce onto one leader search instead of each running
+/// its own, and every caller must still get the right (validated) answer.
+#[test]
+fn identical_cold_queries_coalesce_onto_one_search() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    let g = SchnorrGroup::test_256();
+    let owner = LocalEntity::generate("Owner", g.clone(), &mut rng);
+    let user = LocalEntity::generate("User", g, &mut rng);
+    let wallet = Wallet::new("coalesce", SimClock::new());
+    // A little depth so the leader's search is not instantaneous.
+    let mut prev = Node::entity(&user);
+    for i in 0..4 {
+        let r = Node::role(owner.role(&format!("l{i}")));
+        wallet
+            .publish(
+                owner.delegate(prev.clone(), r.clone()).sign(&owner).unwrap(),
+                vec![],
+            )
+            .unwrap();
+        prev = r;
+    }
+    let target = prev;
+    // Cache off: every query takes the cold path, so coalescing (not the
+    // answer cache) is what's exercised.
+    wallet.set_query_cache(false);
+
+    // Counted locally through the per-query stats (a coalesced follower
+    // reports zero search work; a leader expands at least the subject
+    // node) — the global obs counters are process-wide and other tests
+    // in this binary would pollute a delta.
+    let hits = Arc::new(AtomicUsize::new(0));
+    let searched = Arc::new(AtomicUsize::new(0));
+    let coalesced = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let wallet = wallet.clone();
+            let subject = Node::entity(&user);
+            let target = target.clone();
+            let hits = Arc::clone(&hits);
+            let searched = Arc::clone(&searched);
+            let coalesced = Arc::clone(&coalesced);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let (monitor, stats) =
+                        wallet.query_direct_with_stats(&subject, &target, &[]);
+                    if monitor.is_some() {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if stats.nodes_expanded > 0 {
+                        searched.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 8 * 50, "every caller got the proof");
+    let searched = searched.load(Ordering::Relaxed);
+    let coalesced = coalesced.load(Ordering::Relaxed);
+    assert_eq!(
+        searched + coalesced,
+        8 * 50,
+        "cache disabled: every query either searched or coalesced"
+    );
+    assert!(searched > 0, "somebody led a search");
+    assert!(
+        coalesced > 0,
+        "with 8 threads hammering one key, some queries must have coalesced"
+    );
 }
