@@ -63,20 +63,28 @@ impl DelegationGraph {
 
     /// Inserts a delegation. Returns its id; idempotent for identical
     /// delegations.
+    ///
+    /// Adjacency lists are kept ordered by delegation id so search
+    /// answers — including which of several parallel edges a proof uses —
+    /// depend only on the delegation set, never on insertion order.
     pub fn insert(&mut self, cert: impl Into<Arc<SignedDelegation>>) -> DelegationId {
         let cert: Arc<SignedDelegation> = cert.into();
         let id = cert.id();
         if self.by_id.contains_key(&id) {
             return id;
         }
-        self.by_subject
+        let subject_list = self
+            .by_subject
             .entry(cert.delegation().subject().clone())
-            .or_default()
-            .push(Arc::clone(&cert));
-        self.by_object
+            .or_default();
+        let pos = subject_list.partition_point(|c| c.id() < id);
+        subject_list.insert(pos, Arc::clone(&cert));
+        let object_list = self
+            .by_object
             .entry(cert.delegation().object().clone())
-            .or_default()
-            .push(Arc::clone(&cert));
+            .or_default();
+        let pos = object_list.partition_point(|c| c.id() < id);
+        object_list.insert(pos, Arc::clone(&cert));
         self.by_id.insert(id, cert);
         id
     }

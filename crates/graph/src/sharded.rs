@@ -52,6 +52,17 @@ struct EdgeShard {
     supports: HashMap<(EntityId, Node), Proof>,
 }
 
+/// Inserts `edge` into an adjacency list at its id-ordered position.
+/// Lists stay sorted by delegation id so iteration order — and thus every
+/// proof-search tie-break among parallel edges — is independent of the
+/// order delegations arrived in. Ids are unique per list (duplicates are
+/// rejected by the `by_id` check before edges are touched).
+fn insert_edge_ordered(list: &mut Vec<InternedEdge>, edge: InternedEdge) {
+    let id = edge.cert.id();
+    let pos = list.partition_point(|e| e.cert.id() < id);
+    list.insert(pos, edge);
+}
+
 #[derive(Debug, Default)]
 struct IdShard {
     by_id: HashMap<DelegationId, Arc<SignedDelegation>>,
@@ -135,6 +146,13 @@ impl ShardedGraph {
 
     /// Inserts a delegation. Returns its id; idempotent for identical
     /// delegations.
+    ///
+    /// Adjacency lists are kept ordered by delegation id, so the graph —
+    /// and therefore every search answer, including which of several
+    /// parallel edges a proof happens to use — is a pure function of the
+    /// delegation *set*, not of insertion order. Journal replay and
+    /// index-driven hydration insert in different orders and must still
+    /// produce byte-identical proofs.
     pub fn insert(&self, cert: impl Into<Arc<SignedDelegation>>) -> DelegationId {
         let cert: Arc<SignedDelegation> = cert.into();
         let id = cert.id();
@@ -147,21 +165,25 @@ impl ShardedGraph {
         }
         let subject = self.interner.intern(cert.delegation().subject());
         let object = self.interner.intern(cert.delegation().object());
-        self.edge_shard_of_id(subject)
-            .write()
-            .by_subject
-            .entry(subject)
-            .or_default()
-            .push(InternedEdge {
+        insert_edge_ordered(
+            self.edge_shard_of_id(subject)
+                .write()
+                .by_subject
+                .entry(subject)
+                .or_default(),
+            InternedEdge {
                 cert: Arc::clone(&cert),
                 far: object,
-            });
-        self.edge_shard_of_id(object)
-            .write()
-            .by_object
-            .entry(object)
-            .or_default()
-            .push(InternedEdge { cert, far: subject });
+            },
+        );
+        insert_edge_ordered(
+            self.edge_shard_of_id(object)
+                .write()
+                .by_object
+                .entry(object)
+                .or_default(),
+            InternedEdge { cert, far: subject },
+        );
         id
     }
 
@@ -288,6 +310,19 @@ impl ShardedGraph {
             out.extend(shard.read().by_id.values().cloned());
         }
         out
+    }
+
+    /// Streams every stored delegation through `f`, one shard at a time
+    /// (order unspecified), without materializing the whole set. Used by
+    /// index rebuilds and snapshot-adjacent sweeps over large wallets.
+    /// The shard lock is held across each callback; don't re-enter the
+    /// graph from `f`.
+    pub fn for_each_cert(&self, f: &mut dyn FnMut(&Arc<SignedDelegation>)) {
+        for shard in self.id_shards.iter() {
+            for cert in shard.read().by_id.values() {
+                f(cert);
+            }
+        }
     }
 
     /// Drops expired delegations given the current time; returns how many

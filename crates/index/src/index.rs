@@ -1,0 +1,929 @@
+//! The delegation index: secondary indexes over the wallet's journal,
+//! maintained one atomic table batch per [`StoreEvent`].
+//!
+//! The index is a *projection* of the write-ahead log. `m/watermark`
+//! records the last journal sequence number applied; a wallet boots by
+//! opening the index, seeding the cheap-but-global state (declarations,
+//! support proofs, revocation marks, absorbed-cert coherence), and
+//! replaying only the log records past the watermark. Credentials
+//! themselves hydrate lazily from `c/` rows as queries touch their
+//! graph neighborhoods — decoded *without* re-verifying signatures,
+//! because every indexed credential was admission-verified before it
+//! was journaled (the same trust argument the snapshot restore path
+//! already leans on is deliberately *not* made here: snapshots re-verify
+//! because images travel between wallets; the index never leaves the
+//! wallet that wrote it).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use drbac_core::{
+    DelegationId, EntityId, Node, Proof, SignedAttrDeclaration, SignedDelegation, Timestamp,
+    WalletAddr,
+};
+use drbac_store::{StoreError, StoreEvent};
+use parking_lot::Mutex;
+
+use crate::keys::{self, CertRow};
+use crate::table::{TableBackend, TableOp, TableStats};
+
+/// Current on-table format version, stored under `m/format`.
+const FORMAT_VERSION: u64 = 1;
+
+/// A delegation mark under `r/`: the id was revoked or expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// The delegation was revoked (credential retained, edges skipped).
+    Revoked,
+    /// The delegation expired and was dropped.
+    Expired,
+}
+
+/// Consistency verdict from [`DelegationIndex::verify_against`],
+/// re-exported into the store's `VerifyReport` by the CLI.
+pub use drbac_store::IndexCheck;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MetaCache {
+    watermark: Option<u64>,
+    decl_next: u64,
+    support_next: u64,
+}
+
+/// Secondary indexes over a wallet journal, behind any
+/// [`TableBackend`].
+pub struct DelegationIndex {
+    table: Box<dyn TableBackend>,
+    meta: Mutex<MetaCache>,
+}
+
+impl DelegationIndex {
+    /// Opens the index stored in `table`, reading its metadata row. A
+    /// fresh (empty) table is a valid empty index with no watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend I/O failure, or [`StoreError::Corrupt`]
+    /// for an unknown format version.
+    pub fn open(table: Box<dyn TableBackend>) -> Result<DelegationIndex, StoreError> {
+        let format = read_u64(&*table, &keys::meta_key("format"))?;
+        match format {
+            None => {
+                // Fresh table: stamp the version eagerly so a crash
+                // between first apply and first flush still leaves a
+                // self-describing file.
+                table.apply(&[put_u64(keys::meta_key("format"), FORMAT_VERSION)])?;
+            }
+            Some(FORMAT_VERSION) => {}
+            Some(v) => {
+                return Err(StoreError::Corrupt(format!(
+                    "unsupported index format version {v}"
+                )))
+            }
+        }
+        let meta = MetaCache {
+            watermark: read_u64(&*table, &keys::meta_key("watermark"))?,
+            decl_next: read_u64(&*table, &keys::meta_key("decl_next"))?.unwrap_or(0),
+            support_next: read_u64(&*table, &keys::meta_key("support_next"))?.unwrap_or(0),
+        };
+        Ok(DelegationIndex {
+            table,
+            meta: Mutex::new(meta),
+        })
+    }
+
+    /// The last journal sequence number applied, if any event ever was.
+    pub fn watermark(&self) -> Option<u64> {
+        self.meta.lock().watermark
+    }
+
+    /// Applies one journaled event at sequence `seq` as a single atomic
+    /// batch (one CRC-framed record on the file backend). Re-applying an
+    /// already-applied event is harmless — every op is an idempotent
+    /// put or delete — which is what makes log-tail catch-up after a
+    /// crash between WAL append and index apply safe.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend I/O failure; the caller (the wallet)
+    /// degrades to graph-walk on any error here.
+    pub fn apply(&self, seq: u64, event: &StoreEvent) -> Result<(), StoreError> {
+        drbac_obs::static_counter!("drbac.index.apply.count").inc();
+        let mut meta = self.meta.lock();
+        let mut staged = *meta;
+        let mut batch = Vec::new();
+        match event {
+            StoreEvent::Publish(cert) => self.stage_cert(&mut batch, seq, cert),
+            StoreEvent::Declare(decl) => {
+                batch.push(TableOp::Put {
+                    key: keys::counter_key(keys::P_DECL, staged.decl_next),
+                    value: decl.to_bytes(),
+                });
+                staged.decl_next += 1;
+                batch.push(put_u64(keys::meta_key("decl_next"), staged.decl_next));
+            }
+            StoreEvent::Support(proof) => {
+                self.stage_support(&mut batch, &mut staged, seq, proof);
+            }
+            StoreEvent::Absorb { proof, source } => {
+                for cert in proof.all_certs() {
+                    self.stage_cert(&mut batch, seq, &cert);
+                    batch.push(TableOp::Put {
+                        key: keys::absorbed_key(cert.id()),
+                        value: source.as_str().as_bytes().to_vec(),
+                    });
+                }
+                // Nested supports re-register on boot exactly like the
+                // live absorb path's recursive registration.
+                self.stage_nested_supports(&mut batch, &mut staged, seq, proof);
+            }
+            StoreEvent::Revoke(revocation) => {
+                batch.push(TableOp::Put {
+                    key: keys::mark_key(revocation.delegation_id()),
+                    value: vec![keys::MARK_REVOKED],
+                });
+            }
+            StoreEvent::RevokeMark(id) => {
+                batch.push(TableOp::Put {
+                    key: keys::mark_key(*id),
+                    value: vec![keys::MARK_REVOKED],
+                });
+            }
+            StoreEvent::Expire(id) => {
+                self.stage_expire(&mut batch, *id)?;
+            }
+        }
+        batch.push(put_u64(keys::meta_key("watermark"), seq));
+        staged.watermark = Some(seq);
+        self.table.apply(&batch)?;
+        *meta = staged;
+        Ok(())
+    }
+
+    /// Stages every key for one credential.
+    fn stage_cert(&self, batch: &mut Vec<TableOp>, seq: u64, cert: &SignedDelegation) {
+        let id = cert.id();
+        let row = CertRow::of(seq, cert);
+        batch.push(TableOp::Put {
+            key: keys::cert_key(id),
+            value: cert.to_bytes(),
+        });
+        batch.push(TableOp::Put {
+            key: keys::subject_key(&row.subject_enc, id),
+            value: Vec::new(),
+        });
+        batch.push(TableOp::Put {
+            key: keys::object_key(&row.object_enc, id),
+            value: Vec::new(),
+        });
+        batch.push(TableOp::Put {
+            key: keys::issuer_key(row.issuer, id),
+            value: Vec::new(),
+        });
+        if let Some(at) = row.expiry {
+            batch.push(TableOp::Put {
+                key: keys::expiry_key(at, id),
+                value: Vec::new(),
+            });
+        }
+        for home in &row.tag_homes {
+            batch.push(TableOp::Put {
+                key: keys::tag_key(home, id),
+                value: Vec::new(),
+            });
+        }
+        if row.needs_support {
+            batch.push(TableOp::Put {
+                key: keys::third_party_key(id),
+                value: Vec::new(),
+            });
+        }
+        batch.push(TableOp::Put {
+            key: keys::row_key(id),
+            value: row.to_bytes(),
+        });
+    }
+
+    /// Stages one support proof and (recursively, matching the graph's
+    /// registration) the proof's own credentials.
+    fn stage_support(
+        &self,
+        batch: &mut Vec<TableOp>,
+        staged: &mut MetaCache,
+        seq: u64,
+        proof: &Proof,
+    ) {
+        batch.push(TableOp::Put {
+            key: keys::counter_key(keys::P_SUPPORT, staged.support_next),
+            value: proof.to_bytes(),
+        });
+        staged.support_next += 1;
+        batch.push(put_u64(
+            keys::meta_key("support_next"),
+            staged.support_next,
+        ));
+        for cert in proof.all_certs() {
+            self.stage_cert(batch, seq, &cert);
+        }
+    }
+
+    /// Stages every support proof found *inside* `proof`'s steps,
+    /// recursively — the absorb path's registration shape (the absorbed
+    /// proof itself is not a provided support).
+    fn stage_nested_supports(
+        &self,
+        batch: &mut Vec<TableOp>,
+        staged: &mut MetaCache,
+        seq: u64,
+        proof: &Proof,
+    ) {
+        for step in proof.steps() {
+            for support in step.supports() {
+                self.stage_support(batch, staged, seq, support);
+                self.stage_nested_supports(batch, staged, seq, support);
+            }
+        }
+    }
+
+    /// Stages removal of every key for an expired credential, using its
+    /// `d/` row so the credential itself never needs decoding. A missing
+    /// row (expiry raced a revocation purge, or the event is being
+    /// re-applied) stages only the tombstone.
+    fn stage_expire(&self, batch: &mut Vec<TableOp>, id: DelegationId) -> Result<(), StoreError> {
+        if let Some(bytes) = self.table.get(&keys::row_key(id))? {
+            let row = CertRow::from_bytes(&bytes)
+                .map_err(|e| StoreError::Corrupt(format!("index row for {id:?}: {e}")))?;
+            batch.push(TableOp::Delete {
+                key: keys::subject_key(&row.subject_enc, id),
+            });
+            batch.push(TableOp::Delete {
+                key: keys::object_key(&row.object_enc, id),
+            });
+            batch.push(TableOp::Delete {
+                key: keys::issuer_key(row.issuer, id),
+            });
+            if let Some(at) = row.expiry {
+                batch.push(TableOp::Delete {
+                    key: keys::expiry_key(at, id),
+                });
+            }
+            for home in &row.tag_homes {
+                batch.push(TableOp::Delete {
+                    key: keys::tag_key(home, id),
+                });
+            }
+            batch.push(TableOp::Delete {
+                key: keys::third_party_key(id),
+            });
+            batch.push(TableOp::Delete {
+                key: keys::cert_key(id),
+            });
+            batch.push(TableOp::Delete {
+                key: keys::row_key(id),
+            });
+            batch.push(TableOp::Delete {
+                key: keys::absorbed_key(id),
+            });
+        }
+        batch.push(TableOp::Put {
+            key: keys::mark_key(id),
+            value: vec![keys::MARK_EXPIRED],
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (the planner's building blocks)
+    // ------------------------------------------------------------------
+
+    /// Ids of delegations whose subject is `node`, in id order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn ids_by_subject(&self, node: &Node) -> Result<Vec<DelegationId>, StoreError> {
+        self.collect_ids(&keys::subject_prefix(&keys::node_key(node)))
+    }
+
+    /// Ids of delegations whose object is `node`, in id order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn ids_by_object(&self, node: &Node) -> Result<Vec<DelegationId>, StoreError> {
+        self.collect_ids(&keys::object_prefix(&keys::node_key(node)))
+    }
+
+    /// Ids of delegations issued by `issuer`, in id order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn ids_by_issuer(&self, issuer: EntityId) -> Result<Vec<DelegationId>, StoreError> {
+        self.collect_ids(&keys::issuer_prefix(issuer))
+    }
+
+    /// Ids of delegations carrying a discovery tag homed at `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn ids_by_tag(&self, home: &str) -> Result<Vec<DelegationId>, StoreError> {
+        self.collect_ids(&keys::tag_prefix(home))
+    }
+
+    /// The audit set: ids of delegations that need issuer support.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn third_party_ids(&self) -> Result<Vec<DelegationId>, StoreError> {
+        self.collect_ids(&[keys::P_THIRD_PARTY])
+    }
+
+    /// Ids whose expiry instant `at` satisfies `now > at` — exactly the
+    /// wallet's expiry rule — via one ordered range scan that visits
+    /// O(expired) entries. The scan count is returned alongside for the
+    /// sweep's work counter.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn expired_ids(&self, now: Timestamp) -> Result<(Vec<DelegationId>, u64), StoreError> {
+        let start = [keys::P_EXPIRY];
+        let end = keys::expiry_key(now, DelegationId([0u8; 32]));
+        let mut out = Vec::new();
+        let mut scanned = 0u64;
+        self.table.scan(&start, Some(&end), &mut |k, _| {
+            scanned += 1;
+            if let Some(id) = keys::id_suffix(k) {
+                out.push(id);
+            }
+            true
+        })?;
+        Ok((out, scanned))
+    }
+
+    /// Every revocation/expiry mark.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn marks(&self) -> Result<Vec<(DelegationId, Mark)>, StoreError> {
+        let mut out = Vec::new();
+        self.table.scan_prefix(&[keys::P_MARK], &mut |k, v| {
+            if let Some(id) = keys::id_suffix(k) {
+                match v.first() {
+                    Some(&keys::MARK_REVOKED) => out.push((id, Mark::Revoked)),
+                    Some(&keys::MARK_EXPIRED) => out.push((id, Mark::Expired)),
+                    _ => {}
+                }
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// The stored credential bytes for `id`, decoded *without*
+    /// re-verifying the signature (see the module docs for why that is
+    /// sound). `None` when the id is not indexed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure or undecodable stored bytes.
+    pub fn cert(&self, id: DelegationId) -> Result<Option<Arc<SignedDelegation>>, StoreError> {
+        match self.table.get(&keys::cert_key(id))? {
+            None => Ok(None),
+            Some(bytes) => SignedDelegation::from_bytes(&bytes)
+                .map(|c| Some(Arc::new(c)))
+                .map_err(|e| StoreError::Corrupt(format!("indexed cert {id:?}: {e}"))),
+        }
+    }
+
+    /// Streams every indexed credential (decoded, not re-verified) in
+    /// id order. The full-hydration path for whole-wallet views over a
+    /// lazily booted wallet.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure or undecodable stored bytes.
+    pub fn for_each_cert(
+        &self,
+        f: &mut dyn FnMut(Arc<SignedDelegation>),
+    ) -> Result<(), StoreError> {
+        let mut err = None;
+        self.table.scan_prefix(&[keys::P_CERT], &mut |_, v| {
+            match SignedDelegation::from_bytes(v) {
+                Ok(cert) => {
+                    f(Arc::new(cert));
+                    true
+                }
+                Err(e) => {
+                    err = Some(StoreError::Corrupt(format!("indexed cert: {e}")));
+                    false
+                }
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The `d/` metadata row for `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure or undecodable stored bytes.
+    pub fn row(&self, id: DelegationId) -> Result<Option<CertRow>, StoreError> {
+        match self.table.get(&keys::row_key(id))? {
+            None => Ok(None),
+            Some(bytes) => CertRow::from_bytes(&bytes)
+                .map(Some)
+                .map_err(|e| StoreError::Corrupt(format!("index row for {id:?}: {e}"))),
+        }
+    }
+
+    /// Every indexed signed declaration, in admission order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure or undecodable stored bytes.
+    pub fn declarations(&self) -> Result<Vec<SignedAttrDeclaration>, StoreError> {
+        let mut out = Vec::new();
+        let mut err = None;
+        self.table.scan_prefix(&[keys::P_DECL], &mut |_, v| {
+            match SignedAttrDeclaration::from_bytes(v) {
+                Ok(d) => {
+                    out.push(d);
+                    true
+                }
+                Err(e) => {
+                    err = Some(StoreError::Corrupt(format!("indexed declaration: {e}")));
+                    false
+                }
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Every indexed support proof, in admission order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure or undecodable stored bytes.
+    pub fn supports(&self) -> Result<Vec<Proof>, StoreError> {
+        let mut out = Vec::new();
+        let mut err = None;
+        self.table
+            .scan_prefix(&[keys::P_SUPPORT], &mut |_, v| match Proof::from_bytes(v) {
+                Ok(p) => {
+                    out.push(p);
+                    true
+                }
+                Err(e) => {
+                    err = Some(StoreError::Corrupt(format!("indexed support: {e}")));
+                    false
+                }
+            })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Coherence seeds: each absorbed credential with the wallet it was
+    /// fetched from.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn absorbed(&self) -> Result<Vec<(DelegationId, WalletAddr)>, StoreError> {
+        let mut out = Vec::new();
+        self.table.scan_prefix(&[keys::P_ABSORBED], &mut |k, v| {
+            if let (Some(id), Ok(addr)) = (keys::id_suffix(k), std::str::from_utf8(v)) {
+                out.push((id, WalletAddr::new(addr)));
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Number of indexed live credentials (`d/` rows).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn cert_count(&self) -> Result<u64, StoreError> {
+        let mut n = 0u64;
+        self.table.scan_prefix(&[keys::P_ROW], &mut |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    fn collect_ids(&self, prefix: &[u8]) -> Result<Vec<DelegationId>, StoreError> {
+        let mut out = Vec::new();
+        self.table.scan_prefix(prefix, &mut |k, _| {
+            if let Some(id) = keys::id_suffix(k) {
+                out.push(id);
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Backend size/shape numbers.
+    pub fn stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Makes applied batches durable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.table.flush()
+    }
+
+    /// Folds the delta log into the sorted base.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        self.table.compact()
+    }
+
+    /// Rebuilds the whole index from a fully recovered wallet's durable
+    /// contents, bulk-loading the backend in one sorted pass and setting
+    /// the watermark to `watermark` (the store's last appended
+    /// sequence). This is the migration path from a plain WAL store —
+    /// and the repair path for a corrupt index.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure.
+    pub fn rebuild(&self, contents: &RebuildSource<'_>, watermark: u64) -> Result<(), StoreError> {
+        let mut entries: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut stage = |batch: Vec<TableOp>| {
+            for op in batch {
+                match op {
+                    TableOp::Put { key, value } => {
+                        entries.insert(key, value);
+                    }
+                    TableOp::Delete { key } => {
+                        entries.remove(&key);
+                    }
+                }
+            }
+        };
+        // Sequence numbers inside d/ rows are not recoverable from a
+        // live wallet; the watermark stands in for all of them.
+        for cert in contents.certs {
+            let mut batch = Vec::new();
+            self.stage_cert(&mut batch, watermark, cert);
+            stage(batch);
+        }
+        let mut meta = MetaCache {
+            watermark: Some(watermark),
+            ..MetaCache::default()
+        };
+        for decl in contents.declarations {
+            stage(vec![TableOp::Put {
+                key: keys::counter_key(keys::P_DECL, meta.decl_next),
+                value: decl.to_bytes(),
+            }]);
+            meta.decl_next += 1;
+        }
+        for proof in contents.supports {
+            stage(vec![TableOp::Put {
+                key: keys::counter_key(keys::P_SUPPORT, meta.support_next),
+                value: proof.to_bytes(),
+            }]);
+            meta.support_next += 1;
+        }
+        for id in contents.revoked {
+            stage(vec![TableOp::Put {
+                key: keys::mark_key(*id),
+                value: vec![keys::MARK_REVOKED],
+            }]);
+        }
+        for (id, source) in contents.absorbed {
+            stage(vec![TableOp::Put {
+                key: keys::absorbed_key(*id),
+                value: source.as_str().as_bytes().to_vec(),
+            }]);
+        }
+        stage(vec![
+            put_u64(keys::meta_key("format"), FORMAT_VERSION),
+            put_u64(keys::meta_key("watermark"), watermark),
+            put_u64(keys::meta_key("decl_next"), meta.decl_next),
+            put_u64(keys::meta_key("support_next"), meta.support_next),
+        ]);
+        drbac_obs::static_counter!("drbac.index.rebuild.count").inc();
+        let mut lock = self.meta.lock();
+        self.table.reset_with(&mut entries.into_iter())?;
+        *lock = meta;
+        Ok(())
+    }
+
+    /// Cross-checks this index against the recovered journal: every id
+    /// the event stream says should be live must be indexed, and every
+    /// indexed id must be derivable from the stream. `snapshot` is the
+    /// store's snapshot image (the wallet export format), whose
+    /// credentials seed the expected set before `events` replay over it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on backend failure (disagreement is reported in
+    /// the [`IndexCheck`], not as an error).
+    pub fn verify_against(
+        &self,
+        snapshot: Option<&[u8]>,
+        events: &[(u64, StoreEvent)],
+    ) -> Result<IndexCheck, StoreError> {
+        let mut check = IndexCheck {
+            watermark: self.watermark(),
+            ..IndexCheck::default()
+        };
+        let mut expected: std::collections::BTreeSet<DelegationId> =
+            std::collections::BTreeSet::new();
+        if let Some(image) = snapshot {
+            match snapshot_cert_ids(image) {
+                Ok(ids) => expected.extend(ids),
+                Err(e) => {
+                    check.corruption = Some(format!("snapshot image: {e}"));
+                }
+            }
+        }
+        let mut last_seq = None;
+        for (seq, event) in events {
+            last_seq = Some(*seq);
+            match event {
+                StoreEvent::Publish(cert) => {
+                    expected.insert(cert.id());
+                }
+                StoreEvent::Support(proof) => {
+                    expected.extend(proof.all_certs().iter().map(|c| c.id()));
+                }
+                StoreEvent::Absorb { proof, .. } => {
+                    expected.extend(proof.all_certs().iter().map(|c| c.id()));
+                }
+                StoreEvent::Expire(id) => {
+                    expected.remove(id);
+                }
+                StoreEvent::Declare(_) | StoreEvent::Revoke(_) | StoreEvent::RevokeMark(_) => {}
+            }
+        }
+        let mut indexed: std::collections::BTreeSet<DelegationId> =
+            std::collections::BTreeSet::new();
+        self.table.scan_prefix(&[keys::P_ROW], &mut |k, _| {
+            if let Some(id) = keys::id_suffix(k) {
+                indexed.insert(id);
+            }
+            true
+        })?;
+        check.entries = indexed.len() as u64;
+        check.missing = expected.difference(&indexed).count() as u64;
+        check.orphaned = indexed.difference(&expected).count() as u64;
+        if check.corruption.is_none() {
+            if let (Some(w), Some(last)) = (check.watermark, last_seq) {
+                if w > last {
+                    check.corruption =
+                        Some(format!("watermark {w} ahead of journal tail {last}"));
+                }
+            }
+        }
+        Ok(check)
+    }
+}
+
+/// The durable contents of a recovered wallet, borrowed for
+/// [`DelegationIndex::rebuild`].
+pub struct RebuildSource<'a> {
+    /// Every live credential (support certs included).
+    pub certs: &'a [Arc<SignedDelegation>],
+    /// Every registered support proof.
+    pub supports: &'a [Proof],
+    /// Every signed declaration.
+    pub declarations: &'a [SignedAttrDeclaration],
+    /// Every revocation mark.
+    pub revoked: &'a [DelegationId],
+    /// Absorbed-credential coherence seeds.
+    pub absorbed: &'a [(DelegationId, WalletAddr)],
+}
+
+/// Shallow parse of the wallet snapshot image ("drbac-wallet-v1"):
+/// just the credential ids, for index verification.
+fn snapshot_cert_ids(image: &[u8]) -> Result<Vec<DelegationId>, drbac_core::DecodeError> {
+    use drbac_core::{Decode, Reader};
+    let mut r = Reader::tagged(image, b"drbac-wallet-v1")?;
+    let n = r.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(SignedDelegation::decode(&mut r)?.id());
+    }
+    let n = r.u64()?;
+    for _ in 0..n {
+        out.extend(Proof::decode(&mut r)?.all_certs().iter().map(|c| c.id()));
+    }
+    // Declarations and revocation marks follow but carry no cert ids.
+    Ok(out)
+}
+
+fn put_u64(key: Vec<u8>, v: u64) -> TableOp {
+    TableOp::Put {
+        key,
+        value: v.to_be_bytes().to_vec(),
+    }
+}
+
+fn read_u64(table: &dyn TableBackend, key: &[u8]) -> Result<Option<u64>, StoreError> {
+    match table.get(key)? {
+        None => Ok(None),
+        Some(v) => {
+            let bytes: [u8; 8] = v
+                .as_slice()
+                .try_into()
+                .map_err(|_| StoreError::Corrupt("index metadata not 8 bytes".into()))?;
+            Ok(Some(u64::from_be_bytes(bytes)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::MemTable;
+    use drbac_core::{LocalEntity, Node, Timestamp};
+    use drbac_crypto::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn entities() -> (LocalEntity, LocalEntity) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = SchnorrGroup::test_256();
+        (
+            LocalEntity::generate("A", g.clone(), &mut rng),
+            LocalEntity::generate("B", g, &mut rng),
+        )
+    }
+
+    fn index() -> DelegationIndex {
+        DelegationIndex::open(Box::new(MemTable::new())).unwrap()
+    }
+
+    #[test]
+    fn publish_and_expire_round_trip_every_keyspace() {
+        let (a, b) = entities();
+        let idx = index();
+        let cert = a
+            .delegate(Node::entity(&b), Node::role(a.role("member")))
+            .expires(Timestamp(100))
+            .sign(&a)
+            .unwrap();
+        let cert = Arc::new(cert);
+        let id = cert.id();
+        idx.apply(1, &StoreEvent::Publish(Arc::clone(&cert))).unwrap();
+
+        assert_eq!(idx.watermark(), Some(1));
+        assert_eq!(idx.ids_by_subject(&Node::entity(&b)).unwrap(), vec![id]);
+        assert_eq!(
+            idx.ids_by_object(&Node::role(a.role("member"))).unwrap(),
+            vec![id]
+        );
+        assert_eq!(idx.ids_by_issuer(a.id()).unwrap(), vec![id]);
+        // Self-issued: not in the audit set.
+        assert!(idx.third_party_ids().unwrap().is_empty());
+        // Strict `now > at`: not expired at exactly t=100.
+        assert!(idx.expired_ids(Timestamp(100)).unwrap().0.is_empty());
+        let (expired, scanned) = idx.expired_ids(Timestamp(101)).unwrap();
+        assert_eq!(expired, vec![id]);
+        assert_eq!(scanned, 1);
+        let got = idx.cert(id).unwrap().expect("cert bytes");
+        assert_eq!(got.id(), id);
+
+        idx.apply(2, &StoreEvent::Expire(id)).unwrap();
+        assert!(idx.ids_by_subject(&Node::entity(&b)).unwrap().is_empty());
+        assert!(idx.expired_ids(Timestamp(200)).unwrap().0.is_empty());
+        assert!(idx.cert(id).unwrap().is_none());
+        assert_eq!(idx.marks().unwrap(), vec![(id, Mark::Expired)]);
+        assert_eq!(idx.watermark(), Some(2));
+    }
+
+    #[test]
+    fn third_party_publications_join_the_audit_set() {
+        let (a, b) = entities();
+        let idx = index();
+        let member = a.role("member");
+        // b issues into a's namespace: needs support.
+        let cert = b
+            .delegate(Node::entity(&a), Node::role(member))
+            .sign(&b)
+            .unwrap();
+        let id = cert.id();
+        idx.apply(1, &StoreEvent::Publish(Arc::new(cert))).unwrap();
+        assert_eq!(idx.third_party_ids().unwrap(), vec![id]);
+        // Revocation keeps the credential indexed (searches skip it by
+        // mark, same as the graph).
+        idx.apply(2, &StoreEvent::RevokeMark(id)).unwrap();
+        assert_eq!(idx.marks().unwrap(), vec![(id, Mark::Revoked)]);
+        assert!(idx.cert(id).unwrap().is_some());
+    }
+
+    #[test]
+    fn verify_against_flags_missing_and_orphaned_ids() {
+        let (a, b) = entities();
+        let idx = index();
+        let cert1 = Arc::new(
+            a.delegate(Node::entity(&b), Node::role(a.role("r1")))
+                .sign(&a)
+                .unwrap(),
+        );
+        let cert2 = Arc::new(
+            a.delegate(Node::entity(&b), Node::role(a.role("r2")))
+                .sign(&a)
+                .unwrap(),
+        );
+        idx.apply(1, &StoreEvent::Publish(Arc::clone(&cert1)))
+            .unwrap();
+        let clean = idx
+            .verify_against(None, &[(1, StoreEvent::Publish(Arc::clone(&cert1)))])
+            .unwrap();
+        assert!(clean.is_clean(), "{clean:?}");
+        // Journal shows cert2 too: it is missing from the index.
+        let check = idx
+            .verify_against(
+                None,
+                &[
+                    (1, StoreEvent::Publish(Arc::clone(&cert1))),
+                    (2, StoreEvent::Publish(Arc::clone(&cert2))),
+                ],
+            )
+            .unwrap();
+        assert_eq!(check.missing, 1);
+        assert_eq!(check.orphaned, 0);
+        // Journal shows nothing: cert1 is orphaned.
+        let check = idx.verify_against(None, &[]).unwrap();
+        assert_eq!(check.orphaned, 1);
+    }
+
+    #[test]
+    fn reopen_preserves_watermark_and_counters() {
+        let (a, b) = entities();
+        let table = Arc::new(MemTable::new());
+        struct Shared(Arc<MemTable>);
+        impl TableBackend for Shared {
+            fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+                self.0.get(key)
+            }
+            fn apply(&self, batch: &[TableOp]) -> Result<(), StoreError> {
+                self.0.apply(batch)
+            }
+            fn scan(
+                &self,
+                start: &[u8],
+                end: Option<&[u8]>,
+                f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+            ) -> Result<(), StoreError> {
+                self.0.scan(start, end, f)
+            }
+            fn stats(&self) -> TableStats {
+                self.0.stats()
+            }
+            fn flush(&self) -> Result<(), StoreError> {
+                self.0.flush()
+            }
+            fn compact(&self) -> Result<(), StoreError> {
+                self.0.compact()
+            }
+            fn reset_with(
+                &self,
+                entries: &mut dyn Iterator<Item = (Vec<u8>, Vec<u8>)>,
+            ) -> Result<(), StoreError> {
+                self.0.reset_with(entries)
+            }
+        }
+        let idx = DelegationIndex::open(Box::new(Shared(Arc::clone(&table)))).unwrap();
+        let cert = Arc::new(
+            a.delegate(Node::entity(&b), Node::role(a.role("r")))
+                .sign(&a)
+                .unwrap(),
+        );
+        idx.apply(7, &StoreEvent::Publish(cert)).unwrap();
+        drop(idx);
+        let reopened = DelegationIndex::open(Box::new(Shared(table))).unwrap();
+        assert_eq!(reopened.watermark(), Some(7));
+        assert_eq!(reopened.cert_count().unwrap(), 1);
+    }
+}

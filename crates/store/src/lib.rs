@@ -36,6 +36,6 @@ pub use crc::crc32;
 pub use event::StoreEvent;
 pub use medium::{FileMedium, MemMedium, Medium};
 pub use wal::{
-    scan_log, Corruption, Recovered, ScanOutcome, ScannedRecord, StoreConfig, StoreError,
-    StoreStatus, VerifyReport, WalletStore, LOG_MAGIC, SNAPSHOT_MAGIC,
+    scan_log, Corruption, IndexCheck, Recovered, ScanOutcome, ScannedRecord, StoreConfig,
+    StoreError, StoreStatus, VerifyReport, WalletStore, LOG_MAGIC, SNAPSHOT_MAGIC,
 };

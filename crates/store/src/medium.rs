@@ -58,6 +58,41 @@ pub trait Medium: Send + Sync {
     /// last [`Medium::sync`]. A no-op for real files (the kernel owns
     /// that failure mode there).
     fn lose_unsynced(&self) {}
+
+    /// Reads up to `len` bytes starting at `offset`. Returns fewer bytes
+    /// (possibly zero) when the range runs past the end of the medium.
+    ///
+    /// The default implementation slices [`Medium::read_all`]; backends
+    /// with random access (files) override it so ordered-table readers
+    /// can fetch single blocks without loading the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors.
+    fn read_at(&self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let all = self.read_all()?;
+        let start = usize::try_from(offset).unwrap_or(usize::MAX).min(all.len());
+        let end = start.saturating_add(len).min(all.len());
+        Ok(all[start..end].to_vec())
+    }
+
+    /// The current length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors.
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.read_all()?.len() as u64)
+    }
+
+    /// True when the medium holds no bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
 }
 
 struct MemInner {
@@ -141,6 +176,19 @@ impl Medium for MemMedium {
         let keep = inner.synced_len;
         inner.data.truncate(keep);
     }
+
+    fn read_at(&self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let start = usize::try_from(offset)
+            .unwrap_or(usize::MAX)
+            .min(inner.data.len());
+        let end = start.saturating_add(len).min(inner.data.len());
+        Ok(inner.data[start..end].to_vec())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.inner.lock().data.len() as u64)
+    }
 }
 
 /// A file-backed [`Medium`]. Appends go through a persistent handle;
@@ -217,6 +265,26 @@ impl Medium for FileMedium {
 
     fn sync(&self) -> io::Result<()> {
         self.file.lock().sync_all()
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            let n = file.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
     }
 }
 

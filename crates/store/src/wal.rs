@@ -316,6 +316,23 @@ fn encode_frame(seq: u64, event: &StoreEvent) -> Vec<u8> {
     frame
 }
 
+/// Parses only a snapshot's header: magic, covered sequence number, and
+/// the length envelope — *without* CRC-checking the image. Open uses
+/// this so a store over a multi-hundred-megabyte snapshot starts in
+/// microseconds; [`WalletStore::recover`] and [`WalletStore::verify`]
+/// still run the full CRC before the image is trusted.
+fn parse_snapshot_header(header: &[u8], total_len: u64) -> Option<u64> {
+    if header.len() < SNAPSHOT_HEADER || header[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let seq = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_be_bytes(header[16..20].try_into().expect("4 bytes")) as u64;
+    if total_len != SNAPSHOT_HEADER as u64 + len {
+        return None;
+    }
+    Some(seq)
+}
+
 fn parse_snapshot(bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
     if bytes.len() < SNAPSHOT_HEADER || bytes[..8] != SNAPSHOT_MAGIC {
         return None;
@@ -393,13 +410,49 @@ pub struct VerifyReport {
     pub snapshot_bytes: u64,
     /// False if a snapshot file exists but fails its framing or CRC.
     pub snapshot_ok: bool,
+    /// Cross-check of the delegation index against the recovered event
+    /// stream, when an index sits next to this store. `None` means no
+    /// index was checked (absent, or the caller did not ask). The store
+    /// itself never fills this in — the index layer computes it and the
+    /// CLI attaches it, so the report stays a single source of truth for
+    /// `drbac store verify`.
+    pub index: Option<IndexCheck>,
+}
+
+/// Index/WAL consistency, as attached to a [`VerifyReport`] by the
+/// index layer: every indexed id must exist in the recovered event
+/// stream and vice versa.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexCheck {
+    /// Total entries in the index's tables.
+    pub entries: u64,
+    /// The last store sequence number the index has applied.
+    pub watermark: Option<u64>,
+    /// Live delegations in the recovered store that the index is
+    /// missing (beyond what log-tail catch-up past the watermark would
+    /// repair).
+    pub missing: u64,
+    /// Ids the index holds that the recovered store does not know.
+    pub orphaned: u64,
+    /// The index files failed their own framing or CRC.
+    pub corruption: Option<String>,
+}
+
+impl IndexCheck {
+    /// True when the index agrees with the recovered event stream.
+    pub fn is_clean(&self) -> bool {
+        self.missing == 0 && self.orphaned == 0 && self.corruption.is_none()
+    }
 }
 
 impl VerifyReport {
     /// True when the log parses end-to-end and the snapshot (if present)
-    /// is intact.
+    /// is intact — including the index cross-check when one was run.
     pub fn is_clean(&self) -> bool {
-        self.corruption.is_none() && self.trailing_bytes == 0 && self.snapshot_ok
+        self.corruption.is_none()
+            && self.trailing_bytes == 0
+            && self.snapshot_ok
+            && self.index.as_ref().is_none_or(IndexCheck::is_clean)
     }
 }
 
@@ -430,8 +483,10 @@ impl Inner {
         let outcome = scan_log(&bytes);
         self.records = outcome.records.len() as u64;
         let last_seq = outcome.records.last().map_or(0, |r| r.seq);
-        let snap_bytes = self.snap.read_all()?;
-        self.snapshot_seq = parse_snapshot(&snap_bytes).map(|(seq, _)| seq);
+        // Header-only snapshot probe: open must not pay a CRC pass over
+        // the full image (recover/verify still do).
+        let snap_header = self.snap.read_at(0, SNAPSHOT_HEADER)?;
+        self.snapshot_seq = parse_snapshot_header(&snap_header, self.snap.len()?);
         self.next_seq = last_seq.max(self.snapshot_seq.unwrap_or(0)) + 1;
         self.valid_len = outcome.valid_len as u64;
         self.dirty_tail = outcome.valid_len < bytes.len();
@@ -740,6 +795,7 @@ impl WalletStore {
             snapshot_seq: snapshot.map(|(seq, _)| seq),
             snapshot_bytes: snap_bytes.len() as u64,
             snapshot_ok: snap_bytes.is_empty() || parse_snapshot(&snap_bytes).is_some(),
+            index: None,
         })
     }
 
@@ -753,6 +809,51 @@ impl WalletStore {
             next_seq: inner.next_seq,
             snapshot_seq: inner.snapshot_seq,
         }
+    }
+
+    /// Scans the log and truncates any torn or corrupt tail — the
+    /// healing [`WalletStore::recover`] performs, without reading the
+    /// snapshot or replaying anything. The indexed boot path uses this
+    /// so a crash-interrupted append can't linger just because the full
+    /// replay was skipped. Returns the scan of the surviving prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on medium failure.
+    pub fn heal_tail(&self) -> Result<ScanOutcome, StoreError> {
+        let mut inner = self.inner.lock();
+        let bytes = inner.log.read_all()?;
+        let outcome = scan_log(&bytes);
+        let truncated = (bytes.len() - outcome.valid_len) as u64;
+        if outcome.valid_len < LOG_MAGIC.len() {
+            inner.log.replace(&LOG_MAGIC)?;
+        } else if truncated > 0 {
+            inner.log.truncate(outcome.valid_len as u64)?;
+            inner.log.sync()?;
+        }
+        if truncated > 0 {
+            drbac_obs::static_counter!("drbac.store.recover.truncated.bytes.total").add(truncated);
+        }
+        let last_seq = outcome.records.last().map_or(0, |r| r.seq);
+        inner.records = outcome.records.len() as u64;
+        inner.next_seq = last_seq.max(inner.snapshot_seq.unwrap_or(0)) + 1;
+        inner.valid_len = outcome.valid_len.max(LOG_MAGIC.len()) as u64;
+        inner.dirty_tail = false;
+        inner.unsynced = 0;
+        Ok(outcome)
+    }
+
+    /// The installed snapshot exactly as it sits on the medium, CRC
+    /// checked — or `None` when absent or damaged. Read-only (unlike
+    /// [`WalletStore::recover`], which heals torn tails); used by the
+    /// index cross-check in `drbac store verify`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on medium failure.
+    pub fn read_snapshot(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let inner = self.inner.lock();
+        Ok(parse_snapshot(&inner.snap.read_all()?))
     }
 
     /// Scans the log as found on the medium (for `drbac store inspect`).

@@ -24,9 +24,10 @@ mod cache;
 mod durable;
 mod events;
 mod monitor;
+mod planner;
 mod wallet;
 
-pub use durable::DurableWallet;
+pub use durable::{DurableWallet, IndexedBootReport};
 pub use events::{DelegationEvent, InvalidationReason, SubscriptionId};
 pub use monitor::{MonitorStatus, ProofMonitor};
 pub use wallet::{CacheEntry, ImportReport, RecoveryReport, Wallet, WalletError};

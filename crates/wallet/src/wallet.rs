@@ -194,18 +194,18 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
-struct WalletState {
-    addr: WalletAddr,
-    clock: SimClock,
+pub(crate) struct WalletState {
+    pub(crate) addr: WalletAddr,
+    pub(crate) clock: SimClock,
     /// The delegation store, sharded behind per-shard locks so concurrent
     /// provers and publishers don't serialize (there is deliberately no
     /// outer wallet-wide graph lock any more).
-    graph: ShardedGraph,
+    pub(crate) graph: ShardedGraph,
     subscriptions: Mutex<HashMap<DelegationId, Vec<(SubscriptionId, SubCallback)>>>,
     monitors: Mutex<HashMap<DelegationId, Vec<Weak<MonitorCore>>>>,
     watches: Mutex<Vec<ProofWatch>>,
-    cache_meta: Mutex<HashMap<DelegationId, CacheEntry>>,
-    signed_declarations: Mutex<Vec<SignedAttrDeclaration>>,
+    pub(crate) cache_meta: Mutex<HashMap<DelegationId, CacheEntry>>,
+    pub(crate) signed_declarations: Mutex<Vec<SignedAttrDeclaration>>,
     next_subscription: AtomicU64,
     /// The revocation-coherent direct-query answer cache; entries track
     /// the delegation ids their proofs depend on and die with them.
@@ -219,7 +219,17 @@ struct WalletState {
     search_workers: AtomicUsize,
     /// The attached write-ahead store, if any. Mutations are journaled
     /// here *before* they are applied to the graph.
-    journal: Mutex<Option<Arc<WalletStore>>>,
+    pub(crate) journal: Mutex<Option<Arc<WalletStore>>>,
+    /// The attached delegation index, if any (see `planner.rs`). The
+    /// handle is cloned out before use so index scans never run under
+    /// this lock.
+    pub(crate) index: Mutex<Option<Arc<crate::planner::IndexHandle>>>,
+    /// Min-heap of `(expiry, id)` over every inserted bounded-lifetime
+    /// credential: the expiry sweep's O(expired) fallback when no index
+    /// is attached. Entries are discarded lazily on pop (a revoked or
+    /// re-inserted credential leaves a stale entry behind).
+    pub(crate) expiry_heap:
+        Mutex<std::collections::BinaryHeap<std::cmp::Reverse<(Timestamp, DelegationId)>>>,
 }
 
 /// A dRBAC wallet (paper Figure 1). Cheap to clone; clones share state.
@@ -255,7 +265,7 @@ struct WalletState {
 /// ```
 #[derive(Clone)]
 pub struct Wallet {
-    state: Arc<WalletState>,
+    pub(crate) state: Arc<WalletState>,
 }
 
 impl fmt::Debug for Wallet {
@@ -286,6 +296,8 @@ impl Wallet {
                 cache_enabled: std::sync::atomic::AtomicBool::new(true),
                 search_workers: AtomicUsize::new(1),
                 journal: Mutex::new(None),
+                index: Mutex::new(None),
+                expiry_heap: Mutex::new(std::collections::BinaryHeap::new()),
             }),
         }
     }
@@ -315,9 +327,14 @@ impl Wallet {
     fn journal(&self, event: &StoreEvent) -> Result<(), WalletError> {
         let store = self.state.journal.lock().clone();
         if let Some(store) = store {
-            store
+            let seq = store
                 .append(event)
                 .map_err(|e| WalletError::Storage(e.to_string()))?;
+            // Same event, same sequence number, into the index — one
+            // atomic batch per record. An index failure degrades the
+            // planner to graph walks; it never fails the mutation (the
+            // WAL, the source of truth, already holds the event).
+            self.index_apply(seq, event);
         }
         Ok(())
     }
@@ -425,6 +442,19 @@ impl Wallet {
         self.state.graph.get(id)
     }
 
+    /// Inserts a credential into the graph, tracking bounded lifetimes
+    /// in the expiry heap so the sweep stays O(expired) even without an
+    /// index attached. Every credential insertion goes through here.
+    pub(crate) fn insert_cert(&self, cert: Arc<SignedDelegation>) -> DelegationId {
+        if let Some(at) = cert.delegation().expires() {
+            self.state
+                .expiry_heap
+                .lock()
+                .push(std::cmp::Reverse((at, cert.id())));
+        }
+        self.state.graph.insert(cert)
+    }
+
     /// Publishes a credential with its issuer-provided support proofs.
     ///
     /// Verifies the credential and each support proof cryptographically,
@@ -451,11 +481,14 @@ impl Wallet {
         let now = self.now();
         cert.verify(now)?;
 
-        // Validate each provided support proof in isolation.
+        // Validate each provided support proof in isolation, under the
+        // full wallet context — including local revocation marks. This
+        // must match the context `provide_support` applies when the
+        // journaled `Support` event is replayed at recovery: anything
+        // accepted (and committed) here has to be re-accepted then, or
+        // replay would silently drop credentials the live wallet held.
         {
-            let ctx =
-                ValidationContext::at(now).with_declarations(self.state.graph.declarations());
-            let validator = ProofValidator::new(ctx);
+            let validator = ProofValidator::new(self.validation_ctx(now));
             for support in &supports {
                 validator
                     .validate(support)
@@ -472,7 +505,7 @@ impl Wallet {
         let graph = &self.state.graph;
         for support in supports {
             for c in support.all_certs() {
-                graph.insert(c);
+                self.insert_cert(c);
             }
             graph.provide_support(support);
         }
@@ -489,6 +522,12 @@ impl Wallet {
             if !needed.contains(&admin) {
                 needed.push(admin);
             }
+        }
+        if !needed.is_empty() {
+            // The derivability check below queries the live graph from
+            // the issuer; a lazily booted wallet must hydrate that
+            // neighborhood first.
+            self.plan_forward(&Node::Entity(issuer));
         }
         for right in &needed {
             let provided = graph.provided_support(issuer, right).is_some();
@@ -507,7 +546,7 @@ impl Wallet {
         // Journal before insertion. Another publisher may slip in
         // between — insertion is idempotent.
         self.journal(&StoreEvent::Publish(Arc::clone(&cert)))?;
-        let id = self.state.graph.insert(Arc::clone(&cert));
+        let id = self.insert_cert(Arc::clone(&cert));
         // A new edge can only flip cached negatives, never break a
         // cached proof.
         self.state.proof_cache.invalidate_negatives();
@@ -584,7 +623,7 @@ impl Wallet {
                 .map(|t| t.ttl())
                 .unwrap_or(Ticks(0));
             drbac_obs::static_counter!("drbac.wallet.absorb.certs.count").inc();
-            let id = graph.insert(Arc::clone(&cert));
+            let id = self.insert_cert(Arc::clone(&cert));
             cache.entry(id).or_insert(CacheEntry {
                 source: source.clone(),
                 fetched_at: now,
@@ -769,6 +808,7 @@ impl Wallet {
         // timeslice when nobody else is waiting.
         std::thread::yield_now();
 
+        self.plan_forward(subject);
         let epoch = self.state.proof_cache.epoch();
         let opts = self.search_opts(now, constraints);
         let (proof, stats) = self.state.graph.direct_query(subject, object, &opts);
@@ -823,6 +863,7 @@ impl Wallet {
     /// Subject query (§4.1): all proofs `subject ⇒ *` not violating
     /// `constraints`.
     pub fn query_subject(&self, subject: &Node, constraints: &[AttrConstraint]) -> Vec<Proof> {
+        self.plan_forward(subject);
         let opts = self.search_opts(self.now(), constraints);
         self.state.graph.subject_query(subject, &opts).0
     }
@@ -830,6 +871,7 @@ impl Wallet {
     /// Object query (§4.1): all proofs `* ⇒ object` not violating
     /// `constraints`.
     pub fn query_object(&self, object: &Node, constraints: &[AttrConstraint]) -> Vec<Proof> {
+        self.plan_reverse(object);
         let opts = self.search_opts(self.now(), constraints);
         self.state.graph.object_query(object, &opts).0
     }
@@ -846,7 +888,7 @@ impl Wallet {
         ProofValidator::new(self.validation_ctx(now)).validate(&support)?;
         self.journal(&StoreEvent::Support(support.clone()))?;
         for cert in support.all_certs() {
-            self.state.graph.insert(cert);
+            self.insert_cert(cert);
         }
         self.state.graph.provide_support(support);
         self.state.proof_cache.invalidate_negatives();
@@ -863,7 +905,13 @@ impl Wallet {
         let graph = &self.state.graph;
         let validator = ProofValidator::new(self.validation_ctx(now));
         let mut out = Vec::new();
-        for cert in graph.iter_certs() {
+        // With an index attached, the candidate set is the `3/` audit
+        // prefix — exactly the credentials carrying a support obligation
+        // — instead of a walk over every credential in the wallet.
+        let candidates = self
+            .planned_audit_certs()
+            .unwrap_or_else(|| graph.iter_certs());
+        for cert in candidates {
             if graph.is_revoked(cert.id()) || cert.delegation().is_expired(now) {
                 continue;
             }
@@ -878,6 +926,12 @@ impl Wallet {
                     needed.push(admin);
                 }
             }
+            if needed.is_empty() {
+                continue;
+            }
+            // A lazily booted wallet must see the issuer's local
+            // credentials before the derivation query below can run.
+            self.plan_forward(&Node::Entity(d.issuer()));
             for right in needed {
                 let provided_ok = graph
                     .provided_support(d.issuer(), &right)
@@ -1025,14 +1079,14 @@ impl Wallet {
     /// after advancing the clock.
     pub fn process_expiries(&self) -> (usize, usize) {
         let now = self.now();
-        let expired: Vec<DelegationId> = self
-            .state
-            .graph
-            .iter_certs()
-            .into_iter()
-            .filter(|c| c.delegation().is_expired(now))
-            .map(|c| c.id())
-            .collect();
+        // Route via the `e/` expiry index when attached (one range scan
+        // over exactly the lapsed entries), else the in-memory min-heap;
+        // both are O(expired), not O(wallet), and both feed the
+        // `drbac.wallet.expiry.scanned.count` counter.
+        let expired: Vec<DelegationId> = match self.planned_expired(now) {
+            Some(ids) => ids,
+            None => self.heap_expired(now),
+        };
         for id in &expired {
             self.journal_best_effort(&StoreEvent::Expire(*id));
         }
@@ -1125,6 +1179,9 @@ impl Wallet {
     /// ([`Wallet::is_revoked`], [`Wallet::get`], the query methods) on
     /// hot paths.
     pub fn with_graph<T>(&self, f: impl FnOnce(&DelegationGraph) -> T) -> T {
+        // A whole-wallet view: a lazily booted wallet must pull the
+        // rest of its credentials from the index first.
+        self.hydrate_all();
         f(&self.state.graph.snapshot())
     }
 
@@ -1137,6 +1194,9 @@ impl Wallet {
     /// cached entries must be revalidated after a restart anyway.
     pub fn export_bytes(&self) -> Vec<u8> {
         use drbac_core::{Encode, Writer};
+        // The export must cover *everything* — a lazily booted wallet
+        // would otherwise snapshot only its hydrated neighborhoods.
+        self.hydrate_all();
         let graph = self.state.graph.snapshot();
         let mut w = Writer::tagged(b"drbac-wallet-v1");
 
@@ -1237,7 +1297,7 @@ impl Wallet {
                 continue;
             }
             self.journal_best_effort(&StoreEvent::Publish(Arc::clone(&cert)));
-            self.state.graph.insert(cert);
+            self.insert_cert(cert);
             report.credentials += 1;
         }
         for id in revoked {
@@ -1323,7 +1383,7 @@ impl Wallet {
 
     /// Applies one replayed journal record through the ordinary (fully
     /// re-verifying) mutation paths.
-    fn apply_event(&self, event: StoreEvent) -> Result<(), WalletError> {
+    pub(crate) fn apply_event(&self, event: StoreEvent) -> Result<(), WalletError> {
         match event {
             StoreEvent::Publish(cert) => {
                 self.publish(cert, vec![])?;

@@ -4,8 +4,10 @@
 #             1/2/4/8 prover threads, cold vs warm proof cache)
 #   daemon -> BENCH_daemon.json        (loopback daemon throughput and
 #             latency percentiles under concurrent mixed load)
+#   wallet -> BENCH_wallet_ops.json    (indexed boot + query latency vs
+#             journal replay / graph walk at 10^4..10^6 delegations)
 #
-# Usage: scripts/bench_record.sh [proof|daemon|all] [--smoke]
+# Usage: scripts/bench_record.sh [proof|daemon|wallet|all] [--smoke]
 #   --smoke   tiny op counts, no acceptance thresholds — used by
 #             scripts/check.sh to keep the pipeline honest and fast.
 #             Smoke runs write to throwaway paths so the committed
@@ -21,15 +23,20 @@ target="all"
 smoke=""
 for arg in "$@"; do
     case "$arg" in
-        proof|daemon|all) target="$arg" ;;
+        proof|daemon|wallet|all) target="$arg" ;;
         --smoke) smoke="--smoke" ;;
-        *) echo "usage: scripts/bench_record.sh [proof|daemon|all] [--smoke]" >&2; exit 2 ;;
+        *) echo "usage: scripts/bench_record.sh [proof|daemon|wallet|all] [--smoke]" >&2; exit 2 ;;
     esac
 done
 
 if [[ "$target" == "proof" || "$target" == "all" ]]; then
     cargo build --release -p drbac-bench --bin proof_engine_record
     target/release/proof_engine_record $smoke
+fi
+
+if [[ "$target" == "wallet" || "$target" == "all" ]]; then
+    cargo build --release -p drbac-bench --bin wallet_ops_record
+    target/release/wallet_ops_record $smoke
 fi
 
 if [[ "$target" == "daemon" || "$target" == "all" ]]; then

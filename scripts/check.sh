@@ -26,12 +26,22 @@ for seed in 1 2 3; do
     DRBAC_CHAOS_SEED=$seed cargo test -q --test concurrency --test proof_cache
 done
 
-echo "== bench smoke (proof engine + daemon load) =="
+echo "== index oracle (indexed boot vs full replay, seed matrix) =="
+for seed in 1 2 3; do
+    echo "-- DRBAC_CHAOS_SEED=$seed"
+    DRBAC_CHAOS_SEED=$seed cargo test -q --test index_oracle
+done
+
+echo "== bench smoke (proof engine + wallet ops + daemon load) =="
 scripts/bench_record.sh all --smoke >/dev/null
 test -s target/BENCH_proof_engine.smoke.json
+test -s target/BENCH_wallet_ops.smoke.json
 
 echo "== perf guard (cold proof search vs committed artifact) =="
 target/release/proof_engine_record --guard
+
+echo "== boot guard (indexed wallet boot vs committed artifact) =="
+target/release/wallet_ops_record --guard
 
 echo "== durable store (unit suite + on-disk verify) =="
 cargo test -q -p drbac-store

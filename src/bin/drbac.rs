@@ -11,7 +11,13 @@
 //!   and startup recovers snapshot + log-tail replay, so an interrupted
 //!   command can tear at most the final record — which recovery
 //!   truncates. A legacy `wallet.bin` image is migrated into the store
-//!   on first load.
+//!   on first load,
+//! * `index/index.tab` + `index/index.log` — the delegation index: an
+//!   ordered table over the store's contents that turns startup into
+//!   snapshot + index open + log-tail catch-up and queries into prefix
+//!   scans. Stale or corrupt index files are never fatal: boot falls
+//!   back to a full replay (rebuilding the index when possible) and
+//!   `drbac store index rebuild` regenerates them on demand.
 //!
 //! ```text
 //! drbac keygen <Name>                          create an identity
@@ -22,6 +28,7 @@
 //! drbac query <Subject> <Object> [attr min]..  ask "does S have R?"
 //! drbac revoke <id-prefix>                     revoke a delegation
 //! drbac store inspect|verify|compact           examine / check / compact the log
+//! drbac store index status|verify|rebuild      delegation-index health and repair
 //! ```
 //!
 //! The delegation argument uses the paper's syntax, e.g.
@@ -41,6 +48,7 @@ use drbac::core::{
     SignedRevocation, SimClock, ValidationContext, WalletAddr, Writer,
 };
 use drbac::crypto::{KeyPair, PublicKey, SchnorrGroup};
+use drbac::index::{DelegationIndex, FileTable};
 use drbac::net::proto::{Reply, Request};
 use drbac::net::{RetryPolicy, TcpConfig, TcpTransport, Transport, WalletDaemon};
 use drbac::store::WalletStore;
@@ -146,8 +154,12 @@ fn usage() -> String {
      \x20 trace --follow <file.jsonl> [trace-id] tail a daemon's trace export live,\n\
      \x20                                       optionally filtered to one trace id\n\
      \x20 store inspect                         list the write-ahead log's records\n\
-     \x20 store verify                          read-only integrity check (exit 1 if damaged)\n\
-     \x20 store compact                         snapshot the wallet and drop covered records\n"
+     \x20 store verify                          read-only integrity check, log + snapshot +\n\
+     \x20                                       index cross-check (exit 1 if damaged)\n\
+     \x20 store compact                         snapshot the wallet and drop covered records\n\
+     \x20 store index status                    delegation-index watermark and table shape\n\
+     \x20 store index verify                    cross-check the index against the log\n\
+     \x20 store index rebuild                   regenerate the index files from the log\n"
         .to_string()
 }
 
@@ -402,14 +414,28 @@ fn run_coalition_walkthrough(chaos: Option<u64>) -> Result<(drbac::obs::Snapshot
     Ok((snapshot, out))
 }
 
-/// `drbac store <inspect|verify|compact>` — direct access to the
-/// context's write-ahead store. `inspect` and `verify` are read-only
-/// (they report damage rather than healing it); `compact` snapshots the
-/// recovered wallet and drops the records the snapshot covers.
+/// Opens the context's delegation index (`index/index.tab` +
+/// `index/index.log`). An `Err` means the files are unusable — callers
+/// degrade to graph walks rather than failing the command.
+fn open_index(home: &Path) -> Result<Arc<DelegationIndex>, String> {
+    let table = FileTable::open_dir(home.join("index")).map_err(|e| e.to_string())?;
+    DelegationIndex::open(Box::new(table))
+        .map(Arc::new)
+        .map_err(|e| e.to_string())
+}
+
+/// `drbac store <inspect|verify|compact|index …>` — direct access to
+/// the context's write-ahead store and its delegation index. `inspect`
+/// and `verify` are read-only (they report damage rather than healing
+/// it); `compact` snapshots the recovered wallet and drops the records
+/// the snapshot covers; `index rebuild` regenerates the index files
+/// from the recovered store.
 fn store_command(home: &Path, args: &[String]) -> Result<String, String> {
-    const USAGE: &str = "usage: store <inspect|verify|compact>";
-    let [sub] = args else {
-        return Err(USAGE.into());
+    const USAGE: &str = "usage: store <inspect|verify|compact|index status|index verify|index rebuild>";
+    let sub = match args {
+        [sub] => sub.clone(),
+        [a, b] if a == "index" => format!("index {b}"),
+        _ => return Err(USAGE.into()),
     };
     let store = WalletStore::open_dir(home.join("store"))
         .map_err(|e| format!("open store in {home:?}: {e}"))?;
@@ -434,10 +460,73 @@ fn store_command(home: &Path, args: &[String]) -> Result<String, String> {
             if let Some(corruption) = &scan.corruption {
                 writeln!(out, "damage beyond the valid prefix: {corruption}").unwrap();
             }
+            let index_dir = home.join("index");
+            if index_dir.join("index.tab").exists() || index_dir.join("index.log").exists() {
+                match open_index(home) {
+                    Ok(index) => {
+                        let stats = index.stats();
+                        let current = index.watermark() == Some(status.next_seq.saturating_sub(1));
+                        writeln!(
+                            out,
+                            "index: watermark {}, {} base entr{} + {} delta op(s){}",
+                            index
+                                .watermark()
+                                .map_or("(none)".into(), |w| w.to_string()),
+                            stats.base_entries,
+                            if stats.base_entries == 1 { "y" } else { "ies" },
+                            stats.delta_ops,
+                            if current {
+                                ""
+                            } else {
+                                " — STALE (next boot rebuilds it)"
+                            }
+                        )
+                        .unwrap();
+                    }
+                    Err(e) => {
+                        writeln!(
+                            out,
+                            "index: UNUSABLE ({e}) — wallets degrade to graph walks; \
+                             run `drbac store index rebuild`"
+                        )
+                        .unwrap();
+                    }
+                }
+            } else {
+                writeln!(out, "index: (none)").unwrap();
+            }
             Ok(out)
         }
         "verify" => {
-            let report = store.verify().map_err(|e| e.to_string())?;
+            let mut report = store.verify().map_err(|e| e.to_string())?;
+            let index_dir = home.join("index");
+            let index_present =
+                index_dir.join("index.tab").exists() || index_dir.join("index.log").exists();
+            if index_present {
+                report.index = Some(match open_index(home) {
+                    Ok(index) => {
+                        let snapshot = store.read_snapshot().map_err(|e| e.to_string())?;
+                        let snap_seq = snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+                        let scan = store.read_log().map_err(|e| e.to_string())?;
+                        let events: Vec<_> = scan
+                            .records
+                            .iter()
+                            .filter(|r| r.seq > snap_seq)
+                            .map(|r| (r.seq, r.event.clone()))
+                            .collect();
+                        index
+                            .verify_against(snapshot.as_ref().map(|(_, b)| b.as_slice()), &events)
+                            .unwrap_or_else(|e| drbac::store::IndexCheck {
+                                corruption: Some(e.to_string()),
+                                ..Default::default()
+                            })
+                    }
+                    Err(e) => drbac::store::IndexCheck {
+                        corruption: Some(e),
+                        ..Default::default()
+                    },
+                });
+            }
             let mut out = String::new();
             writeln!(
                 out,
@@ -460,16 +549,53 @@ fn store_command(home: &Path, args: &[String]) -> Result<String, String> {
                 }
             )
             .unwrap();
+            match &report.index {
+                Some(check) => {
+                    writeln!(
+                        out,
+                        "index: {} entr{}, watermark {}, {} missing, {} orphaned{}",
+                        check.entries,
+                        if check.entries == 1 { "y" } else { "ies" },
+                        check
+                            .watermark
+                            .map_or("(none)".into(), |w| w.to_string()),
+                        check.missing,
+                        check.orphaned,
+                        match &check.corruption {
+                            Some(c) => format!(" — CORRUPT: {c}"),
+                            None => String::new(),
+                        }
+                    )
+                    .unwrap();
+                }
+                None => writeln!(out, "index: (none)").unwrap(),
+            }
             if report.is_clean() {
                 out.push_str("clean\n");
                 Ok(out)
             } else {
-                let detail = report
-                    .corruption
-                    .clone()
-                    .unwrap_or_else(|| "corrupt snapshot".into());
+                let index_dirty = report
+                    .index
+                    .as_ref()
+                    .is_some_and(|check| !check.is_clean());
+                let log_or_snap_dirty = report.corruption.is_some()
+                    || report.trailing_bytes > 0
+                    || !report.snapshot_ok;
+                let detail = report.corruption.clone().unwrap_or_else(|| {
+                    if log_or_snap_dirty {
+                        "corrupt snapshot".into()
+                    } else {
+                        "index disagrees with the recovered event stream \
+                         (run `drbac store index rebuild`)"
+                            .into()
+                    }
+                });
                 let kind = if report.torn_tail {
                     "torn tail"
+                } else if log_or_snap_dirty {
+                    "corruption"
+                } else if index_dirty {
+                    "index mismatch"
                 } else {
                     "corruption"
                 };
@@ -495,6 +621,105 @@ fn store_command(home: &Path, args: &[String]) -> Result<String, String> {
                 before.log_bytes,
                 after.records,
                 after.log_bytes
+            ))
+        }
+        "index status" => {
+            let index = open_index(home).map_err(|e| {
+                format!("index unusable: {e}\nrun `drbac store index rebuild` to regenerate")
+            })?;
+            let stats = index.stats();
+            let status = store.status();
+            let tip = status.next_seq.saturating_sub(1);
+            let mut out = String::new();
+            writeln!(
+                out,
+                "watermark: {} (store tip: seq {tip}{})",
+                index
+                    .watermark()
+                    .map_or("(none)".into(), |w| w.to_string()),
+                match index.watermark() {
+                    Some(w) if w == tip => "; current".to_string(),
+                    Some(w) if w < tip => format!("; {} record(s) behind", tip - w),
+                    Some(_) => "; AHEAD of the log".to_string(),
+                    None => String::new(),
+                }
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "base: {} entr{} ({} bytes); delta: {} op(s) ({} bytes)",
+                stats.base_entries,
+                if stats.base_entries == 1 { "y" } else { "ies" },
+                stats.base_bytes,
+                stats.delta_ops,
+                stats.delta_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "indexed delegations: {}",
+                index.cert_count().map_err(|e| e.to_string())?
+            )
+            .unwrap();
+            Ok(out)
+        }
+        "index verify" => {
+            let index = open_index(home).map_err(|e| format!("index unusable: {e}"))?;
+            let snapshot = store.read_snapshot().map_err(|e| e.to_string())?;
+            let snap_seq = snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+            let scan = store.read_log().map_err(|e| e.to_string())?;
+            let events: Vec<_> = scan
+                .records
+                .iter()
+                .filter(|r| r.seq > snap_seq)
+                .map(|r| (r.seq, r.event.clone()))
+                .collect();
+            let check = index
+                .verify_against(snapshot.as_ref().map(|(_, b)| b.as_slice()), &events)
+                .map_err(|e| e.to_string())?;
+            let summary = format!(
+                "{} entr{}, watermark {}, {} missing, {} orphaned\n",
+                check.entries,
+                if check.entries == 1 { "y" } else { "ies" },
+                check
+                    .watermark
+                    .map_or("(none)".into(), |w| w.to_string()),
+                check.missing,
+                check.orphaned
+            );
+            if check.is_clean() {
+                Ok(format!("{summary}clean\n"))
+            } else {
+                Err(format!(
+                    "{summary}NOT CLEAN — run `drbac store index rebuild`"
+                ))
+            }
+        }
+        "index rebuild" => {
+            // Full replay of the store, then bulk-load fresh index files
+            // from the recovered truth. This is both the repair path for
+            // a corrupt index and the store → indexed-store migration.
+            let (wallet, report) =
+                DurableWallet::open("drbac-cli", SimClock::new(), Arc::new(store))
+                    .map_err(|e| e.to_string())?;
+            let index_dir = home.join("index");
+            for file in ["index.tab", "index.log"] {
+                let path = index_dir.join(file);
+                if path.exists() {
+                    fs::remove_file(&path).map_err(|e| format!("clear {path:?}: {e}"))?;
+                }
+            }
+            let index = open_index(home)?;
+            let watermark = wallet.store().status().next_seq.saturating_sub(1);
+            wallet
+                .rebuild_index_into(&index, watermark)
+                .map_err(|e| e.to_string())?;
+            index.flush().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "rebuilt from {} replayed event(s) ({} skipped): {} delegation(s) indexed, watermark {watermark}\n",
+                report.replayed,
+                report.skipped,
+                index.cert_count().map_err(|e| e.to_string())?
             ))
         }
         other => Err(format!("unknown store command {other:?}\n{USAGE}")),
@@ -602,16 +827,43 @@ impl Context {
             }
         }
 
-        let store = WalletStore::open_dir(home.join("store"))
-            .map_err(|e| format!("open store in {home:?}: {e}"))?;
-        let (wallet, report) = DurableWallet::open("drbac-cli", SimClock::new(), Arc::new(store))
-            .map_err(|e| e.to_string())?;
+        let store = Arc::new(
+            WalletStore::open_dir(home.join("store"))
+                .map_err(|e| format!("open store in {home:?}: {e}"))?,
+        );
+        let status = store.status();
+        let store_empty = status.records == 0 && status.snapshot_seq.is_none();
+        // Boot through the delegation index when its files open: a
+        // current index turns startup into snapshot header + index open
+        // + log-tail catch-up, and a stale one is rebuilt from a full
+        // replay inside `open_indexed`. Files that won't even open
+        // (corrupt framing, I/O trouble) degrade to the plain replay
+        // path — the wallet keeps serving, `drbac store inspect` warns,
+        // and `drbac store index rebuild` repairs.
+        let wallet = match open_index(home) {
+            Ok(index) => {
+                let (wallet, _boot) =
+                    DurableWallet::open_indexed("drbac-cli", SimClock::new(), store, index)
+                        .map_err(|e| e.to_string())?;
+                wallet
+            }
+            Err(why) => {
+                drbac::obs::global()
+                    .counter("drbac.index.degraded.count")
+                    .inc();
+                eprintln!("warning: delegation index unusable ({why}); falling back to replay");
+                let (wallet, _) = DurableWallet::open("drbac-cli", SimClock::new(), store)
+                    .map_err(|e| e.to_string())?;
+                wallet
+            }
+        };
         // One-time migration from the pre-store image format: an empty
         // store next to a legacy wallet.bin means this context predates
-        // the write-ahead log. Importing journals every credential, so
-        // from here on the store is authoritative.
+        // the write-ahead log. Importing journals every credential (and
+        // feeds the attached index), so from here on the store is
+        // authoritative.
         let wallet_path = home.join("wallet.bin");
-        if !report.from_snapshot && report.replayed == 0 && wallet_path.exists() {
+        if store_empty && wallet_path.exists() {
             let bytes = fs::read(&wallet_path).map_err(|e| e.to_string())?;
             wallet
                 .import_bytes(&bytes)
@@ -637,6 +889,14 @@ impl Context {
         // Wallet mutations were already journaled as they happened;
         // force the tail to disk and keep the log short.
         self.wallet.store().sync().map_err(|e| e.to_string())?;
+        // Same for the index's delta log — an unsynced index is merely
+        // stale at next boot (rebuilt from the log), but syncing here
+        // keeps the fast boot path fast.
+        if let Some(index) = self.wallet.index() {
+            if let Err(e) = index.flush() {
+                eprintln!("warning: index flush failed ({e}); next boot will rebuild");
+            }
+        }
         if self.wallet.store().status().records >= SNAPSHOT_EVERY {
             self.wallet.snapshot().map_err(|e| e.to_string())?;
         }

@@ -21,6 +21,7 @@
 //! | [`graph`] | the delegation graph and the direct/subject/object queries with constraint pruning |
 //! | [`wallet`] | credential repositories: publication, queries, proof monitors, subscriptions, persistence |
 //! | [`store`] | durability: CRC-framed write-ahead log of wallet events, snapshots, compaction, crash recovery |
+//! | [`index`] | the indexed delegation store: ordered tables (memory / file) with secondary indexes by subject, object, issuer, expiry, and tag, powering millisecond boots and O(answer) queries |
 //! | [`net`] | simulated network, tag-directed discovery, switchboard channels, threaded services, registry audit |
 //! | [`disco`] | application layer: protected resources, (resilient) monitored sessions, the paper's scenarios |
 //! | [`obs`] | observability: metrics registry (counters/gauges/histograms), span & event tracing, JSONL export |
@@ -73,6 +74,7 @@ pub use drbac_core as core;
 pub use drbac_crypto as crypto;
 pub use drbac_disco as disco;
 pub use drbac_graph as graph;
+pub use drbac_index as index;
 pub use drbac_net as net;
 pub use drbac_obs as obs;
 pub use drbac_store as store;
