@@ -32,10 +32,17 @@ for seed in 1 2 3; do
     DRBAC_CHAOS_SEED=$seed cargo test -q --test index_oracle
 done
 
-echo "== bench smoke (proof engine + wallet ops + daemon load) =="
+echo "== scenario soak (family × seed matrix on SimNet + one TCP federation) =="
+for seed in 1 2 3; do
+    echo "-- DRBAC_CHAOS_SEED=$seed"
+    DRBAC_CHAOS_SEED=$seed cargo test -q --test distributed_soak --test scenario_determinism
+done
+
+echo "== bench smoke (proof engine + wallet ops + daemon load + federation soak) =="
 scripts/bench_record.sh all --smoke >/dev/null
 test -s target/BENCH_proof_engine.smoke.json
 test -s target/BENCH_wallet_ops.smoke.json
+test -s target/BENCH_federation.smoke.json
 
 echo "== perf guard (cold proof search vs committed artifact) =="
 target/release/proof_engine_record --guard

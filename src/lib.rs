@@ -24,6 +24,7 @@
 //! | [`index`] | the indexed delegation store: ordered tables (memory / file) with secondary indexes by subject, object, issuer, expiry, and tag, powering millisecond boots and O(answer) queries |
 //! | [`net`] | simulated network, tag-directed discovery, switchboard channels, threaded services, registry audit |
 //! | [`disco`] | application layer: protected resources, (resilient) monitored sessions, the paper's scenarios |
+//! | [`scenario`] | coalition-scale scenario generator (seven topology families, seeded schedules, oracle ground truth) and the SimNet/TCP federation soak runners |
 //! | [`obs`] | observability: metrics registry (counters/gauges/histograms), span & event tracing, JSONL export |
 //! | [`crypto`] / [`bignum`] | the from-scratch PKI substrate (SHA-256, HMAC, Schnorr, big integers) |
 //! | [`baselines`] | OCSP / CRL / phantom-role / unidirectional-search comparators for the experiment harness |
@@ -77,5 +78,6 @@ pub use drbac_graph as graph;
 pub use drbac_index as index;
 pub use drbac_net as net;
 pub use drbac_obs as obs;
+pub use drbac_scenario as scenario;
 pub use drbac_store as store;
 pub use drbac_wallet as wallet;

@@ -8,6 +8,9 @@
 //! `scripts/check.sh` can sweep a small seed matrix; every test is a
 //! pure function of that seed.
 
+mod common;
+
+use common::{chaos_seed, chaos_seed_matrix, light_loss};
 use drbac::core::Ticks;
 use drbac::disco::scenario::{BIGISP_WALLET, SERVER_WALLET};
 use drbac::disco::CoalitionScenario;
@@ -18,22 +21,6 @@ use rand::SeedableRng;
 /// World-construction seed — fixed so the coalition (keys, certs, tags)
 /// is identical across the fault-free baseline and every chaos run.
 const WORLD_SEED: u64 = 2002;
-
-/// Fault-plan seed for this run: `DRBAC_CHAOS_SEED`, default 2002.
-fn chaos_seed() -> u64 {
-    std::env::var("DRBAC_CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2002)
-}
-
-/// ≤10% request loss plus 1-tick jitter — the acceptance posture: light
-/// enough that bounded retry (3 attempts/hop) recovers every hop.
-fn light_loss(seed: u64) -> FaultPlan {
-    FaultPlan::seeded(seed)
-        .with_request_loss(0.1)
-        .with_latency_jitter(Ticks(1))
-}
 
 fn baseline() -> CoalitionScenario {
     CoalitionScenario::build(&mut StdRng::seed_from_u64(WORLD_SEED))
@@ -83,12 +70,7 @@ fn seeded_loss_converges_to_fault_free_decisions() {
     assert!(base_terminated, "baseline revocation terminates access");
 
     // The check.sh matrix seeds plus this run's env-selected seed.
-    let mut seeds = vec![1, 2, 3, 2002];
-    let env_seed = chaos_seed();
-    if !seeds.contains(&env_seed) {
-        seeds.push(env_seed);
-    }
-    for seed in seeds {
+    for seed in chaos_seed_matrix(&[1, 2, 3, 2002]) {
         let s = chaotic(light_loss(seed));
         let (outcome, grants, terminated, stats) = walkthrough(&s);
         assert_eq!(
@@ -193,12 +175,7 @@ fn wallet_crash_restart_recovers_missed_revocations() {
 fn store_backed_restart_recovers_committed_state_across_seeds() {
     use std::collections::BTreeSet;
 
-    let mut seeds = vec![1, 2, 3];
-    let env_seed = chaos_seed();
-    if !seeds.contains(&env_seed) {
-        seeds.push(env_seed);
-    }
-    for seed in seeds {
+    for seed in chaos_seed_matrix(&[1, 2, 3]) {
         let s = chaotic(light_loss(seed));
         let outcome = s.establish_access();
         assert!(outcome.found(), "seed {seed}: access granted before crash");

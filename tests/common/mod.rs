@@ -1,0 +1,70 @@
+//! Shared test support for the integration suites (`chaos`,
+//! `distributed_soak`, `scenario_matrix`): seeded entity worlds and the
+//! `DRBAC_CHAOS_SEED` plumbing that lets `scripts/check.sh` sweep a
+//! fault-seed matrix over the same tests.
+
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
+
+use drbac::core::{LocalEntity, SimClock, Ticks};
+use drbac::crypto::SchnorrGroup;
+use drbac::net::FaultPlan;
+use drbac::wallet::Wallet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reads a seed from the environment, falling back to `default`.
+pub fn env_seed(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Fault/world seed for this run: `DRBAC_CHAOS_SEED`, default 2002.
+pub fn chaos_seed() -> u64 {
+    env_seed("DRBAC_CHAOS_SEED", 2002)
+}
+
+/// The fixed seed matrix swept by `scripts/check.sh`, plus this run's
+/// env-selected seed when it is not already in the matrix.
+pub fn chaos_seed_matrix(base: &[u64]) -> Vec<u64> {
+    let mut seeds = base.to_vec();
+    let env = chaos_seed();
+    if !seeds.contains(&env) {
+        seeds.push(env);
+    }
+    seeds
+}
+
+/// ≤10% request loss plus 1-tick jitter — the acceptance chaos posture:
+/// light enough that bounded retry (3 attempts/hop) recovers every hop.
+pub fn light_loss(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_request_loss(0.1)
+        .with_latency_jitter(Ticks(1))
+}
+
+/// The canonical three-entity lifecycle world: a namespace owner, a
+/// third-party broker, and an end user, sharing one wallet.
+pub struct LifecycleWorld {
+    pub owner: LocalEntity,
+    pub broker: LocalEntity,
+    pub user: LocalEntity,
+    pub clock: SimClock,
+    pub wallet: Wallet,
+}
+
+/// Builds a [`LifecycleWorld`] deterministically from `seed`.
+pub fn lifecycle_world(seed: u64) -> LifecycleWorld {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = SchnorrGroup::test_256();
+    let clock = SimClock::new();
+    LifecycleWorld {
+        owner: LocalEntity::generate("Owner", g.clone(), &mut rng),
+        broker: LocalEntity::generate("Broker", g.clone(), &mut rng),
+        user: LocalEntity::generate("User", g, &mut rng),
+        wallet: Wallet::new("lifecycle", clock.clone()),
+        clock,
+    }
+}

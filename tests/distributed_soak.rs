@@ -1,281 +1,140 @@
-//! Randomized distributed soak test: a network of per-organization
-//! wallets must answer exactly like a single centralized oracle graph —
-//! before and after random revocations — and constrained discovery must
-//! never return an invalid proof.
+//! Generator-driven distributed soak: every topology family from
+//! `drbac::scenario` must answer exactly like the centralized oracle
+//! graph — across a seed matrix, on a pristine SimNet, under FaultPlan
+//! chaos with partition/heal and crash/restart cycles, and over a real
+//! TCP daemon federation — while every discovered proof stays sound and
+//! every session built on a later-revoked delegation terminates.
 //!
-//! Setup mirrors the paper's storage discipline: every delegation is
-//! stored at its *subject's* home wallet and every node carries an
-//! `S` (search-from-subject) tag, which is the condition under which the
-//! §4.2.1 forward search is complete.
+//! Worlds follow the paper's storage discipline (every delegation at
+//! its *subject's* home wallet, every node tagged `S`), which is the
+//! condition under which §4.2.1 forward search is complete; the
+//! `completeness_property` module at the bottom checks that condition
+//! directly as a shrinkable property.
+
+mod common;
 
 use std::sync::Arc;
 
-use drbac::core::{
-    AttrConstraint, AttrOp, DiscoveryTag, LocalEntity, Node, ProofValidator, SignedDelegation,
-    SignedRevocation, SimClock, SubjectFlag, Ticks, Timestamp, ValidationContext,
+use common::chaos_seed_matrix;
+use drbac::scenario::{
+    run_simnet, run_tcp, Family, RunConfig, Scale, ScenarioSpec, SimFederation, SoakReport,
 };
-use drbac::crypto::SchnorrGroup;
-use drbac::graph::{DelegationGraph, SearchOptions};
-use drbac::net::{proto::Request, Directory, DiscoveryAgent, SimNet, WalletHost};
-use drbac::wallet::Wallet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-const ORGS: usize = 4;
-const USERS: usize = 5;
-const ROLES_PER_ORG: usize = 4;
-const DELEGATIONS: usize = 60;
-
-struct World {
-    net: SimNet,
-    clock: SimClock,
-    orgs: Vec<LocalEntity>,
-    users: Vec<LocalEntity>,
-    /// Kept alive so the hosts stay registered on the network.
-    _hosts: Vec<WalletHost>,
-    oracle: DelegationGraph,
-    certs: Vec<Arc<SignedDelegation>>,
-    bw: drbac::core::AttrRef,
-}
-
-fn org_wallet_addr(i: usize) -> String {
-    format!("wallet.org{i}")
-}
-
-/// The wallet that stores delegations whose subject is `node`.
-fn subject_home(world_orgs: &[LocalEntity], users: &[LocalEntity], node: &Node) -> usize {
-    match node {
-        Node::Entity(id) => {
-            // Users are assigned a home org by index; orgs host themselves.
-            if let Some(u) = users.iter().position(|u| u.id() == *id) {
-                u % ORGS
-            } else {
-                world_orgs.iter().position(|o| o.id() == *id).unwrap_or(0)
-            }
-        }
-        _ => world_orgs
-            .iter()
-            .position(|o| o.id() == node.namespace())
-            .expect("roles belong to orgs"),
-    }
-}
-
-fn build(seed: u64) -> World {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let g = SchnorrGroup::test_256();
-    let clock = SimClock::new();
-    let net = SimNet::new(clock.clone(), Ticks(1));
-
-    let orgs: Vec<LocalEntity> = (0..ORGS)
-        .map(|i| LocalEntity::generate(format!("Org{i}"), g.clone(), &mut rng))
-        .collect();
-    let users: Vec<LocalEntity> = (0..USERS)
-        .map(|i| LocalEntity::generate(format!("U{i}"), g.clone(), &mut rng))
-        .collect();
-    let hosts: Vec<WalletHost> = (0..ORGS)
-        .map(|i| {
-            let addr = org_wallet_addr(i);
-            net.add_host(addr.as_str(), Wallet::new(addr.as_str(), clock.clone()))
-        })
-        .collect();
-
-    let bw = orgs[0].attr("bw", AttrOp::Min);
-    let tag = |i: usize| {
-        DiscoveryTag::new(org_wallet_addr(i).as_str())
-            .with_ttl(Ticks(1000))
-            .with_subject_flag(SubjectFlag::Search)
-    };
-
-    // Node universe: user entities + org roles.
-    let mut nodes: Vec<Node> = users.iter().map(Node::entity).collect();
-    for org in &orgs {
-        for r in 0..ROLES_PER_ORG {
-            nodes.push(Node::role(org.role(&format!("r{r}"))));
-        }
-    }
-
-    let mut oracle = DelegationGraph::new();
-    let mut certs = Vec::new();
-    for serial in 0..DELEGATIONS {
-        let subject = nodes[rng.gen_range(0..nodes.len())].clone();
-        // Objects are roles; the issuing org is the object's owner
-        // (self-certified, so the soak isolates search/distribution).
-        let org_idx = rng.gen_range(0..ORGS);
-        let object =
-            Node::role(orgs[org_idx].role(&format!("r{}", rng.gen_range(0..ROLES_PER_ORG))));
-        if subject == object {
-            continue;
-        }
-        let mut builder = orgs[org_idx]
-            .delegate(subject.clone(), object.clone())
-            .serial(serial as u64)
-            .subject_tag(tag(subject_home(&orgs, &users, &subject)))
-            .object_tag(tag(org_idx));
-        // Attribute clauses only on Org0's own delegations (self-owned
-        // attribute namespace; foreign clauses would need attr-admin
-        // supports, which this soak deliberately leaves out of scope).
-        if org_idx == 0 && rng.gen_bool(0.5) {
-            builder = builder
-                .with_attr(bw.clone(), rng.gen_range(1.0..100.0))
-                .unwrap();
-        }
-        let cert: Arc<SignedDelegation> = Arc::new(builder.sign(&orgs[org_idx]).unwrap());
-
-        let home = subject_home(&orgs, &users, &subject);
-        hosts[home]
-            .wallet()
-            .publish(Arc::clone(&cert), vec![])
-            .unwrap();
-        oracle.insert(Arc::clone(&cert));
-        certs.push(cert);
-    }
-
-    World {
-        net,
-        clock,
-        orgs,
-        users,
-        _hosts: hosts,
-        oracle,
-        certs,
-        bw,
-    }
-}
-
-fn fresh_agent(w: &World, n: usize) -> DiscoveryAgent {
-    let addr = format!("server{n}");
-    let server = w
-        .net
-        .add_host(addr.as_str(), Wallet::new(addr.as_str(), w.clock.clone()));
-    let mut dir = Directory::new();
-    let tag = |i: usize| {
-        DiscoveryTag::new(org_wallet_addr(i).as_str())
-            .with_ttl(Ticks(1000))
-            .with_subject_flag(SubjectFlag::Search)
-    };
-    for (i, org) in w.orgs.iter().enumerate() {
-        dir.register_entity(org.id(), tag(i));
-    }
-    for (i, user) in w.users.iter().enumerate() {
-        dir.register(Node::entity(user), tag(i % ORGS));
-    }
-    DiscoveryAgent::new(w.net.clone(), server, dir)
+/// One soak cell: generate, run, and hold the universal invariants.
+fn soak(family: Family, seed: u64, cfg: &RunConfig) -> SoakReport {
+    let scenario = ScenarioSpec::new(family, seed).generate();
+    let report = run_simnet(&scenario, cfg);
+    assert_eq!(
+        report.unsound, 0,
+        "{family}/{seed}: discovered proofs must validate"
+    );
+    assert_eq!(
+        report.hard_mismatches(),
+        0,
+        "{family}/{seed}: non-degraded strict query diverged from oracle"
+    );
+    assert_eq!(
+        report.termination_failures, 0,
+        "{family}/{seed}: session outlived a revoked dependency"
+    );
+    assert_eq!(
+        report.spurious_terminations, 0,
+        "{family}/{seed}: live session wrongly terminated"
+    );
+    report
 }
 
 #[test]
-fn distributed_discovery_matches_centralized_oracle() {
-    let w = build(0x50a1);
-    let opts = SearchOptions::at(Timestamp(0));
-    let mut server_counter = 0;
-    for user in &w.users {
-        for org in &w.orgs {
-            for r in 0..ROLES_PER_ORG {
-                let target = Node::role(org.role(&format!("r{r}")));
-                let (oracle_proof, _) = w.oracle.direct_query(&Node::entity(user), &target, &opts);
-                server_counter += 1;
-                let mut agent = fresh_agent(&w, server_counter);
-                let outcome = agent.discover(&Node::entity(user), &target, &[]);
-                assert_eq!(
-                    outcome.found(),
-                    oracle_proof.is_some(),
-                    "disagreement for {} => {target} (trace: {:?})",
-                    user.name(),
-                    outcome.trace
-                );
-            }
-        }
-    }
-}
-
-#[test]
-fn revocations_propagate_and_answers_stay_consistent() {
-    let w = build(0x50a2);
-    let mut rng = StdRng::seed_from_u64(9);
-    let mut oracle = w.oracle.clone();
-
-    // Revoke ~25% of delegations at their home wallets.
-    for cert in &w.certs {
-        if !rng.gen_bool(0.25) {
-            continue;
-        }
-        let issuer = w
-            .orgs
-            .iter()
-            .find(|o| o.id() == cert.delegation().issuer())
-            .unwrap();
-        let revocation = SignedRevocation::revoke(cert, issuer, w.clock.now()).unwrap();
-        // The revocation goes to the wallet that stores the credential.
-        let home = subject_home(&w.orgs, &w.users, cert.delegation().subject());
-        let reply = w
-            .net
-            .request(
-                &org_wallet_addr(home).as_str().into(),
-                Request::Revoke(revocation),
-            )
-            .unwrap();
-        assert!(!reply.is_error(), "{reply:?}");
-        oracle.revoke(cert.id());
-    }
-    w.net.run_until_idle();
-
-    let opts = SearchOptions::at(w.clock.now());
-    let mut server_counter = 1000;
-    for user in &w.users {
-        for org in &w.orgs {
-            let target = Node::role(org.role("r0"));
-            let (oracle_proof, _) = w.oracle.direct_query(&Node::entity(user), &target, &opts);
-            let (revoked_oracle_proof, _) =
-                oracle.direct_query(&Node::entity(user), &target, &opts);
-            // Sanity: revocation can only remove access.
-            if revoked_oracle_proof.is_some() {
-                assert!(oracle_proof.is_some());
-            }
-            server_counter += 1;
-            let mut agent = fresh_agent(&w, server_counter);
-            let outcome = agent.discover(&Node::entity(user), &target, &[]);
+fn fault_free_soak_is_oracle_equivalent_across_families_and_seeds() {
+    for seed in chaos_seed_matrix(&[1, 2, 3]) {
+        for family in Family::ALL {
+            let report = soak(family, seed, &RunConfig::fault_free());
+            // Pristine network: nothing may even be *flagged* degraded,
+            // so oracle equivalence above was total, and the schedule
+            // must have exercised both decisions.
             assert_eq!(
-                outcome.found(),
-                revoked_oracle_proof.is_some(),
-                "post-revocation disagreement for {} => {target}",
-                user.name()
+                report.degraded_rate(),
+                0.0,
+                "{family}/{seed}: degradation on a pristine network"
             );
+            assert!(report.grants() > 0, "{family}/{seed}: no grants");
+            assert!(report.denials() > 0, "{family}/{seed}: no denials");
         }
     }
 }
 
 #[test]
-fn constrained_discovery_is_sound() {
-    // Distributed constrained discovery may legitimately miss a
-    // satisfying path (segment selection is greedy), but everything it
-    // returns must validate and satisfy the constraint.
-    let w = build(0x50a3);
-    let mut server_counter = 2000;
-    for threshold in [10.0, 50.0, 90.0] {
-        let constraint = AttrConstraint::at_least(w.bw.clone(), threshold);
-        for user in &w.users {
-            for org in &w.orgs {
-                let target = Node::role(org.role("r1"));
-                server_counter += 1;
-                let mut agent = fresh_agent(&w, server_counter);
-                let outcome = agent.discover(
-                    &Node::entity(user),
-                    &target,
-                    std::slice::from_ref(&constraint),
-                );
-                if let Some(monitor) = outcome.monitor {
-                    let proof = monitor.proof();
-                    let v = ProofValidator::new(ValidationContext::at(w.clock.now()));
-                    v.validate(proof).expect("discovered proof validates");
-                    assert!(
-                        proof
-                            .accumulate()
-                            .satisfies(std::slice::from_ref(&constraint), w.oracle.declarations()),
-                        "constraint violated by discovered proof"
-                    );
-                }
-            }
+fn chaos_soak_holds_invariants_under_loss_partitions_and_crashes() {
+    for seed in chaos_seed_matrix(&[1, 2, 3]) {
+        for family in Family::ALL {
+            // soak() already holds the bar that matters: zero unsound
+            // proofs, zero non-degraded divergence, zero termination
+            // failures — under seeded loss, a partition/heal cycle, and
+            // a crash/restart cycle.
+            soak(family, seed, &RunConfig::chaos(seed.wrapping_mul(31) ^ 5));
         }
     }
+}
+
+#[test]
+fn revocation_families_exercise_session_termination() {
+    // The termination machinery must actually fire, not vacuously pass:
+    // storm and churn schedules revoke delegations under live monitors.
+    let mut expected_dead = 0;
+    for family in [Family::RevocationStorm, Family::Churn] {
+        for seed in chaos_seed_matrix(&[1, 2, 3]) {
+            let report = soak(family, seed, &RunConfig::fault_free());
+            assert!(report.revocations > 0, "{family}/{seed}: no revocations");
+            expected_dead += report.monitors_expected_dead;
+        }
+    }
+    assert!(
+        expected_dead > 0,
+        "no monitored session ever depended on a revoked delegation"
+    );
+}
+
+#[test]
+fn simnet_and_tcp_federations_produce_byte_identical_proofs() {
+    // The same schedule over the deterministic SimNet and over real TCP
+    // daemons must reach the same decisions *and* the same proof bytes
+    // (compared via the timing-free decision digest).
+    for family in [Family::DeepLadder, Family::CrossFederation] {
+        let scenario = ScenarioSpec::new(family, 1)
+            .with_scale(Scale::smoke())
+            .generate();
+        let sim = run_simnet(&scenario, &RunConfig::fault_free());
+        let tcp = run_tcp(&scenario, None).expect("tcp federation deploys");
+        assert_eq!(tcp.unsound, 0, "{family}: tcp proofs validate");
+        assert_eq!(tcp.hard_mismatches(), 0, "{family}: tcp oracle divergence");
+        assert_eq!(tcp.termination_failures, 0, "{family}: tcp termination");
+        assert_eq!(
+            sim.proof_digests(),
+            tcp.proof_digests(),
+            "{family}: per-query proof bytes diverged across substrates"
+        );
+        assert_eq!(
+            sim.decision_digest(),
+            tcp.decision_digest(),
+            "{family}: decision digests diverged across substrates"
+        );
+    }
+}
+
+#[test]
+fn storage_discipline_passes_the_registry_audit() {
+    // Deploy and soak a full generated world, then audit every org
+    // wallet for the subject-home storage discipline the generator
+    // promises (DeepLadder publishes but never revokes, so the audit
+    // sees the steady-state credential placement).
+    let scenario = ScenarioSpec::new(Family::DeepLadder, 0x50a4).generate();
+    let mut fed = SimFederation::deploy(&scenario, &RunConfig::fault_free());
+    fed.soak(&scenario);
+    let violations = drbac::net::audit_store_compliance(fed.net(), &fed.host_addrs());
+    assert!(
+        violations.is_empty(),
+        "soak world is registry-compliant: {violations:?}"
+    );
 }
 
 mod completeness_property {
@@ -285,7 +144,16 @@ mod completeness_property {
     //! exactly when the union graph has one.
 
     use super::*;
+    use drbac::core::{
+        DiscoveryTag, LocalEntity, Node, SignedDelegation, SimClock, SubjectFlag, Ticks,
+    };
+    use drbac::crypto::SchnorrGroup;
+    use drbac::graph::{DelegationGraph, SearchOptions};
+    use drbac::net::{Directory, DiscoveryAgent, SimNet, WalletHost};
+    use drbac::wallet::Wallet;
     use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     /// A compact world description proptest can shrink.
     #[derive(Debug, Clone)]
@@ -388,17 +256,4 @@ mod completeness_property {
             );
         }
     }
-}
-
-#[test]
-fn storage_discipline_passes_the_registry_audit() {
-    let w = build(0x50a4);
-    let hosts: Vec<drbac::core::WalletAddr> = (0..ORGS)
-        .map(|i| org_wallet_addr(i).as_str().into())
-        .collect();
-    let violations = drbac::net::audit_store_compliance(&w.net, &hosts);
-    assert!(
-        violations.is_empty(),
-        "soak world is registry-compliant: {violations:?}"
-    );
 }

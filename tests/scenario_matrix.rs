@@ -3,37 +3,16 @@
 //! structural form the model supports is exercised through the whole
 //! stack in one place.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::{lifecycle_world as world, LifecycleWorld as World};
 use drbac::core::{
-    AttrConstraint, AttrDeclaration, AttrOp, LocalEntity, Node, Proof, ProofStep,
-    SignedAttrDeclaration, SignedDelegation, SignedRevocation, SimClock,
+    AttrConstraint, AttrDeclaration, AttrOp, Node, Proof, ProofStep, SignedAttrDeclaration,
+    SignedDelegation, SignedRevocation,
 };
-use drbac::crypto::SchnorrGroup;
 use drbac::wallet::Wallet;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct World {
-    owner: LocalEntity,
-    broker: LocalEntity,
-    user: LocalEntity,
-    clock: SimClock,
-    wallet: Wallet,
-}
-
-fn world(seed: u64) -> World {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let g = SchnorrGroup::test_256();
-    let clock = SimClock::new();
-    World {
-        owner: LocalEntity::generate("Owner", g.clone(), &mut rng),
-        broker: LocalEntity::generate("Broker", g.clone(), &mut rng),
-        user: LocalEntity::generate("User", g, &mut rng),
-        wallet: Wallet::new("matrix", clock.clone()),
-        clock,
-    }
-}
 
 /// One topology: a closure that populates the wallet and returns the
 /// query target plus every credential on the expected proof.
