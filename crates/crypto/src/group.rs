@@ -97,16 +97,28 @@ const MODP2048_P: &str = concat!(
 impl SchnorrGroup {
     /// The fast, insecure 256-bit test group.
     pub fn test_256() -> Self {
-        let p = BigUint::from_hex(TEST256_P).expect("valid constant");
-        let q = BigUint::from_hex(TEST256_Q).expect("valid constant");
-        Self::from_parts(GroupId::Test256, p, q, BigUint::from(4u64))
+        // Built once: constructing a group computes a Montgomery context
+        // for p, and decoders call this for every key they parse.
+        static GROUP: std::sync::OnceLock<SchnorrGroup> = std::sync::OnceLock::new();
+        GROUP
+            .get_or_init(|| {
+                let p = BigUint::from_hex(TEST256_P).expect("valid constant");
+                let q = BigUint::from_hex(TEST256_Q).expect("valid constant");
+                Self::from_parts(GroupId::Test256, p, q, BigUint::from(4u64))
+            })
+            .clone()
     }
 
     /// The RFC 3526 2048-bit MODP group (group 14), subgroup of squares.
     pub fn modp_2048() -> Self {
-        let p = BigUint::from_hex(MODP2048_P).expect("valid constant");
-        let q = (&p - &BigUint::one()).shr_bits(1);
-        Self::from_parts(GroupId::Modp2048, p, q, BigUint::from(4u64))
+        static GROUP: std::sync::OnceLock<SchnorrGroup> = std::sync::OnceLock::new();
+        GROUP
+            .get_or_init(|| {
+                let p = BigUint::from_hex(MODP2048_P).expect("valid constant");
+                let q = (&p - &BigUint::one()).shr_bits(1);
+                Self::from_parts(GroupId::Modp2048, p, q, BigUint::from(4u64))
+            })
+            .clone()
     }
 
     /// Generates a fresh safe-prime group with a `bits`-bit modulus.

@@ -166,9 +166,51 @@ impl PublicKey {
     }
 
     /// Structural validity: `y` is a proper subgroup element.
+    ///
+    /// The membership check costs a full `y^q mod p` exponentiation,
+    /// and wire decoding runs it on every received key — while a busy
+    /// reply stream repeats the same few issuer keys thousands of
+    /// times. Membership is a pure function of the key material, so
+    /// results are memoized in a bounded process-wide cache: the first
+    /// sighting of a key pays the modpow, the rest cost one hash
+    /// lookup. Invalid keys are never cached (re-checking them is the
+    /// safe direction).
     pub fn is_valid(&self) -> bool {
-        self.group.is_subgroup_element(&self.y)
+        let mut h = Sha256::new();
+        h.update(&self.canonical_bytes());
+        // `q` is not part of the canonical encoding but membership
+        // depends on it; bind it so two custom groups sharing (p, g)
+        // with different subgroup orders cannot alias.
+        h.update(&self.group.q().to_bytes_be());
+        let digest = h.finalize();
+        let cache = validated_keys();
+        if let Ok(seen) = cache.lock() {
+            if seen.contains(&digest) {
+                return true;
+            }
+        }
+        let ok = self.group.is_subgroup_element(&self.y);
+        if ok {
+            if let Ok(mut seen) = cache.lock() {
+                if seen.len() >= VALIDATED_KEY_CAP {
+                    // Wholesale reset over LRU bookkeeping: a working
+                    // set beyond the cap just re-validates.
+                    seen.clear();
+                }
+                seen.insert(digest);
+            }
+        }
+        ok
     }
+}
+
+/// Upper bound on memoized [`PublicKey::is_valid`] results.
+const VALIDATED_KEY_CAP: usize = 4096;
+
+fn validated_keys() -> &'static std::sync::Mutex<std::collections::HashSet<[u8; 32]>> {
+    static VALIDATED: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<[u8; 32]>>> =
+        std::sync::OnceLock::new();
+    VALIDATED.get_or_init(|| std::sync::Mutex::new(std::collections::HashSet::new()))
 }
 
 impl SchnorrGroup {

@@ -53,7 +53,7 @@ mod transport;
 pub mod wire;
 
 pub use audit::{audit_store_compliance, redelegations_of, AuditEndpoint, StoreViolation};
-pub use daemon::{SubscriberLink, WalletDaemon};
+pub use daemon::{DaemonConfig, SubscriberLink, WalletDaemon};
 pub use discovery::{
     Directory, DiscoveryAgent, DiscoveryOutcome, DiscoveryStep, SearchMode, TagLookup,
 };
@@ -62,5 +62,5 @@ pub use push::{PushHub, PushPublisher};
 pub use service::{ServiceClosed, WalletClient, WalletService};
 pub use sim::{FaultPlan, NetError, NetStats, SimNet, StoreHandle, WalletHost};
 pub use switchboard::{Channel, ChannelError, Switchboard};
-pub use tcp::{TcpConfig, TcpTransport};
+pub use tcp::{PipelinedClient, TcpConfig, TcpTransport};
 pub use transport::{RetryOutcome, RetryPolicy, ServiceRegistry, Transport};

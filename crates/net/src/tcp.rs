@@ -23,8 +23,10 @@
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 use drbac_core::{Ticks, WalletAddr};
 use parking_lot::{Mutex, RwLock};
@@ -172,6 +174,18 @@ impl TcpTransport {
         Ok(stream)
     }
 
+    /// Opens a pipelined (wire v3) client connection to `to`: many
+    /// requests in flight on one stream, replies matched by request id
+    /// and completed out of order. See [`PipelinedClient`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the connection cannot be established or the
+    /// reader thread cannot start.
+    pub fn pipelined(&self, to: &WalletAddr) -> Result<PipelinedClient, NetError> {
+        PipelinedClient::connect(self, to)
+    }
+
     /// One request/reply exchange on an open stream. While tracing is
     /// on, the request frame carries this span's trace context so the
     /// daemon's spans stitch into the same distributed trace.
@@ -251,6 +265,399 @@ impl Transport for TcpTransport {
             .min(self.config.max_backoff);
         if !sleep.is_zero() {
             std::thread::sleep(sleep);
+        }
+    }
+}
+
+/// A single-connection pipelined client speaking wire v3 (see
+/// `docs/PROTOCOL.md` §5): every request frame carries a fresh
+/// `request_id`, many requests ride in flight at once, and the daemon's
+/// replies — which may arrive out of order — are matched back to their
+/// waiters by id.
+///
+/// Contrast with [`TcpTransport::request`], which is strict
+/// request/reply per pooled connection: a pipelined client keeps one
+/// socket saturated instead of paying a round trip per request, which
+/// is where the ≥5x single-connection throughput at depth 16 in
+/// `BENCH_daemon.json` comes from.
+///
+/// Usage shapes:
+///
+/// * `call(req)` — send one request and block for its reply (still
+///   pipelines with other threads sharing the client).
+/// * `send(req)` → id, later `wait(id)` — explicit split for windowed
+///   pipelining from a single thread.
+/// * `send_many(reqs)` → ids — batch submit under one lock with a
+///   single flush, then `wait` each id.
+///
+/// All methods are `&self`; a `PipelinedClient` is safe to share across
+/// threads. A connection-level failure (daemon died, protocol
+/// violation) fans the same error out to every in-flight waiter and
+/// fails all later sends — drop the client and connect a fresh one.
+pub struct PipelinedClient {
+    to: WalletAddr,
+    /// Write half; sends serialize through this lock.
+    writer: StdMutex<TcpStream>,
+    pending: Arc<PendingMap>,
+    next_id: AtomicU64,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+    closed: AtomicBool,
+    /// Per-`wait` deadline (the transport's read deadline).
+    wait_timeout: Option<Duration>,
+}
+
+/// Reply slots shared between waiters and the reader thread.
+struct PendingMap {
+    state: StdMutex<PendingState>,
+    cv: Condvar,
+}
+
+struct PendingState {
+    /// request id → its slot; a filled slot holds the reply until the
+    /// waiter collects it.
+    slots: HashMap<u64, Slot>,
+    /// Set once when the connection dies; fanned out to all waiters.
+    dead: Option<NetError>,
+}
+
+struct Slot {
+    sent: Instant,
+    /// The reply frame's payload bytes. Decoding happens on the
+    /// waiter's thread in [`PipelinedClient::wait`], not on the shared
+    /// reader — the reader stays pure frame demux, so one slow decode
+    /// cannot stall every other in-flight reply.
+    result: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for PipelinedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedClient")
+            .field("to", &self.to)
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl PipelinedClient {
+    /// Connects to `to` through `transport`'s routing/deadline config
+    /// and starts the reply-reader thread.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the connection cannot be established or the
+    /// reader thread cannot start.
+    pub fn connect(transport: &TcpTransport, to: &WalletAddr) -> Result<PipelinedClient, NetError> {
+        let stream = transport.connect(to)?;
+        // Replies arrive whenever the daemon completes work, not on a
+        // per-read schedule: the reader blocks indefinitely and `wait`
+        // enforces the deadline instead.
+        stream
+            .set_read_timeout(None)
+            .map_err(|_| NetError::HostDown(to.clone()))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| NetError::Protocol(format!("cannot clone pipelined stream: {e}")))?;
+        let pending = Arc::new(PendingMap {
+            state: StdMutex::new(PendingState {
+                slots: HashMap::new(),
+                dead: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let reader_pending = Arc::clone(&pending);
+        let reader_to = to.clone();
+        let reader = std::thread::Builder::new()
+            .name(format!("drbac-pipeline-{to}"))
+            .spawn(move || pipeline_reader(read_half, reader_pending, reader_to))
+            .map_err(|e| NetError::Protocol(format!("cannot spawn pipeline reader: {e}")))?;
+        Ok(PipelinedClient {
+            to: to.clone(),
+            writer: StdMutex::new(stream),
+            pending,
+            next_id: AtomicU64::new(1),
+            reader: Mutex::new(Some(reader)),
+            closed: AtomicBool::new(false),
+            wait_timeout: transport.config.read_timeout,
+        })
+    }
+
+    /// The peer this client is connected to.
+    pub fn peer(&self) -> &WalletAddr {
+        &self.to
+    }
+
+    /// Requests currently awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.pending
+            .state
+            .lock()
+            .map(|s| s.slots.len())
+            .unwrap_or(0)
+    }
+
+    /// Submits `req` without waiting; returns the request id to pass
+    /// to [`wait`](Self::wait). The reply may complete before, after,
+    /// or interleaved with other in-flight requests.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the connection has already failed or the frame
+    /// cannot be written.
+    pub fn send(&self, req: &Request) -> Result<u64, NetError> {
+        let ids = self.send_batch(std::slice::from_ref(req))?;
+        Ok(ids[0])
+    }
+
+    /// Submits a batch under one writer lock with a single flush —
+    /// client-side write coalescing to mirror the daemon's reply path.
+    /// Returns one request id per request, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the connection has already failed or a frame
+    /// cannot be written; on a mid-batch write failure the whole
+    /// connection is failed (partial batches never linger).
+    pub fn send_many(&self, reqs: &[Request]) -> Result<Vec<u64>, NetError> {
+        self.send_batch(reqs)
+    }
+
+    fn send_batch(&self, reqs: &[Request]) -> Result<Vec<u64>, NetError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let span = drbac_obs::span!("drbac.net.tcp.pipeline.send", "n" => reqs.len());
+        let trace = (span.trace_id() != 0).then_some(wire::TraceContext {
+            trace_id: span.trace_id(),
+            parent_span: span.id(),
+        });
+        // Register slots first so a reply racing the send always finds
+        // its waiter.
+        let ids: Vec<u64> = {
+            let mut state = self
+                .pending
+                .state
+                .lock()
+                .map_err(|_| NetError::Protocol("pipeline state poisoned".into()))?;
+            if let Some(dead) = &state.dead {
+                return Err(dead.clone());
+            }
+            let now = Instant::now();
+            reqs.iter()
+                .map(|_| {
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    state.slots.insert(
+                        id,
+                        Slot {
+                            sent: now,
+                            result: None,
+                        },
+                    );
+                    id
+                })
+                .collect()
+        };
+        // Encode the whole batch into one buffer so it leaves in a
+        // single write — client-side coalescing to mirror the daemon's
+        // reply path (and one wakeup for the daemon's reader, not N).
+        let mut buf: Vec<u8> = Vec::with_capacity(256 * reqs.len());
+        let encoded = reqs.iter().zip(&ids).try_for_each(|(req, id)| {
+            let payload = wire::encode_request(req);
+            wire::write_frame_mux(&mut buf, FrameKind::Request, &payload, *id, trace)
+        });
+        let written = encoded.and_then(|()| {
+            let mut writer = self
+                .writer
+                .lock()
+                .map_err(|_| WireError::Io(std::io::Error::other("pipeline writer poisoned")))?;
+            writer
+                .write_all(&buf)
+                .and_then(|()| writer.flush())
+                .map_err(WireError::Io)
+        });
+        match written {
+            Ok(()) => {
+                drbac_obs::static_counter!("drbac.net.tcp.frame.tx.count").add(ids.len() as u64);
+                Ok(ids)
+            }
+            Err(e) => {
+                let err = map_wire_error(e, &self.to);
+                // A torn write desynchronizes the whole stream: fail
+                // the connection so every waiter learns, not just us.
+                self.fail(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    /// Blocks until the reply for `id` arrives, the connection fails,
+    /// or the transport's read deadline expires. Each id completes
+    /// exactly once; waiting twice on the same id is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] past the deadline (the abandoned reply is
+    /// discarded on arrival), the connection's fan-out error if the
+    /// stream died, or [`NetError::Protocol`] for an unknown id.
+    pub fn wait(&self, id: u64) -> Result<Reply, NetError> {
+        let deadline = self.wait_timeout.map(|t| Instant::now() + t);
+        let mut state = self
+            .pending
+            .state
+            .lock()
+            .map_err(|_| NetError::Protocol("pipeline state poisoned".into()))?;
+        loop {
+            match state.slots.get(&id) {
+                Some(slot) if slot.result.is_some() => {
+                    let slot = state.slots.remove(&id).expect("checked above");
+                    let payload = slot.result.expect("checked above");
+                    drop(state);
+                    return wire::decode_reply(&payload)
+                        .map_err(|e| NetError::Protocol(format!("undecodable reply: {e}")));
+                }
+                Some(_) => {
+                    if let Some(dead) = state.dead.clone() {
+                        state.slots.remove(&id);
+                        return Err(dead);
+                    }
+                }
+                None => {
+                    return Err(match &state.dead {
+                        Some(dead) => dead.clone(),
+                        None => NetError::Protocol(format!("unknown pipeline request id {id}")),
+                    });
+                }
+            }
+            state = match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        // Abandon the slot; if the reply still shows
+                        // up the reader drops it as an orphan.
+                        state.slots.remove(&id);
+                        drbac_obs::static_counter!("drbac.net.tcp.deadline.count").inc();
+                        return Err(NetError::Timeout(self.to.clone()));
+                    }
+                    let (state, _) = self
+                        .pending
+                        .cv
+                        .wait_timeout(state, deadline - now)
+                        .map_err(|_| NetError::Protocol("pipeline state poisoned".into()))?;
+                    state
+                }
+                None => self
+                    .pending
+                    .cv
+                    .wait(state)
+                    .map_err(|_| NetError::Protocol("pipeline state poisoned".into()))?,
+            };
+        }
+    }
+
+    /// Send one request and block for its reply. Other threads sharing
+    /// this client still pipeline around the wait.
+    ///
+    /// # Errors
+    ///
+    /// As [`send`](Self::send) and [`wait`](Self::wait).
+    pub fn call(&self, req: &Request) -> Result<Reply, NetError> {
+        let id = self.send(req)?;
+        self.wait(id)
+    }
+
+    /// Fails every current and future request with `err`.
+    fn fail(&self, err: NetError) {
+        if let Ok(mut state) = self.pending.state.lock() {
+            if state.dead.is_none() {
+                state.dead = Some(err);
+            }
+        }
+        self.pending.cv.notify_all();
+    }
+
+    /// Closes the connection and joins the reader. In-flight waiters
+    /// receive a connection error. Idempotent; `Drop` calls this.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(writer) = self.writer.lock() {
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.reader.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PipelinedClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Reader half of a [`PipelinedClient`]: matches reply frames to
+/// pending slots by request id. Replies for ids nobody waits on any
+/// more (a timed-out waiter abandoned the slot) are dropped and
+/// counted in `drbac.net.tcp.pipeline.orphan.count` — they are not an
+/// error, just late. A read failure fans out to every waiter.
+fn pipeline_reader(stream: TcpStream, pending: Arc<PendingMap>, to: WalletAddr) {
+    // Buffered reads: the daemon's writer pump flushes reply batches,
+    // so one syscall here collects many replies.
+    let mut stream = std::io::BufReader::with_capacity(64 * 1024, stream);
+    let mut batch: Vec<wire::Frame> = Vec::new();
+    loop {
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(e) => {
+                let err = map_wire_error(e, &to);
+                if let Ok(mut state) = pending.state.lock() {
+                    if state.dead.is_none() {
+                        state.dead = Some(err);
+                    }
+                }
+                pending.cv.notify_all();
+                return;
+            }
+        };
+        // Drain every further reply that is already completely buffered,
+        // then settle the whole batch under one lock with one wakeup.
+        batch.push(frame);
+        loop {
+            let buf = stream.buffer();
+            match wire::buffered_frame_len(buf) {
+                Some(total) if buf.len() >= total => match wire::read_frame(&mut stream) {
+                    Ok(f) => batch.push(f),
+                    Err(_) => break,
+                },
+                _ => break,
+            }
+        }
+        drbac_obs::static_counter!("drbac.net.tcp.frame.rx.count").add(batch.len() as u64);
+        let Ok(mut state) = pending.state.lock() else {
+            return;
+        };
+        let mut settled = false;
+        for frame in batch.drain(..) {
+            let (Some(id), FrameKind::Reply) = (frame.request_id, frame.kind) else {
+                // Id-less or non-reply frames don't belong on a pipelined
+                // connection; ignore rather than kill live requests.
+                continue;
+            };
+            match state.slots.get_mut(&id) {
+                Some(slot) => {
+                    drbac_obs::static_histogram!("drbac.net.tcp.request.ns")
+                        .record(slot.sent.elapsed().as_nanos() as u64);
+                    slot.result = Some(frame.payload);
+                    settled = true;
+                }
+                None => {
+                    drbac_obs::static_counter!("drbac.net.tcp.pipeline.orphan.count").inc();
+                }
+            }
+        }
+        drop(state);
+        if settled {
+            pending.cv.notify_all();
         }
     }
 }

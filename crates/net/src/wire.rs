@@ -11,15 +11,25 @@
 //!
 //! # Frame layout
 //!
+//! The byte-level layouts, the TLV extension-tag registry, the
+//! request/reply/push state machines, and the version-negotiation and
+//! compatibility rules are specified normatively in
+//! [`docs/PROTOCOL.md`](https://github.com/drbac/drbac/blob/main/docs/PROTOCOL.md)
+//! — that document is the contract; this module is one implementation
+//! of it. In brief:
+//!
 //! ```text
 //! offset  size  field
 //! 0       4     magic   b"dRBW"
-//! 4       1     version 0x01 (bare) or 0x02 (with extension block)
+//! 4       1     version 0x01 (bare), 0x02 (+ ext block),
+//!               or 0x03 (+ request id + ext block)
 //! 5       1     kind    1=request 2=reply 3=push 4=push-register
 //! 6       4     len     payload length, u32 big-endian (max 16 MiB)
 //! 10      4     crc     CRC-32 (IEEE) of the payload bytes
-//! --- version 0x02 only: extension block between header and payload ---
-//! 14      1     ext_count  number of TLV extensions (max 16)
+//! --- version 0x03 only: multiplexing id ---
+//! 14      8     request_id  u64 big-endian, echoed verbatim in the reply
+//! --- versions 0x02 and 0x03: extension block (at 14 for v2, 22 for v3) ---
+//!         1     ext_count  number of TLV extensions (max 16; may be 0)
 //!         per extension:
 //!         1     tag     1=trace-context (unknown tags are skipped)
 //!         1     elen    extension byte length
@@ -31,8 +41,14 @@
 //! Version 0x01 frames have no extension block; senders only emit
 //! version 0x02 when a trace context is attached, so a peer that
 //! predates tracing keeps interoperating until a trace actually
-//! crosses to it (and then fails cleanly with `BadVersion`). Decoders
-//! here accept both versions and skip unknown extension tags, so newer
+//! crosses to it (and then fails cleanly with `BadVersion`). Version
+//! 0x03 frames carry a `request_id` so one connection can multiplex
+//! many in-flight requests ([`crate::PipelinedClient`]): the daemon
+//! treats the id as an opaque token and echoes it on the matching
+//! reply, which may arrive out of order. Senders only emit version
+//! 0x03 after explicitly opting into pipelining, so peers that never
+//! pipeline keep exchanging byte-identical v1/v2 frames. Decoders here
+//! accept all three versions and skip unknown extension tags, so newer
 //! peers can add extensions without breaking us.
 //!
 //! # Invariants
@@ -79,6 +95,11 @@ pub const WIRE_VERSION: u8 = 1;
 
 /// Protocol version carrying a TLV extension block (trace context).
 pub const WIRE_VERSION_TRACED: u8 = 2;
+
+/// Protocol version carrying a multiplexing `request_id` (plus the TLV
+/// extension block). Emitted only by peers that explicitly opted into
+/// pipelining — see [`crate::PipelinedClient`].
+pub const WIRE_VERSION_MUX: u8 = 3;
 
 /// Extension tag: distributed trace context (16 bytes — trace_id u64
 /// BE followed by parent_span u64 BE).
@@ -148,8 +169,13 @@ pub struct TraceContext {
 pub struct Frame {
     /// What the payload is.
     pub kind: FrameKind,
+    /// Multiplexing request id (version 0x03 frames only). On a
+    /// request, the id the reply must echo; on a reply, the id of the
+    /// request it answers. `None` on v1/v2 frames: strict
+    /// request/reply alternation.
+    pub request_id: Option<u64>,
     /// Trace context from the frame's extension block, if the sender
-    /// attached one (version 0x02 frames only).
+    /// attached one (version 0x02/0x03 frames only).
     pub trace: Option<TraceContext>,
     /// The payload's canonical encoding (CRC already verified).
     pub payload: Vec<u8>,
@@ -244,12 +270,42 @@ pub fn write_frame_traced<W: Write>(
     payload: &[u8],
     trace: Option<TraceContext>,
 ) -> Result<(), WireError> {
+    write_frame_inner(w, kind, payload, None, trace)
+}
+
+/// Writes one version-0x03 (multiplexed) frame carrying `request_id`,
+/// with an optional trace context in the extension block. Only peers
+/// that explicitly opted into pipelining speak this version — see the
+/// compatibility rules in `docs/PROTOCOL.md`.
+///
+/// # Errors
+///
+/// Same as [`write_frame`].
+pub fn write_frame_mux<W: Write>(
+    w: &mut W,
+    kind: FrameKind,
+    payload: &[u8],
+    request_id: u64,
+    trace: Option<TraceContext>,
+) -> Result<(), WireError> {
+    write_frame_inner(w, kind, payload, Some(request_id), trace)
+}
+
+fn write_frame_inner<W: Write>(
+    w: &mut W,
+    kind: FrameKind,
+    payload: &[u8],
+    request_id: Option<u64>,
+    trace: Option<TraceContext>,
+) -> Result<(), WireError> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(WireError::Oversized(payload.len() as u64));
     }
     let mut header = [0u8; FRAME_HEADER_LEN];
     header[..4].copy_from_slice(&FRAME_MAGIC);
-    header[4] = if trace.is_some() {
+    header[4] = if request_id.is_some() {
+        WIRE_VERSION_MUX
+    } else if trace.is_some() {
         WIRE_VERSION_TRACED
     } else {
         WIRE_VERSION
@@ -258,17 +314,60 @@ pub fn write_frame_traced<W: Write>(
     header[6..10].copy_from_slice(&(payload.len() as u32).to_be_bytes());
     header[10..14].copy_from_slice(&crc32(payload).to_be_bytes());
     w.write_all(&header)?;
-    if let Some(ctx) = trace {
-        let mut ext = [0u8; 19];
-        ext[0] = 1; // one extension
-        ext[1] = EXT_TRACE_CONTEXT;
-        ext[2] = 16;
-        ext[3..11].copy_from_slice(&ctx.trace_id.to_be_bytes());
-        ext[11..19].copy_from_slice(&ctx.parent_span.to_be_bytes());
-        w.write_all(&ext)?;
+    if let Some(id) = request_id {
+        w.write_all(&id.to_be_bytes())?;
+        // v3 always carries an extension block, possibly empty.
+        match trace {
+            Some(ctx) => write_trace_ext(w, ctx)?,
+            None => w.write_all(&[0])?,
+        }
+    } else if let Some(ctx) = trace {
+        write_trace_ext(w, ctx)?;
     }
     w.write_all(payload)?;
     Ok(())
+}
+
+fn write_trace_ext<W: Write>(w: &mut W, ctx: TraceContext) -> Result<(), WireError> {
+    let mut ext = [0u8; 19];
+    ext[0] = 1; // one extension
+    ext[1] = EXT_TRACE_CONTEXT;
+    ext[2] = 16;
+    ext[3..11].copy_from_slice(&ctx.trace_id.to_be_bytes());
+    ext[11..19].copy_from_slice(&ctx.parent_span.to_be_bytes());
+    w.write_all(&ext)?;
+    Ok(())
+}
+
+/// Total encoded length of the frame at the head of `buf`, when enough
+/// of its header is present to tell. `None` means "can't tell yet" —
+/// either too few bytes are buffered or the head is not a well-formed
+/// header (the blocking [`read_frame`] path will surface the actual
+/// error).
+///
+/// This exists for batched readers: a pump that has already pulled one
+/// frame can peek its buffer and keep draining *complete* frames
+/// without ever risking a block on a torn one.
+pub fn buffered_frame_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < FRAME_HEADER_LEN || buf[..4] != FRAME_MAGIC {
+        return None;
+    }
+    let payload_len = u32::from_be_bytes(buf[6..10].try_into().expect("4 bytes")) as usize;
+    let mut off = FRAME_HEADER_LEN;
+    if buf[4] == WIRE_VERSION_MUX {
+        off += 8;
+    }
+    if buf[4] == WIRE_VERSION_TRACED || buf[4] == WIRE_VERSION_MUX {
+        let count = *buf.get(off)? as usize;
+        off += 1;
+        for _ in 0..count {
+            let len = *buf.get(off + 1)? as usize;
+            off += 2 + len;
+        }
+    } else if buf[4] != WIRE_VERSION {
+        return None;
+    }
+    Some(off + payload_len)
 }
 
 /// Reads one frame from `r`, verifying magic, version, length bound,
@@ -284,7 +383,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     if header[..4] != FRAME_MAGIC {
         return Err(WireError::BadMagic([header[0], header[1], header[2], header[3]]));
     }
-    if header[4] != WIRE_VERSION && header[4] != WIRE_VERSION_TRACED {
+    if header[4] != WIRE_VERSION
+        && header[4] != WIRE_VERSION_TRACED
+        && header[4] != WIRE_VERSION_MUX
+    {
         return Err(WireError::BadVersion(header[4]));
     }
     let kind = FrameKind::from_byte(header[5]).ok_or(WireError::UnknownKind(header[5]))?;
@@ -293,8 +395,14 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
         return Err(WireError::Oversized(len as u64));
     }
     let expected = u32::from_be_bytes(header[10..14].try_into().expect("4 bytes"));
+    let mut request_id = None;
+    if header[4] == WIRE_VERSION_MUX {
+        let mut id = [0u8; 8];
+        r.read_exact(&mut id)?;
+        request_id = Some(u64::from_be_bytes(id));
+    }
     let mut trace = None;
-    if header[4] == WIRE_VERSION_TRACED {
+    if header[4] == WIRE_VERSION_TRACED || header[4] == WIRE_VERSION_MUX {
         let mut count = [0u8; 1];
         r.read_exact(&mut count)?;
         let count = count[0] as usize;
@@ -329,6 +437,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     }
     Ok(Frame {
         kind,
+        request_id,
         trace,
         payload,
     })
@@ -859,11 +968,47 @@ mod tests {
     fn future_version_fails_cleanly() {
         let mut buf = Vec::new();
         write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
-        buf[4] = 3; // a version from the future
+        buf[4] = 4; // a version from the future
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
-            Err(WireError::BadVersion(3))
+            Err(WireError::BadVersion(4))
         ));
+    }
+
+    #[test]
+    fn mux_frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame_mux(&mut buf, FrameKind::Request, b"hello", 0x0123_4567_89ab_cdef, None)
+            .unwrap();
+        assert_eq!(buf[4], WIRE_VERSION_MUX);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.request_id, Some(0x0123_4567_89ab_cdef));
+        assert_eq!(frame.trace, None);
+        assert_eq!(frame.payload, b"hello");
+    }
+
+    #[test]
+    fn mux_frame_carries_trace_context() {
+        let ctx = TraceContext {
+            trace_id: 0xfeed,
+            parent_span: 0xbeef,
+        };
+        let mut buf = Vec::new();
+        write_frame_mux(&mut buf, FrameKind::Reply, b"r", 7, Some(ctx)).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.request_id, Some(7));
+        assert_eq!(frame.trace, Some(ctx));
+    }
+
+    #[test]
+    fn trace_less_and_id_less_sends_stay_version_1() {
+        // The compatibility contract: a peer that never pipelines and
+        // never traces emits byte-identical v1 frames forever.
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, FrameKind::Request, b"q", None).unwrap();
+        assert_eq!(buf[4], WIRE_VERSION);
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 1);
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the frame
-//! checksum for the write-ahead log. Implemented here because the
-//! workspace vendors no checksum crate; the table is built at compile
-//! time.
+//! checksum for the write-ahead log and the network codec. Implemented
+//! here because the workspace vendors no checksum crate; the tables are
+//! built at compile time.
+//!
+//! Uses slicing-by-8: eight derived tables let the hot loop fold eight
+//! input bytes per iteration instead of one, which matters because
+//! every network frame CRCs its whole payload on both ends of every
+//! request (see `crates/net/src/wire.rs`).
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -17,20 +22,45 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    // tables[k][b] = CRC of byte b followed by k zero bytes — the
+    // standard slicing construction.
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static T: [[u32; 256]; 8] = build_tables();
 
 /// The CRC-32 checksum of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = T[7][(lo & 0xFF) as usize]
+            ^ T[6][((lo >> 8) & 0xFF) as usize]
+            ^ T[5][((lo >> 16) & 0xFF) as usize]
+            ^ T[4][(lo >> 24) as usize]
+            ^ T[3][(hi & 0xFF) as usize]
+            ^ T[2][((hi >> 8) & 0xFF) as usize]
+            ^ T[1][((hi >> 16) & 0xFF) as usize]
+            ^ T[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
         let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
-        crc = (crc >> 8) ^ TABLE[idx];
+        crc = (crc >> 8) ^ T[0][idx];
     }
     !crc
 }

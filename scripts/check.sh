@@ -50,6 +50,9 @@ target/release/proof_engine_record --guard
 echo "== boot guard (indexed wallet boot vs committed artifact) =="
 target/release/wallet_ops_record --guard
 
+echo "== daemon guard (pipelined front-door throughput vs committed artifact) =="
+target/release/load_test --guard
+
 echo "== durable store (unit suite + on-disk verify) =="
 cargo test -q -p drbac-store
 STORE_HOME="$(mktemp -d)"
@@ -66,8 +69,8 @@ done
 "$DRBAC" --home "$STORE_HOME" store verify
 "$DRBAC" --home "$STORE_HOME" query Maria BigISP.member | grep -q GRANTED
 
-echo "== tcp (loopback parity suite + serve/--remote round trip) =="
-cargo test -q --test tcp_loopback --test wire_roundtrip
+echo "== tcp (loopback parity suite + shutdown accounting + serve/--remote round trip) =="
+cargo test -q --test tcp_loopback --test wire_roundtrip --test daemon_shutdown
 PORT=$((20000 + RANDOM % 20000))
 "$DRBAC" --home "$STORE_HOME" serve "127.0.0.1:$PORT" &
 SERVE_PID=$!

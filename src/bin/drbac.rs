@@ -132,7 +132,8 @@ fn usage() -> String {
      (--workers N / DRBAC_WORKERS sizes the parallel proof-search pool; default 1)\n\
      (--remote ADDR / DRBAC_REMOTE routes query/delegate/declare/revoke to a daemon)\n\
      commands:\n\
-     \x20 serve <host:port> [--trace-out FILE]  serve this wallet as a TCP daemon\n\
+     \x20 serve <host:port> [--trace-out FILE] [--io-workers N] [--max-conns N] [--max-inflight N]\n\
+     \x20                   serve this wallet as a TCP daemon (tuning: docs/OPERATIONS.md)\n\
      \x20                                       (--trace-out streams spans as JSONL for\n\
      \x20                                       `drbac trace --follow`)\n\
      \x20 keygen <Name>                         create an identity\n\
@@ -1212,7 +1213,10 @@ impl Context {
     /// daemon. Remote mutations journal through the same write-ahead
     /// store as local commands; stop with ctrl-c.
     fn serve(&self, args: &[String]) -> Result<String, String> {
-        const USAGE: &str = "usage: serve <host:port> [--trace-out FILE] (e.g. serve 127.0.0.1:7070)";
+        const USAGE: &str = "usage: serve <host:port> [--trace-out FILE] [--io-workers N] \
+                             [--max-conns N] [--max-inflight N] [--queue N] \
+                             (e.g. serve 127.0.0.1:7070)\n\
+                             tuning guidance: docs/OPERATIONS.md";
         let mut rest: Vec<String> = args.to_vec();
         let mut trace_out = None;
         if let Some(pos) = rest.iter().position(|a| a == "--trace-out") {
@@ -1222,6 +1226,26 @@ impl Context {
             trace_out = Some(rest.remove(pos + 1));
             rest.remove(pos);
         }
+        // Front-door sizing knobs (DaemonConfig); defaults are fine for
+        // development, see docs/OPERATIONS.md before raising them.
+        let mut daemon_config = drbac::net::DaemonConfig::default();
+        let mut flag = |name: &str, slot: &mut usize| -> Result<(), String> {
+            if let Some(pos) = rest.iter().position(|a| a == name) {
+                if pos + 1 >= rest.len() {
+                    return Err(format!("{name} requires a number"));
+                }
+                *slot = rest
+                    .remove(pos + 1)
+                    .parse()
+                    .map_err(|e| format!("{name}: {e}"))?;
+                rest.remove(pos);
+            }
+            Ok(())
+        };
+        flag("--io-workers", &mut daemon_config.workers)?;
+        flag("--max-conns", &mut daemon_config.max_connections)?;
+        flag("--max-inflight", &mut daemon_config.max_inflight)?;
+        flag("--queue", &mut daemon_config.queue_capacity)?;
         let [addr] = rest.as_slice() else {
             return Err(USAGE.into());
         };
@@ -1230,10 +1254,11 @@ impl Context {
                 .map_err(|e| format!("create trace export {path}: {e}"))?;
             eprintln!("streaming trace JSONL to {path} (tail with `drbac trace --follow {path}`)");
         }
-        let daemon = WalletDaemon::bind(
+        let daemon = WalletDaemon::bind_with(
             addr.as_str(),
             self.wallet.wallet().clone(),
             TcpConfig::default(),
+            daemon_config,
         )
         .map_err(|e| format!("bind {addr}: {e}"))?;
         eprintln!(

@@ -603,3 +603,187 @@ fn daemon_survives_garbage_connections() {
     assert!(matches!(reply, Reply::Declarations(_)));
     daemon.shutdown();
 }
+
+/// A pipelined (wire v3) client gets byte-identical proofs to the same
+/// queries over SimNet — and waiting on the replies in reverse send
+/// order still pairs every reply with its own request.
+#[test]
+fn pipelined_query_parity_simnet_vs_tcp() {
+    let queries = |chain: &Chain| {
+        vec![
+            // The single published hop.
+            Request::DirectQuery {
+                subject: Node::entity(&chain.user),
+                object: Node::role(chain.orgs[0].role("p")),
+                constraints: vec![],
+            },
+            // A two-step chain the wallet must assemble.
+            Request::DirectQuery {
+                subject: Node::entity(&chain.user),
+                object: Node::role(chain.orgs[1].role("p")),
+                constraints: vec![],
+            },
+            // A miss: w0 cannot prove the final hop on its own.
+            Request::DirectQuery {
+                subject: Node::role(chain.orgs[2].role("resource")),
+                object: Node::role(chain.orgs[0].role("p")),
+                constraints: vec![],
+            },
+        ]
+    };
+
+    // SimNet shape: strict request/reply against host w0.
+    let sim_chain = build_chain(47);
+    let net = SimNet::new(sim_chain.clock.clone(), Ticks(1));
+    for (i, w) in sim_chain.wallets.iter().enumerate() {
+        net.add_host(format!("w{i}").as_str(), w.clone());
+    }
+    let sim_replies: Vec<Reply> = queries(&sim_chain)
+        .into_iter()
+        .map(|q| net.request(&"w0".into(), q).unwrap())
+        .collect();
+
+    // TCP shape (same seed → same bytes): one pipelined connection,
+    // the whole window written as a single batch, completions awaited
+    // in REVERSE order so replies must be matched by id, not arrival.
+    let tcp_chain = build_chain(47);
+    let (daemons, transport) = serve_chain(&tcp_chain);
+    let client = transport.pipelined(&"w0".into()).unwrap();
+    let ids = client.send_many(&queries(&tcp_chain)).unwrap();
+    let mut tcp_replies: Vec<(usize, Reply)> = ids
+        .iter()
+        .enumerate()
+        .rev()
+        .map(|(i, id)| (i, client.wait(*id).unwrap()))
+        .collect();
+    tcp_replies.sort_by_key(|(i, _)| *i);
+
+    for (sim, (_, tcp)) in sim_replies.iter().zip(&tcp_replies) {
+        let (Reply::Proofs(sim_proofs), Reply::Proofs(tcp_proofs)) = (sim, tcp) else {
+            panic!("expected proofs from both shapes, got {sim:?} / {tcp:?}");
+        };
+        assert_eq!(sim_proofs.len(), tcp_proofs.len());
+        for (s, t) in sim_proofs.iter().zip(tcp_proofs) {
+            assert_eq!(s.to_bytes(), t.to_bytes(), "same wire bytes");
+        }
+    }
+    // The two chain queries proved, the miss came back empty.
+    assert!(matches!(&tcp_replies[0].1, Reply::Proofs(p) if p.len() == 1));
+    assert!(matches!(&tcp_replies[1].1, Reply::Proofs(p) if !p.is_empty()));
+    assert!(matches!(&tcp_replies[2].1, Reply::Proofs(p) if p.is_empty()));
+
+    client.close();
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+/// Backpressure is an explicit reply, not a silent stall: with the job
+/// queue bound set to zero every pipelined request is shed with an
+/// `overloaded:` error echoing its id — while strict v1 requests on
+/// the same daemon still serve (they never touch the queue).
+#[test]
+fn pipelined_overload_is_explicit_and_v1_still_serves() {
+    use drbac::net::DaemonConfig;
+
+    let clock = SimClock::new();
+    let wallet = Wallet::new("home.shed", clock);
+    let daemon = WalletDaemon::bind_with(
+        "127.0.0.1:0",
+        wallet,
+        TcpConfig::fast(),
+        DaemonConfig {
+            queue_capacity: 0,
+            ..DaemonConfig::default()
+        },
+    )
+    .unwrap();
+    let transport = Arc::new(TcpTransport::new(TcpConfig::fast()));
+    transport.add_route("home.shed", daemon.local_addr());
+
+    let client = transport.pipelined(&"home.shed".into()).unwrap();
+    let window: Vec<Request> = (0..4).map(|_| Request::FetchDeclarations).collect();
+    let ids = client.send_many(&window).unwrap();
+    for id in ids {
+        let reply = client.wait(id).unwrap();
+        assert!(
+            reply.is_overload(),
+            "queue_capacity=0 must shed every pipelined request, got {reply:?}"
+        );
+        assert!(
+            matches!(&reply, Reply::Error(m) if m.contains("job queue full")),
+            "the overload reply names the tripped bound: {reply:?}"
+        );
+    }
+
+    // Strict v1 requests are served inline on the reader thread and
+    // never queue — the shed daemon still answers them.
+    let reply = transport
+        .request(&"home.shed".into(), Request::FetchDeclarations)
+        .unwrap();
+    assert!(matches!(reply, Reply::Declarations(_)));
+
+    client.close();
+    daemon.shutdown();
+}
+
+/// A pre-v3 peer speaking version 0x01 gets a byte-identical v1
+/// exchange from the multiplexed daemon: the reply frame's version
+/// byte is 0x01 and carries no request id.
+#[test]
+fn v1_peer_interoperates_byte_identically() {
+    use drbac::net::wire;
+    use std::io::Read as _;
+
+    let clock = SimClock::new();
+    let wallet = Wallet::new("home.v1", clock);
+    let daemon = WalletDaemon::bind("127.0.0.1:0", wallet, TcpConfig::fast()).unwrap();
+
+    let mut s = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let payload = wire::encode_request(&Request::FetchDeclarations);
+    wire::write_frame(&mut s, wire::FrameKind::Request, &payload).unwrap();
+
+    // Read the reply's raw header: magic, version 0x01, kind Reply.
+    let mut header = [0u8; 14];
+    s.read_exact(&mut header).unwrap();
+    assert_eq!(&header[0..4], b"dRBW", "reply carries the frame magic");
+    assert_eq!(header[4], 0x01, "reply to a v1 request is a v1 frame");
+    assert_eq!(header[5], 0x02, "reply kind");
+    let len = u32::from_be_bytes(header[6..10].try_into().unwrap()) as usize;
+    let mut reply_payload = vec![0u8; len];
+    s.read_exact(&mut reply_payload).unwrap();
+    let reply = wire::decode_reply(&reply_payload).unwrap();
+    assert!(matches!(reply, Reply::Declarations(_)));
+    drop(s);
+    daemon.shutdown();
+}
+
+/// Request ids are opaque tokens the daemon echoes verbatim — it never
+/// interprets them, so a peer reusing the same id gets each reply
+/// tagged with that id (disambiguation is the client's problem, which
+/// is why `PipelinedClient` never reuses a live id).
+#[test]
+fn daemon_echoes_duplicate_request_ids_verbatim() {
+    use drbac::net::wire;
+
+    let clock = SimClock::new();
+    let wallet = Wallet::new("home.dup", clock);
+    let daemon = WalletDaemon::bind("127.0.0.1:0", wallet, TcpConfig::fast()).unwrap();
+
+    let mut s = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let payload = wire::encode_request(&Request::FetchDeclarations);
+    wire::write_frame_mux(&mut s, wire::FrameKind::Request, &payload, 7, None).unwrap();
+    wire::write_frame_mux(&mut s, wire::FrameKind::Request, &payload, 7, None).unwrap();
+
+    for _ in 0..2 {
+        let frame = wire::read_frame(&mut s).unwrap();
+        assert_eq!(frame.kind, wire::FrameKind::Reply);
+        assert_eq!(frame.request_id, Some(7), "the id is echoed verbatim");
+        let reply = wire::decode_reply(&frame.payload).unwrap();
+        assert!(matches!(reply, Reply::Declarations(_)));
+    }
+    drop(s);
+    daemon.shutdown();
+}

@@ -451,6 +451,203 @@ mod frame {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multiplexed (version-3) frames: request ids survive interleaving and
+// reordering, torn v3 frames error cleanly, and the batched-reader
+// helper `buffered_frame_len` never lies about a frame boundary.
+// ---------------------------------------------------------------------------
+
+mod mux {
+    use drbac::net::wire::{
+        buffered_frame_len, read_frame, write_frame, write_frame_mux, write_frame_traced,
+        FrameKind, TraceContext, WireError, WIRE_VERSION_MUX,
+    };
+    use proptest::prelude::*;
+
+    fn mux_frame(kind: FrameKind, payload: &[u8], id: u64, trace: Option<TraceContext>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame_mux(&mut buf, kind, payload, id, trace).unwrap();
+        buf
+    }
+
+    #[test]
+    fn interleaved_streams_keep_their_ids() {
+        // One connection carrying two logical request streams plus a
+        // v1 push register and a v2 traced request, concatenated the
+        // way a pipelining client would write them. Every frame must
+        // come back with exactly its own id (or none).
+        let ctx = TraceContext {
+            trace_id: 5,
+            parent_span: 6,
+        };
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&mux_frame(FrameKind::Request, b"q-17", 17, None));
+        stream.extend_from_slice(&mux_frame(FrameKind::Request, b"q-903", 903, Some(ctx)));
+        write_frame(&mut stream, FrameKind::PushRegister, b"wallet.b").unwrap();
+        write_frame_traced(&mut stream, FrameKind::Request, b"strict", Some(ctx)).unwrap();
+        stream.extend_from_slice(&mux_frame(FrameKind::Request, b"q-18", 18, None));
+
+        let mut r = stream.as_slice();
+        let expected: [(Option<u64>, &[u8]); 5] = [
+            (Some(17), b"q-17"),
+            (Some(903), b"q-903"),
+            (None, b"wallet.b"),
+            (None, b"strict"),
+            (Some(18), b"q-18"),
+        ];
+        for (id, payload) in expected {
+            let frame = read_frame(&mut r).unwrap();
+            assert_eq!(frame.request_id, id);
+            assert_eq!(frame.payload, payload);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_replies_carry_their_own_ids() {
+        // The daemon may answer 19 before 18; ids are the only
+        // correlation, so they must survive reordering untouched.
+        let mut stream = Vec::new();
+        for id in [19u64, 17, 18] {
+            stream.extend_from_slice(&mux_frame(
+                FrameKind::Reply,
+                format!("r-{id}").as_bytes(),
+                id,
+                None,
+            ));
+        }
+        let mut r = stream.as_slice();
+        for want in [19u64, 17, 18] {
+            let frame = read_frame(&mut r).unwrap();
+            assert_eq!(frame.request_id, Some(want));
+            assert_eq!(frame.payload, format!("r-{want}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn torn_mux_frame_every_truncation_errors() {
+        let frame = mux_frame(
+            FrameKind::Request,
+            b"pipelined query",
+            u64::MAX,
+            Some(TraceContext {
+                trace_id: 1,
+                parent_span: 2,
+            }),
+        );
+        assert_eq!(frame[4], WIRE_VERSION_MUX);
+        for len in 0..frame.len() {
+            let err = read_frame(&mut &frame[..len]).expect_err("torn mux frame must error");
+            assert!(
+                matches!(err, WireError::Io(_)),
+                "truncation to {len} bytes surfaced {err:?}, expected unexpected-EOF"
+            );
+        }
+        assert_eq!(
+            read_frame(&mut frame.as_slice()).unwrap().request_id,
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn buffered_frame_len_matches_all_three_versions() {
+        let ctx = TraceContext {
+            trace_id: 3,
+            parent_span: 4,
+        };
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, FrameKind::Request, b"abc").unwrap();
+        let mut v2 = Vec::new();
+        write_frame_traced(&mut v2, FrameKind::Request, b"abcd", Some(ctx)).unwrap();
+        let v3 = mux_frame(FrameKind::Reply, b"abcde", 7, None);
+        let v3t = mux_frame(FrameKind::Reply, b"abcdef", 7, Some(ctx));
+        for frame in [v1, v2, v3, v3t] {
+            assert_eq!(buffered_frame_len(&frame), Some(frame.len()));
+            // With trailing bytes of a next frame present, the answer
+            // must still be this frame's boundary.
+            let mut two = frame.clone();
+            two.extend_from_slice(&frame);
+            assert_eq!(buffered_frame_len(&two), Some(frame.len()));
+        }
+    }
+
+    #[test]
+    fn buffered_frame_len_never_overclaims_on_prefixes() {
+        // For every prefix of a valid frame the helper either says
+        // "can't tell yet" or names the true total — a wrong Some
+        // would make a batched reader block on a frame it believed
+        // complete.
+        let frame = mux_frame(
+            FrameKind::Request,
+            b"window",
+            42,
+            Some(TraceContext {
+                trace_id: 9,
+                parent_span: 0,
+            }),
+        );
+        for len in 0..frame.len() {
+            let peek = buffered_frame_len(&frame[..len]);
+            assert!(
+                peek.is_none() || peek == Some(frame.len()),
+                "prefix of {len} bytes claimed total {peek:?}, real total {}",
+                frame.len()
+            );
+        }
+        assert_eq!(buffered_frame_len(b"not a frame at all"), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any request id round-trips bit-exact — ids are opaque
+        /// tokens, so no value may be special-cased by the codec.
+        #[test]
+        fn prop_any_request_id_round_trips(id in any::<u64>()) {
+            let buf = mux_frame(FrameKind::Request, b"q", id, None);
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(frame.request_id, Some(id));
+        }
+
+        /// Arbitrary bytes after a v3 header (fuzzing the id + ext
+        /// region) never panic the reader, and `buffered_frame_len`
+        /// never panics on any byte soup.
+        #[test]
+        fn prop_mux_tail_never_panics(tail in prop::collection::vec(any::<u8>(), 0..64)) {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(b"dRBW");
+            buf.push(WIRE_VERSION_MUX);
+            buf.push(2); // kind: reply
+            buf.extend_from_slice(&1u32.to_be_bytes());
+            buf.extend_from_slice(&0u32.to_be_bytes());
+            buf.extend_from_slice(&tail);
+            let _ = read_frame(&mut buf.as_slice());
+            let _ = buffered_frame_len(&buf);
+        }
+
+        /// A stream of many v3 frames with arbitrary ids drains frame
+        /// by frame via `buffered_frame_len`, reproducing the batched
+        /// reader's loop: every boundary is exact, every id lands.
+        #[test]
+        fn prop_batched_drain_recovers_every_frame(ids in prop::collection::vec(any::<u64>(), 1..12)) {
+            let mut stream = Vec::new();
+            for &id in &ids {
+                stream.extend_from_slice(&mux_frame(FrameKind::Reply, &id.to_be_bytes(), id, None));
+            }
+            let mut rest = stream.as_slice();
+            let mut seen = Vec::new();
+            while let Some(total) = buffered_frame_len(rest) {
+                prop_assert!(total <= rest.len());
+                let frame = read_frame(&mut &rest[..total]).unwrap();
+                seen.push(frame.request_id.unwrap());
+                rest = &rest[total..];
+            }
+            prop_assert!(rest.is_empty());
+            prop_assert_eq!(seen, ids);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
